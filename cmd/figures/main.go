@@ -1,0 +1,71 @@
+// Command figures regenerates the paper's evaluation figures (§5) and
+// prints each as a fixed-width table of mean total transferred bytes.
+//
+// Usage:
+//
+//	figures [-fig 6a|6b|7a|7b|8a|8b|all] [-runs N] [-seed N]
+//	        [-points N] [-sigma F] [-eps F] [-buffer N]
+//
+// The defaults mirror the paper: 1000-point synthetic datasets, buffer
+// 800 objects, 10 seeded repetitions per point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate (6a, 6b, 7a, 7b, 8a, 8b, all)")
+		runs   = flag.Int("runs", 10, "seeded repetitions per data point")
+		seed   = flag.Int64("seed", 1, "base seed")
+		points = flag.Int("points", 1000, "synthetic dataset cardinality")
+		sigma  = flag.Float64("sigma", 0, "Gaussian cluster spread (0 = default)")
+		eps    = flag.Float64("eps", 0, "distance-join threshold (0 = default)")
+		buffer = flag.Int("buffer", 800, "device buffer in objects")
+	)
+	flag.Parse()
+
+	cfg := harness.Defaults()
+	cfg.Runs = *runs
+	cfg.BaseSeed = *seed
+	cfg.Points = *points
+	cfg.Buffer = *buffer
+	if *sigma > 0 {
+		cfg.Sigma = *sigma
+	}
+	if *eps > 0 {
+		cfg.Eps = *eps
+	}
+
+	var ids []string
+	if *fig == "all" {
+		for id := range harness.All {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	} else {
+		if _, ok := harness.All[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		table, err := harness.All[id](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		table.Render(os.Stdout)
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,146 @@
+// Command spatialjoin runs a spatial join between two live spatialserve
+// servers from the "mobile device", printing the result size and the
+// byte bill. It is the CLI face of the library's core loop.
+//
+// Usage:
+//
+//	spatialjoin -r 127.0.0.1:7001 -s 127.0.0.1:7002 \
+//	    -alg upjoin -kind distance -eps 150 -buffer 800 [-bucket] \
+//	    [-window minx,miny,maxx,maxy] [-m 10] [-pairs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+)
+
+func parseWindow(s string) (geom.Rect, error) {
+	if s == "" {
+		return geom.Rect{}, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.Rect{}, fmt.Errorf("window needs 4 comma-separated numbers")
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		v[i] = f
+	}
+	return geom.R(v[0], v[1], v[2], v[3]), nil
+}
+
+func algorithm(name string) (core.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "naive":
+		return core.Naive{}, nil
+	case "grid":
+		return core.Grid{}, nil
+	case "mobijoin", "mobi":
+		return core.MobiJoin{}, nil
+	case "upjoin", "up":
+		return core.UpJoin{}, nil
+	case "srjoin", "sr":
+		return core.SrJoin{}, nil
+	case "semijoin", "semi":
+		return core.SemiJoin{}, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func main() {
+	var (
+		rAddr  = flag.String("r", "", "address of the R server (required)")
+		sAddr  = flag.String("s", "", "address of the S server (required)")
+		alg    = flag.String("alg", "upjoin", "naive, grid, mobijoin, upjoin, srjoin, semijoin")
+		kind   = flag.String("kind", "distance", "intersection, distance, iceberg")
+		eps    = flag.Float64("eps", 150, "distance threshold")
+		m      = flag.Int("m", 10, "iceberg minimum matches")
+		buffer = flag.Int("buffer", 800, "device buffer in objects")
+		bucket = flag.Bool("bucket", false, "use bucket query submission")
+		priceR = flag.Float64("price-r", 1, "per-byte tariff for R")
+		priceS = flag.Float64("price-s", 1, "per-byte tariff for S")
+		window = flag.String("window", "", "query window minx,miny,maxx,maxy (default: whole space)")
+		pairs  = flag.Bool("pairs", false, "print the result pairs/objects")
+	)
+	flag.Parse()
+	if *rAddr == "" || *sAddr == "" {
+		fmt.Fprintln(os.Stderr, "spatialjoin: -r and -s are required")
+		os.Exit(2)
+	}
+
+	a, err := algorithm(*alg)
+	fatal(err)
+	win, err := parseWindow(*window)
+	fatal(err)
+
+	var spec core.Spec
+	switch strings.ToLower(*kind) {
+	case "intersection":
+		spec = core.Spec{Kind: core.Intersection}
+	case "distance":
+		spec = core.Spec{Kind: core.Distance, Eps: *eps}
+	case "iceberg":
+		spec = core.Spec{Kind: core.IcebergSemi, Eps: *eps, MinMatches: *m}
+	default:
+		fatal(fmt.Errorf("unknown join kind %q", *kind))
+	}
+
+	trR, err := netsim.DialTCP(*rAddr)
+	fatal(err)
+	trS, err := netsim.DialTCP(*sAddr)
+	fatal(err)
+	remR := client.NewRemote("R("+*rAddr+")", trR, netsim.DefaultLink(), *priceR)
+	remS := client.NewRemote("S("+*sAddr+")", trS, netsim.DefaultLink(), *priceS)
+	defer remR.Close()
+	defer remS.Close()
+
+	model := costmodel.Default()
+	model.Bucket = *bucket
+	model.PriceR, model.PriceS = *priceR, *priceS
+	env := core.NewEnv(remR, remS, client.Device{BufferObjects: *buffer}, model, win)
+
+	res, err := a.Run(env, spec)
+	fatal(err)
+
+	st := res.Stats
+	if spec.Kind == core.IcebergSemi {
+		fmt.Printf("%s: %d qualifying R objects\n", a.Name(), len(res.Objects))
+		if *pairs {
+			for _, o := range res.Objects {
+				fmt.Printf("  %d %v\n", o.ID, o.MBR)
+			}
+		}
+	} else {
+		fmt.Printf("%s: %d pairs\n", a.Name(), len(res.Pairs))
+		if *pairs {
+			for _, p := range res.Pairs {
+				fmt.Printf("  (%d, %d)\n", p.RID, p.SID)
+			}
+		}
+	}
+	fmt.Printf("wire bytes: %d total (R %d / S %d), %d queries (%d aggregate)\n",
+		st.TotalBytes(), st.R.WireBytes, st.S.WireBytes, st.TotalQueries(), st.AggQueries)
+	fmt.Printf("decisions: HBSJ %d, NLSJ %d, repartitions %d, pruned %d\n",
+		st.HBSJ, st.NLSJ, st.Repartitions, st.Pruned)
+	fmt.Printf("monetary cost: %.6f\n", st.MoneyCost)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialjoin: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+// Command spatialserve serves one spatial dataset over TCP with the
+// repository's wire protocol, playing the role of one of the paper's
+// non-cooperative servers.
+//
+// Usage:
+//
+//	spatialserve -data hotels.spd -addr 127.0.0.1:7001 [-publish-index]
+//
+// -publish-index enables the cooperative SemiJoin message types; leave it
+// off to model the paper's default non-cooperative server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/dataset"
+	"repro/internal/netsim"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "dataset file from datagen (required)")
+		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
+		publish = flag.Bool("publish-index", false, "expose R-tree internals (SemiJoin support)")
+		name    = flag.String("name", "", "server name (defaults to the data file)")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "spatialserve: -data is required")
+		os.Exit(2)
+	}
+	objs, err := dataset.LoadFile(*data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialserve: %v\n", err)
+		os.Exit(1)
+	}
+	if *name == "" {
+		*name = *data
+	}
+	var opts []server.Option
+	if *publish {
+		opts = append(opts, server.PublishIndex())
+	}
+	srv, err := netsim.ListenAndServe(*addr, server.New(*name, objs, opts...))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %d objects from %s on %s (publish-index=%v)\n",
+		len(objs), *data, srv.Addr(), *publish)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nshutting down")
+	srv.Close()
+}

@@ -1,0 +1,60 @@
+// TCP: the same join over real sockets. Two dataset servers listen on
+// loopback TCP ports (in a deployment they would be separate hosts); the
+// device dials both, runs SrJoin, and the byte accounting is identical
+// to the in-process transport — the metering wraps the frames, not the
+// transport.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/server"
+)
+
+func main() {
+	robjs := dataset.GaussianClusters(800, 4, 250, dataset.World, 31)
+	sobjs := dataset.GaussianClusters(800, 4, 250, dataset.World, 32)
+
+	// Start two TCP servers, as separate services would.
+	srvR, err := netsim.ListenAndServe("127.0.0.1:0", server.New("maps.example", robjs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srvR.Close()
+	srvS, err := netsim.ListenAndServe("127.0.0.1:0", server.New("guide.example", sobjs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srvS.Close()
+	fmt.Printf("serving R on %s, S on %s\n", srvR.Addr(), srvS.Addr())
+
+	// The mobile device dials both servers over metered links.
+	trR, err := netsim.DialTCP(srvR.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trS, err := netsim.DialTCP(srvS.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	remR := client.NewRemote("maps.example", trR, netsim.DefaultLink(), 1)
+	remS := client.NewRemote("guide.example", trS, netsim.DefaultLink(), 1)
+	defer remR.Close()
+	defer remS.Close()
+
+	env := core.NewEnv(remR, remS, client.Device{BufferObjects: 800},
+		costmodel.Default(), geom.Rect{})
+	res, err := core.SrJoin{}.Run(env, core.Spec{Kind: core.Distance, Eps: 150})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("srJoin over TCP: %d pairs, %d wire bytes, %d queries\n",
+		len(res.Pairs), res.Stats.TotalBytes(), res.Stats.TotalQueries())
+}

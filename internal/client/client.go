@@ -1,0 +1,171 @@
+// Package client models the mobile device of the paper: a resource-
+// constrained host with a bounded object buffer, holding metered
+// connections to the two non-cooperative dataset servers and issuing the
+// primitive queries of §3 through them.
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Device is the PDA: it owns the buffer constraint shared by all
+// operations of one join execution. Algorithms consult CanHold before
+// downloading and repartition (or stream probes) when a window does not
+// fit.
+type Device struct {
+	// BufferObjects is the maximum number of objects the device can hold
+	// at once; 0 means unlimited.
+	BufferObjects int
+}
+
+// CanHold reports whether n objects fit in the buffer.
+func (d Device) CanHold(n int) bool {
+	return d.BufferObjects <= 0 || n <= d.BufferObjects
+}
+
+// Remote is the client-side proxy to one dataset server over a metered
+// transport. All methods are strictly request/response.
+type Remote struct {
+	name string
+	conn netsim.RoundTripper
+	m    *netsim.Meter
+}
+
+// NewRemote wraps a transport to server name, metering all traffic with
+// link and tariff pricePerByte.
+func NewRemote(name string, rt netsim.RoundTripper, link netsim.LinkConfig, pricePerByte float64) *Remote {
+	m := netsim.NewMeter(link, pricePerByte)
+	return &Remote{name: name, conn: netsim.NewMetered(rt, m), m: m}
+}
+
+// Name returns the remote's diagnostic name.
+func (r *Remote) Name() string { return r.name }
+
+// Meter returns the meter accumulating this link's traffic.
+func (r *Remote) Meter() *netsim.Meter { return r.m }
+
+// Usage returns the accumulated traffic snapshot.
+func (r *Remote) Usage() netsim.Usage { return r.m.Usage() }
+
+// Close releases the underlying transport.
+func (r *Remote) Close() error { return r.conn.Close() }
+
+func (r *Remote) roundTrip(req []byte) ([]byte, error) {
+	resp, err := r.conn.RoundTrip(req)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", r.name, err)
+	}
+	if wire.Type(resp) == wire.MsgError {
+		return nil, fmt.Errorf("%s: %w", r.name, wire.DecodeError(resp))
+	}
+	return resp, nil
+}
+
+// Window returns all objects intersecting w.
+func (r *Remote) Window(w geom.Rect) ([]geom.Object, error) {
+	resp, err := r.roundTrip(wire.EncodeWindow(w))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeObjects(resp)
+}
+
+// Count returns the number of objects intersecting w.
+func (r *Remote) Count(w geom.Rect) (int, error) {
+	resp, err := r.roundTrip(wire.EncodeCount(w))
+	if err != nil {
+		return 0, err
+	}
+	n, err := wire.DecodeCountReply(resp)
+	return int(n), err
+}
+
+// AvgArea returns the mean MBR area of objects intersecting w.
+func (r *Remote) AvgArea(w geom.Rect) (float64, error) {
+	resp, err := r.roundTrip(wire.EncodeAvgArea(w))
+	if err != nil {
+		return 0, err
+	}
+	return wire.DecodeFloatReply(resp)
+}
+
+// Range returns the objects within distance eps of p.
+func (r *Remote) Range(p geom.Point, eps float64) ([]geom.Object, error) {
+	resp, err := r.roundTrip(wire.EncodeRange(p, eps))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeObjects(resp)
+}
+
+// RangeCount returns the number of objects within distance eps of p.
+func (r *Remote) RangeCount(p geom.Point, eps float64) (int, error) {
+	resp, err := r.roundTrip(wire.EncodeRangeCount(p, eps))
+	if err != nil {
+		return 0, err
+	}
+	n, err := wire.DecodeCountReply(resp)
+	return int(n), err
+}
+
+// BucketRange submits many ε-range probes at once and returns one result
+// group per probe, in probe order.
+func (r *Remote) BucketRange(pts []geom.Point, eps float64) ([][]geom.Object, error) {
+	resp, err := r.roundTrip(wire.EncodeBucketRange(pts, eps))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeBucketObjects(resp)
+}
+
+// BucketRangeCount submits many aggregate ε-range probes at once.
+func (r *Remote) BucketRangeCount(pts []geom.Point, eps float64) ([]int64, error) {
+	resp, err := r.roundTrip(wire.EncodeBucketRangeCount(pts, eps))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeCountsReply(resp)
+}
+
+// Info returns the server's advertised metadata.
+func (r *Remote) Info() (wire.Info, error) {
+	resp, err := r.roundTrip(wire.EncodeInfo())
+	if err != nil {
+		return wire.Info{}, err
+	}
+	return wire.DecodeInfoReply(resp)
+}
+
+// LevelMBRs returns the MBRs of one R-tree level (SemiJoin only; the
+// server refuses unless it publishes its index).
+func (r *Remote) LevelMBRs(level int) ([]geom.Rect, error) {
+	resp, err := r.roundTrip(wire.EncodeMBRLevel(level))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeRects(resp)
+}
+
+// MBRMatch returns the distinct objects intersecting (within eps of) any
+// of the rects (SemiJoin only).
+func (r *Remote) MBRMatch(rects []geom.Rect, eps float64) ([]geom.Object, error) {
+	resp, err := r.roundTrip(wire.EncodeMBRMatch(rects, eps))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeObjects(resp)
+}
+
+// UploadJoin ships objects to the server, which joins them against its
+// dataset and returns pairs with the uploaded ID first (SemiJoin only).
+func (r *Remote) UploadJoin(objs []geom.Object, eps float64) ([]geom.Pair, error) {
+	resp, err := r.roundTrip(wire.EncodeUploadJoin(objs, eps))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodePairs(resp)
+}

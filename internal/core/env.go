@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/costmodel"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Env is the execution environment of one join: the two metered remote
+// datasets, the device constraints, the cost-model parameters used for
+// decisions, and the query window.
+type Env struct {
+	// R and S are the two dataset servers, reached over metered links.
+	R, S *client.Remote
+	// Device carries the buffer constraint.
+	Device client.Device
+	// Model parameterizes the cost equations; Model.Buffer should match
+	// Device.BufferObjects (NewEnv enforces it).
+	Model costmodel.Params
+	// Window is the query window. The zero Rect means "whole space": it
+	// is replaced by the union of the advertised dataset bounds.
+	Window geom.Rect
+	// Seed drives the algorithm-internal randomness (UpJoin's random
+	// confirmation windows). Fixed per run for reproducibility.
+	Seed int64
+	// Trace, when non-nil, receives one line per algorithm decision
+	// (window visited, operator chosen, counts). Intended for debugging
+	// and for the decision-log ablations; not part of the cost model.
+	Trace func(format string, args ...any)
+
+	infoR, infoS wire.Info
+	prepared     bool
+}
+
+// NewEnv assembles an environment. The window may be the zero Rect to
+// join over the entire advertised data space.
+func NewEnv(r, s *client.Remote, device client.Device, model costmodel.Params, window geom.Rect) *Env {
+	model.Buffer = device.BufferObjects
+	return &Env{R: r, S: s, Device: device, Model: model, Window: window}
+}
+
+// prepare fetches dataset metadata once per environment (two INFO round
+// trips, metered like everything else) and resolves the query window.
+func (e *Env) prepare() error {
+	if e.prepared {
+		return nil
+	}
+	var err error
+	if e.infoR, err = e.R.Info(); err != nil {
+		return fmt.Errorf("core: info from R: %w", err)
+	}
+	if e.infoS, err = e.S.Info(); err != nil {
+		return fmt.Errorf("core: info from S: %w", err)
+	}
+	if e.Window == (geom.Rect{}) {
+		e.Window = e.infoR.Bounds.Union(e.infoS.Bounds)
+	}
+	e.prepared = true
+	return nil
+}
+
+// Usage returns the combined traffic snapshot of both links.
+func (e *Env) Usage() (r, s netsim.Usage) { return e.R.Usage(), e.S.Usage() }
+
+// statsSince builds a Stats from meter snapshots taken before the run.
+func (e *Env) statsSince(r0, s0 netsim.Usage, dec decisions) Stats {
+	r1, s1 := e.R.Usage(), e.S.Usage()
+	diff := func(a, b netsim.Usage) netsim.Usage {
+		return netsim.Usage{
+			Messages:      a.Messages - b.Messages,
+			PayloadBytes:  a.PayloadBytes - b.PayloadBytes,
+			WireBytes:     a.WireBytes - b.WireBytes,
+			Packets:       a.Packets - b.Packets,
+			UpWireBytes:   a.UpWireBytes - b.UpWireBytes,
+			DownWireBytes: a.DownWireBytes - b.DownWireBytes,
+			Queries:       a.Queries - b.Queries,
+		}
+	}
+	ru, su := diff(r1, r0), diff(s1, s0)
+	return Stats{
+		R: ru, S: su,
+		AggQueries:   dec.agg,
+		HBSJ:         dec.hbsj,
+		NLSJ:         dec.nlsj,
+		Repartitions: dec.repart,
+		Pruned:       dec.pruned,
+		MoneyCost: e.R.Meter().PricePerByte()*float64(ru.WireBytes) +
+			e.S.Meter().PricePerByte()*float64(su.WireBytes),
+	}
+}
+
+// decisions counts the choices an execution made.
+type decisions struct {
+	agg, hbsj, nlsj, repart, pruned int
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/client"
+	"repro/internal/costmodel"
+	"repro/internal/geom"
+	"repro/internal/memjoin"
+)
+
+// maxDepth bounds the recursive partitioning of all algorithms. At 32
+// levels the cells of any realistic window are far below coordinate
+// resolution; hitting the bound (e.g. many coincident points exceeding
+// the buffer) forces a physical operator instead of further splitting.
+const maxDepth = 32
+
+// side identifies a dataset within an execution.
+type side int
+
+const (
+	sideR side = iota
+	sideS
+)
+
+// exec carries the per-run state shared by all algorithms: environment,
+// spec, predicate, result sink, decision counters, and the RNG for
+// randomized confirmation queries.
+type exec struct {
+	env  *Env
+	spec Spec
+	pred memjoin.Pred
+	dec  decisions
+	rng  *rand.Rand
+	// window is the effective query window of this run: env.Window
+	// expanded by ε/2 (the root is a partition cell like any other), so
+	// that reference points on the window hull are not lost. Oracle
+	// applies the same expansion.
+	window geom.Rect
+
+	// sink
+	pairs  []geom.Pair
+	robjs  map[uint32]geom.Object // R geometry seen (for iceberg output)
+	counts map[uint32]int         // iceberg: exact global match count per R id
+	probed map[uint32]bool        // iceberg: R ids already count-probed
+}
+
+func newExec(env *Env, spec Spec) (*exec, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := env.prepare(); err != nil {
+		return nil, err
+	}
+	x := &exec{
+		env:   env,
+		spec:  spec,
+		pred:  spec.pred(),
+		rng:   rand.New(rand.NewSource(env.Seed + 1)),
+		robjs: make(map[uint32]geom.Object),
+	}
+	x.window = env.Window
+	if spec.Eps > 0 {
+		x.window = env.Window.Expand(spec.Eps / 2)
+	}
+	if spec.Kind == IcebergSemi {
+		x.counts = make(map[uint32]int)
+		x.probed = make(map[uint32]bool)
+	}
+	return x, nil
+}
+
+// trace emits a decision-log line when the environment requests it.
+func (x *exec) trace(format string, args ...any) {
+	if x.env.Trace != nil {
+		x.env.Trace(format, args...)
+	}
+}
+
+// remote returns the client for one side.
+func (x *exec) remote(d side) *client.Remote {
+	if d == sideR {
+		return x.env.R
+	}
+	return x.env.S
+}
+
+// pointData reports whether the side's dataset is point-only (from INFO).
+func (x *exec) pointData(d side) bool {
+	if d == sideR {
+		return x.env.infoR.PointData
+	}
+	return x.env.infoS.PointData
+}
+
+// fetchWindow returns the window used to retrieve either side's objects
+// for partition w: for distance joins the cell is expanded by ε/2 on
+// every side (§3: "the cells are extended by ε/2 at each side before they
+// are sent as window queries"), so that any pair whose reference point
+// (geom.RefPointEps) lies in w has both objects inside the fetch windows.
+func (x *exec) fetchWindow(d side, w geom.Rect) geom.Rect {
+	if x.spec.Eps > 0 {
+		return w.Expand(x.spec.Eps / 2)
+	}
+	return w
+}
+
+// splittable reports whether partitioning w further can possibly help.
+// Below a cell extent of ~2ε the ε-expansion of the R-side fetch windows
+// dominates the cell itself, so quadrant counts cannot shrink and no
+// pruning is possible; recursing there only burns aggregate queries (and,
+// in degenerate cases, never terminates). The depth bound covers ε = 0
+// workloads with coincident objects.
+func (x *exec) splittable(w geom.Rect, depth int) bool {
+	if depth >= maxDepth {
+		return false
+	}
+	if x.spec.Eps > 0 {
+		lim := 2 * x.spec.Eps
+		if w.Width() <= lim && w.Height() <= lim {
+			return false
+		}
+	}
+	return true
+}
+
+// count issues one COUNT aggregate query for side d on partition w.
+func (x *exec) count(d side, w geom.Rect) (int, error) {
+	x.dec.agg++
+	return x.remote(d).Count(x.fetchWindow(d, w))
+}
+
+// cnt is a partition-count annotated with whether it was measured (true)
+// or estimated under a uniformity assumption (false).
+type cnt struct {
+	n     int
+	exact bool
+}
+
+func exact(n int) cnt  { return cnt{n: n, exact: true} }
+func approx(n int) cnt { return cnt{n: n} }
+
+// ensureExact re-counts w when c is an estimate. Physical operators call
+// it before acting, implementing UpJoin's "issue additional aggregate
+// queries only when accuracy is crucial".
+func (x *exec) ensureExact(d side, w geom.Rect, c cnt) (cnt, error) {
+	if c.exact {
+		return c, nil
+	}
+	n, err := x.count(d, w)
+	if err != nil {
+		return c, err
+	}
+	return exact(n), nil
+}
+
+// quadrantCounts returns the exact counts of the four quadrants of w for
+// side d. For point datasets it issues three COUNT queries and derives
+// the fourth from the parent count (|Dw'4| = |Dw| - Σ|Dw'i|, §4.1); MBR
+// datasets replicate across quadrants, so all four are queried.
+func (x *exec) quadrantCounts(d side, w geom.Rect, parent cnt) ([4]cnt, error) {
+	var out [4]cnt
+	q := w.Quadrants()
+	// Point datasets derive the fourth count from the parent (§4.1:
+	// |Dw'4| = |Dw| − Σ|Dw'i|). With ε = 0 the quadrants partition w
+	// exactly and the derived value is exact; with ε > 0 the ε/2-expanded
+	// fetch windows overlap, so the derived value is only an estimate and
+	// is marked approximate — the physical operators re-count before
+	// trusting it (in particular, an approximate zero never prunes).
+	derive := x.pointData(d) && parent.exact
+	last := 4
+	if derive {
+		last = 3
+	}
+	sum := 0
+	for i := 0; i < last; i++ {
+		n, err := x.count(d, q[i])
+		if err != nil {
+			return out, err
+		}
+		out[i] = exact(n)
+		sum += n
+	}
+	if derive {
+		n := parent.n - sum
+		if n < 0 {
+			n = 0
+		}
+		if x.spec.Eps == 0 {
+			out[3] = exact(n)
+		} else {
+			out[3] = approx(n)
+		}
+	}
+	return out, nil
+}
+
+// --- result sink ---------------------------------------------------------
+
+// addPairs records join pairs; R geometry is remembered for iceberg
+// output when provided.
+func (x *exec) addPairs(ps []geom.Pair, rGeom map[uint32]geom.Object) {
+	x.pairs = append(x.pairs, ps...)
+	for id, o := range rGeom {
+		x.robjs[id] = o
+	}
+}
+
+// result assembles the Result, deduplicating pairs globally.
+func (x *exec) result() *Result {
+	pairs := memjoin.DedupPairs(x.pairs)
+	res := &Result{}
+	switch x.spec.Kind {
+	case IcebergSemi:
+		// Merge pair-derived counts with probe-derived counts. An R id is
+		// counted either via probes (exact global count, recorded once)
+		// or via deduplicated pairs — never both, enforced by probed[].
+		counts := make(map[uint32]int, len(x.counts))
+		for id, n := range x.counts {
+			counts[id] = n
+		}
+		for _, p := range pairs {
+			if !x.probed[p.RID] {
+				counts[p.RID]++
+			}
+		}
+		var pseudo []geom.Pair
+		for id, n := range counts {
+			for i := 0; i < n; i++ {
+				pseudo = append(pseudo, geom.Pair{RID: id, SID: uint32(i)})
+			}
+		}
+		res.Objects = icebergFilter(pseudo, x.robjs, x.spec.MinMatches)
+	default:
+		res.Pairs = pairs
+	}
+	return res
+}
+
+// --- cost-model adapters ---------------------------------------------------
+
+// modelStats assembles the Stats consumed by the cost model for window w.
+func (x *exec) modelStats(w geom.Rect, nr, ns cnt) costmodel.Stats {
+	st := costmodel.Stats{W: w, NR: nr.n, NS: ns.n, Eps: x.spec.Eps}
+	if x.spec.Kind == IcebergSemi && x.icebergCountable() {
+		st.CountProbeR = true
+	}
+	if !x.pointData(sideR) || !x.pointData(sideS) {
+		// Rough Minkowski widening from the dataset-level average object
+		// size; per-window AVG-AREA queries are issued only by algorithms
+		// that opt in (kept simple: dataset bounds / cardinality).
+		st.AvgAreaR = avgObjArea(x.env.infoR.Bounds, int(x.env.infoR.Count), x.pointData(sideR))
+		st.AvgAreaS = avgObjArea(x.env.infoS.Bounds, int(x.env.infoS.Count), x.pointData(sideS))
+	}
+	return st
+}
+
+// avgObjArea is a crude prior for the mean object MBR area: a small
+// fraction of the per-object share of the data space. Points have zero.
+func avgObjArea(bounds geom.Rect, n int, points bool) float64 {
+	if points || n == 0 {
+		return 0
+	}
+	return bounds.Area() / float64(n) * 0.05
+}
+
+// costs returns (c1, c2, c3) for window w under the environment's model.
+func (x *exec) costs(w geom.Rect, nr, ns cnt) (c1, c2, c3 float64) {
+	st := x.modelStats(w, nr, ns)
+	p := x.env.Model
+	return p.C1(st), p.C2(st), p.C3(st)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// MobiJoin is the algorithm of Mamoulis et al. (SSTD 2003) as analysed in
+// §3.2: at every window it estimates the four costs c1..c4 and follows
+// the cheapest action, where c4 — the repartitioning cost, Eq. (8) — is
+// estimated under the assumption that the data inside the window are
+// uniform. The recursion always uses a fixed 2×2 grid.
+//
+// The uniformity assumption is MobiJoin's documented weakness (Fig. 2):
+// it makes NLSJ look attractive on anti-correlated clusters that one more
+// split would have pruned entirely, and it makes HBSJ absorb whole
+// cluster groups as soon as the buffer allows, doubling the transfer.
+// This implementation reproduces that behaviour deliberately.
+type MobiJoin struct{}
+
+// Name implements Algorithm.
+func (MobiJoin) Name() string { return "mobiJoin" }
+
+// Run implements Algorithm.
+func (MobiJoin) Run(env *Env, spec Spec) (*Result, error) {
+	x, err := newExec(env, spec)
+	if err != nil {
+		return nil, err
+	}
+	r0, s0 := env.Usage()
+	nr, err := x.count(sideR, x.window)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := x.count(sideS, x.window)
+	if err != nil {
+		return nil, err
+	}
+	if err := mobiJoin(x, x.window, exact(nr), exact(ns), 0); err != nil {
+		return nil, err
+	}
+	res := x.result()
+	res.Stats = env.statsSince(r0, s0, x.dec)
+	return res, nil
+}
+
+func mobiJoin(x *exec, w geom.Rect, nr, ns cnt, depth int) error {
+	// Prune only on measured zeros; derived estimates (distance joins)
+	// are confirmed by the physical operators before they can prune.
+	if (nr.exact && nr.n == 0) || (ns.exact && ns.n == 0) {
+		x.dec.pruned++
+		return nil
+	}
+	if nr.n == 0 || ns.n == 0 {
+		// Approximate zero: resolve it now — the window is either empty
+		// (prune) or nearly so (the operator choice needs real counts).
+		var err error
+		if nr, err = x.ensureExact(sideR, w, nr); err != nil {
+			return err
+		}
+		if ns, err = x.ensureExact(sideS, w, ns); err != nil {
+			return err
+		}
+		if nr.n == 0 || ns.n == 0 {
+			x.dec.pruned++
+			return nil
+		}
+	}
+	c1, c2, c3 := x.costs(w, nr, ns)
+	c4 := x.env.Model.C4Uniform(x.modelStats(w, nr, ns), 2)
+	if !x.splittable(w, depth) {
+		c4 = math.Inf(1) // splitting cannot help; pick a physical operator
+	}
+
+	best, action := c1, 1
+	if c2 < best {
+		best, action = c2, 2
+	}
+	if c3 < best {
+		best, action = c3, 3
+	}
+	if c4 < best {
+		action = 4
+	}
+
+	switch action {
+	case 1:
+		return x.doHBSJ(w, nr, ns, depth)
+	case 2:
+		return x.doNLSJ(w, sideR, nr, ns)
+	case 3:
+		return x.doNLSJ(w, sideS, nr, ns)
+	default:
+		x.dec.repart++
+		qr, err := x.quadrantCounts(sideR, w, nr)
+		if err != nil {
+			return err
+		}
+		qs, err := x.quadrantCounts(sideS, w, ns)
+		if err != nil {
+			return err
+		}
+		for i, q := range w.Quadrants() {
+			if err := mobiJoin(x, q, qr[i], qs[i], depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/client"
+	"repro/internal/costmodel"
+	"repro/internal/geom"
+)
+
+// Multiway evaluates the paper's stated future-work extension (§6):
+// a chain of spatial joins over more than two non-cooperative servers,
+// R₀ ⋈ R₁ ⋈ ... ⋈ Rₙ₋₁. Each link of the chain is evaluated as an
+// independent pairwise join with the configured two-dataset algorithm
+// (so each link benefits from the full adaptive machinery), and the
+// device merges consecutive links by hash-joining on the shared
+// dataset's object IDs. A link with an empty result empties the chain,
+// so evaluation stops early.
+//
+// Result tuples are ID vectors, one ID per dataset in chain order.
+type Multiway struct {
+	// Inner is the pairwise algorithm; nil means UpJoin{}.
+	Inner Algorithm
+}
+
+// ModelParams aliases the cost-model parameter set for multiway callers.
+type ModelParams = costmodel.Params
+
+// Tuple is one multiway result: IDs[i] identifies the qualifying object
+// of the i-th dataset in the chain.
+type Tuple struct {
+	IDs []uint32
+}
+
+// MultiwayResult carries the result tuples and each link's Stats.
+type MultiwayResult struct {
+	Tuples []Tuple
+	// StepStats holds the pairwise Stats of every evaluated link, in
+	// chain order; links skipped by early termination are absent.
+	StepStats []Stats
+}
+
+// TotalBytes sums the wire bytes of all evaluated links.
+func (r *MultiwayResult) TotalBytes() int {
+	total := 0
+	for _, st := range r.StepStats {
+		total += st.TotalBytes()
+	}
+	return total
+}
+
+// RunChain evaluates the chain over the given remotes with per-link
+// distance thresholds: eps[i] constrains the join between datasets i and
+// i+1 (len(eps) = len(remotes)-1; a 0 threshold means MBR intersection).
+func (m Multiway) RunChain(remotes []*client.Remote, device client.Device, model ModelParams, window geom.Rect, eps []float64) (*MultiwayResult, error) {
+	if len(remotes) < 2 {
+		return nil, fmt.Errorf("core: multiway needs at least two datasets")
+	}
+	if len(eps) != len(remotes)-1 {
+		return nil, fmt.Errorf("core: multiway needs %d thresholds, got %d", len(remotes)-1, len(eps))
+	}
+	inner := m.Inner
+	if inner == nil {
+		inner = UpJoin{}
+	}
+
+	res := &MultiwayResult{}
+	var tuples []Tuple
+	for step := 0; step < len(remotes)-1; step++ {
+		env := NewEnv(remotes[step], remotes[step+1], device, model, window)
+		env.Seed = int64(step + 1)
+		link, err := inner.Run(env, stepSpec(eps[step]))
+		if err != nil {
+			return nil, fmt.Errorf("core: multiway link %d: %w", step, err)
+		}
+		res.StepStats = append(res.StepStats, link.Stats)
+
+		if step == 0 {
+			tuples = make([]Tuple, 0, len(link.Pairs))
+			for _, p := range link.Pairs {
+				tuples = append(tuples, Tuple{IDs: []uint32{p.RID, p.SID}})
+			}
+		} else {
+			tuples = extendTuples(tuples, link.Pairs)
+		}
+		if len(tuples) == 0 {
+			break // an empty link empties the whole chain
+		}
+	}
+	sortTuples(tuples)
+	res.Tuples = tuples
+	return res, nil
+}
+
+// extendTuples hash-joins the accumulated tuples with the next link's
+// pairs on the shared dataset's IDs (the tuples' last position = the
+// pairs' R side).
+func extendTuples(tuples []Tuple, pairs []geom.Pair) []Tuple {
+	byShared := make(map[uint32][]uint32)
+	for _, p := range pairs {
+		byShared[p.RID] = append(byShared[p.RID], p.SID)
+	}
+	var merged []Tuple
+	for _, t := range tuples {
+		for _, sid := range byShared[t.IDs[len(t.IDs)-1]] {
+			ids := make([]uint32, len(t.IDs)+1)
+			copy(ids, t.IDs)
+			ids[len(t.IDs)] = sid
+			merged = append(merged, Tuple{IDs: ids})
+		}
+	}
+	return merged
+}
+
+func stepSpec(eps float64) Spec {
+	if eps > 0 {
+		return Spec{Kind: Distance, Eps: eps}
+	}
+	return Spec{Kind: Intersection}
+}
+
+func sortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i].IDs, ts[j].IDs
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// MultiwayOracle computes the reference chain result locally with the
+// same link semantics, for tests and examples.
+func MultiwayOracle(datasets [][]geom.Object, eps []float64, window geom.Rect) []Tuple {
+	if len(datasets) < 2 || len(eps) != len(datasets)-1 {
+		return nil
+	}
+	var tuples []Tuple
+	for step := 0; step < len(datasets)-1; step++ {
+		link := Oracle(datasets[step], datasets[step+1], stepSpec(eps[step]), window)
+		if step == 0 {
+			tuples = make([]Tuple, 0, len(link.Pairs))
+			for _, p := range link.Pairs {
+				tuples = append(tuples, Tuple{IDs: []uint32{p.RID, p.SID}})
+			}
+		} else {
+			tuples = extendTuples(tuples, link.Pairs)
+		}
+		if len(tuples) == 0 {
+			break
+		}
+	}
+	sortTuples(tuples)
+	return tuples
+}

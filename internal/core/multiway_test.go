@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/server"
+)
+
+func chainRemotes(t *testing.T, datasets [][]geom.Object) []*client.Remote {
+	t.Helper()
+	remotes := make([]*client.Remote, len(datasets))
+	for i, objs := range datasets {
+		tr := netsim.Serve(server.New("D", objs))
+		r := client.NewRemote("D", tr, netsim.DefaultLink(), 1)
+		t.Cleanup(func() { r.Close() })
+		remotes[i] = r
+	}
+	return remotes
+}
+
+func tuplesEqual(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].IDs) != len(b[i].IDs) {
+			return false
+		}
+		for k := range a[i].IDs {
+			if a[i].IDs[k] != b[i].IDs[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMultiwayThreeDatasetsMatchesOracle(t *testing.T) {
+	// Hotels near restaurants near metro stations: three co-located
+	// cluster sets so the chain is non-empty.
+	datasets := [][]geom.Object{
+		dataset.GaussianClusters(150, 3, 300, dataset.World, 201),
+		dataset.GaussianClusters(200, 3, 300, dataset.World, 201),
+		dataset.GaussianClusters(150, 3, 300, dataset.World, 201),
+	}
+	eps := []float64{150, 150}
+	remotes := chainRemotes(t, datasets)
+	res, err := Multiway{}.RunChain(remotes, client.Device{BufferObjects: 500},
+		costmodel.Default(), dataset.World, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MultiwayOracle(datasets, eps, dataset.World)
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle chain empty")
+	}
+	if !tuplesEqual(res.Tuples, want) {
+		t.Fatalf("got %d tuples, oracle %d", len(res.Tuples), len(want))
+	}
+	if len(res.StepStats) != 2 {
+		t.Fatalf("expected 2 link stats, got %d", len(res.StepStats))
+	}
+	if res.TotalBytes() <= 0 {
+		t.Fatal("no traffic metered")
+	}
+	for _, tu := range res.Tuples {
+		if len(tu.IDs) != 3 {
+			t.Fatalf("tuple arity %d, want 3", len(tu.IDs))
+		}
+	}
+}
+
+func TestMultiwayEmptyLinkShortCircuits(t *testing.T) {
+	// The middle dataset is far from the first, so link 0 is empty and
+	// link 1 must not be evaluated.
+	far := make([]geom.Object, 50)
+	for i := range far {
+		far[i] = geom.PointObject(uint32(i), geom.Pt(9800+float64(i%7), 9800+float64(i/7)))
+	}
+	near := make([]geom.Object, 50)
+	for i := range near {
+		near[i] = geom.PointObject(uint32(i), geom.Pt(100+float64(i%7), 100+float64(i/7)))
+	}
+	datasets := [][]geom.Object{near, far, near}
+	remotes := chainRemotes(t, datasets)
+	res, err := Multiway{}.RunChain(remotes, client.Device{BufferObjects: 500},
+		costmodel.Default(), dataset.World, []float64{50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 {
+		t.Fatalf("chain should be empty, got %d tuples", len(res.Tuples))
+	}
+	if len(res.StepStats) != 1 {
+		t.Fatalf("link 1 should not run after an empty link 0; got %d stats", len(res.StepStats))
+	}
+}
+
+func TestMultiwayFourDatasets(t *testing.T) {
+	datasets := [][]geom.Object{
+		dataset.GaussianClusters(80, 2, 300, dataset.World, 301),
+		dataset.GaussianClusters(120, 2, 300, dataset.World, 301),
+		dataset.GaussianClusters(120, 2, 300, dataset.World, 301),
+		dataset.GaussianClusters(80, 2, 300, dataset.World, 301),
+	}
+	eps := []float64{200, 200, 200}
+	remotes := chainRemotes(t, datasets)
+	res, err := Multiway{Inner: SrJoin{}}.RunChain(remotes, client.Device{BufferObjects: 500},
+		costmodel.Default(), dataset.World, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MultiwayOracle(datasets, eps, dataset.World)
+	if !tuplesEqual(res.Tuples, want) {
+		t.Fatalf("got %d tuples, oracle %d", len(res.Tuples), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle chain empty")
+	}
+}
+
+func TestMultiwayValidation(t *testing.T) {
+	datasets := [][]geom.Object{
+		dataset.Uniform(10, dataset.World, 1),
+		dataset.Uniform(10, dataset.World, 2),
+	}
+	remotes := chainRemotes(t, datasets)
+	if _, err := (Multiway{}).RunChain(remotes[:1], client.Device{}, costmodel.Default(), dataset.World, nil); err == nil {
+		t.Fatal("single dataset should be rejected")
+	}
+	if _, err := (Multiway{}).RunChain(remotes, client.Device{}, costmodel.Default(), dataset.World, []float64{1, 2}); err == nil {
+		t.Fatal("threshold count mismatch should be rejected")
+	}
+}
+
+func TestMultiwayOracleDegenerate(t *testing.T) {
+	if got := MultiwayOracle(nil, nil, dataset.World); got != nil {
+		t.Fatal("nil datasets should yield nil")
+	}
+	one := [][]geom.Object{dataset.Uniform(5, dataset.World, 1)}
+	if got := MultiwayOracle(one, nil, dataset.World); got != nil {
+		t.Fatal("single dataset should yield nil")
+	}
+}

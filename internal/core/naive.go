@@ -1,0 +1,72 @@
+package core
+
+import "repro/internal/geom"
+
+// Naive downloads both datasets entirely and joins them on the device —
+// the strawman of §3. It respects the buffer by recursively splitting
+// windows that do not fit, but performs no pruning: window queries are
+// issued for every partition even when one side is empty, so the
+// transfer cost is always at least the size of both datasets.
+type Naive struct{}
+
+// Name implements Algorithm.
+func (Naive) Name() string { return "naive" }
+
+// Run implements Algorithm.
+func (Naive) Run(env *Env, spec Spec) (*Result, error) {
+	x, err := newExec(env, spec)
+	if err != nil {
+		return nil, err
+	}
+	r0, s0 := env.Usage()
+	if err := naiveWindow(x, x.window, 0); err != nil {
+		return nil, err
+	}
+	res := x.result()
+	res.Stats = env.statsSince(r0, s0, x.dec)
+	return res, nil
+}
+
+func naiveWindow(x *exec, w geom.Rect, depth int) error {
+	// COUNT queries are needed for memory safety only (deciding whether
+	// the downloads fit); they never prune.
+	nr, err := x.count(sideR, w)
+	if err != nil {
+		return err
+	}
+	ns, err := x.count(sideS, w)
+	if err != nil {
+		return err
+	}
+	if !x.env.Device.CanHold(nr+ns) && !x.splittable(w, depth) {
+		// Degenerate window denser than the buffer: stream probes to stay
+		// memory-honest instead of overflowing the device.
+		outer := sideS
+		if nr < ns {
+			outer = sideR
+		}
+		return x.doNLSJ(w, outer, exact(nr), exact(ns))
+	}
+	if !x.env.Device.CanHold(nr+ns) && depth < maxDepth {
+		x.dec.repart++
+		for _, q := range w.Quadrants() {
+			if err := naiveWindow(x, q, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Leaf: download both windows unconditionally (no emptiness pruning)
+	// and join on the device.
+	x.dec.hbsj++
+	robjs, err := x.env.R.Window(x.fetchWindow(sideR, w))
+	if err != nil {
+		return err
+	}
+	sobjs, err := x.env.S.Window(x.fetchWindow(sideS, w))
+	if err != nil {
+		return err
+	}
+	x.joinLocal(robjs, sobjs)
+	return nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/memjoin"
+)
+
+// doHBSJ executes the hash-based spatial join on partition w: download
+// both windows and join on the device. When the buffer cannot hold both,
+// the window is split into quadrants recursively with COUNT pruning at
+// each level, exactly as §3/§4.2 describe ("HBSJ is recursively executed
+// and pruning can also be applied at each recursion level").
+func (x *exec) doHBSJ(w geom.Rect, nr, ns cnt, depth int) error {
+	if nr.exact && ns.exact && (nr.n == 0 || ns.n == 0) {
+		x.dec.pruned++
+		return nil
+	}
+	var err error
+	if nr, err = x.ensureExact(sideR, w, nr); err != nil {
+		return err
+	}
+	if ns, err = x.ensureExact(sideS, w, ns); err != nil {
+		return err
+	}
+	if nr.n == 0 || ns.n == 0 {
+		x.dec.pruned++
+		return nil
+	}
+	if !x.env.Device.CanHold(nr.n + ns.n) {
+		if !x.splittable(w, depth) {
+			// The window is denser than the buffer and cannot be split
+			// usefully: stream the join as NLSJ probes instead (always
+			// feasible — outer objects are probed one bucket at a time).
+			outer := sideS
+			if nr.n < ns.n {
+				outer = sideR
+			}
+			return x.doNLSJ(w, outer, nr, ns)
+		}
+		x.dec.repart++
+		qr, err := x.quadrantCounts(sideR, w, nr)
+		if err != nil {
+			return err
+		}
+		qs, err := x.quadrantCounts(sideS, w, ns)
+		if err != nil {
+			return err
+		}
+		for i, q := range w.Quadrants() {
+			if err := x.doHBSJ(q, qr[i], qs[i], depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	x.dec.hbsj++
+	robjs, err := x.env.R.Window(x.fetchWindow(sideR, w))
+	if err != nil {
+		return err
+	}
+	sobjs, err := x.env.S.Window(x.fetchWindow(sideS, w))
+	if err != nil {
+		return err
+	}
+	x.joinLocal(robjs, sobjs)
+	return nil
+}
+
+// joinLocal joins two downloaded windows on the device and records the
+// pairs. Global dedup happens at result assembly, so the reference-point
+// rule is not needed here.
+func (x *exec) joinLocal(robjs, sobjs []geom.Object) {
+	ps := memjoin.GridJoin(robjs, sobjs, x.pred, memjoin.Options{}, nil)
+	rg := make(map[uint32]geom.Object, len(robjs))
+	for _, o := range robjs {
+		rg[o.ID] = o
+	}
+	x.addPairs(ps, rg)
+}
+
+// doNLSJ executes the nested-loop spatial join on partition w with the
+// given outer side: download the outer window, then probe the inner
+// server once per outer object (or in buckets, Eq. 6, when the model is
+// configured for bucket submission).
+//
+// For iceberg semi-joins with outer R over a whole-space window, probes
+// are aggregate RANGE-COUNT queries: only the per-object match count is
+// transferred, never the matching objects.
+func (x *exec) doNLSJ(w geom.Rect, outer side, nr, ns cnt) error {
+	var err error
+	if nr, err = x.ensureExact(sideR, w, nr); err != nil {
+		return err
+	}
+	if ns, err = x.ensureExact(sideS, w, ns); err != nil {
+		return err
+	}
+	if nr.n == 0 || ns.n == 0 {
+		x.dec.pruned++
+		return nil
+	}
+	x.dec.nlsj++
+
+	inner := sideS
+	if outer == sideS {
+		inner = sideR
+	}
+	outerObjs, err := x.remote(outer).Window(x.fetchWindow(outer, w))
+	if err != nil {
+		return err
+	}
+	if len(outerObjs) == 0 {
+		return nil
+	}
+
+	if x.spec.Kind == IcebergSemi && outer == sideR && x.icebergCountable() {
+		return x.icebergCountProbes(outerObjs)
+	}
+
+	if x.env.Model.Bucket {
+		err := x.bucketProbes(w, outer, inner, outerObjs)
+		if err != errNonPointBucket {
+			return err
+		}
+		// Bucket probing requires point outers; fall back to per-object
+		// probing otherwise.
+	}
+	return x.singleProbes(w, outer, inner, outerObjs)
+}
+
+// singleProbes sends one query per outer object: an ε-RANGE query for
+// point outers, a WINDOW query over the ε-expanded MBR otherwise (the
+// paper's "simulate ε-RANGE by a WINDOW query", §3).
+func (x *exec) singleProbes(w geom.Rect, outer, inner side, outerObjs []geom.Object) error {
+	rin := x.remote(inner)
+	for _, o := range outerObjs {
+		var matches []geom.Object
+		var err error
+		if o.IsPoint() && x.spec.Eps > 0 {
+			matches, err = rin.Range(o.Center(), x.spec.Eps)
+		} else {
+			probe := o.MBR
+			if x.spec.Eps > 0 {
+				probe = probe.Expand(x.spec.Eps)
+			}
+			matches, err = rin.Window(probe)
+		}
+		if err != nil {
+			return err
+		}
+		x.collectProbe(w, outer, o, matches)
+	}
+	return nil
+}
+
+// errNonPointBucket signals that bucket probing is not applicable.
+var errNonPointBucket = fmt.Errorf("core: bucket probes require point outer objects")
+
+// bucketProbes submits outer objects as bucket ε-RANGE queries sized to
+// the device buffer. Only point outers are supported (the bucket wire
+// format carries probe points).
+func (x *exec) bucketProbes(w geom.Rect, outer, inner side, outerObjs []geom.Object) error {
+	for _, o := range outerObjs {
+		if !o.IsPoint() || x.spec.Eps <= 0 {
+			return errNonPointBucket
+		}
+	}
+	rin := x.remote(inner)
+	bucket := x.env.Device.BufferObjects
+	if bucket <= 0 || bucket > len(outerObjs) {
+		bucket = len(outerObjs)
+	}
+	for start := 0; start < len(outerObjs); start += bucket {
+		end := start + bucket
+		if end > len(outerObjs) {
+			end = len(outerObjs)
+		}
+		chunk := outerObjs[start:end]
+		pts := make([]geom.Point, len(chunk))
+		for i, o := range chunk {
+			pts[i] = o.Center()
+		}
+		groups, err := rin.BucketRange(pts, x.spec.Eps)
+		if err != nil {
+			return err
+		}
+		for i, g := range groups {
+			x.collectProbe(w, outer, chunk[i], g)
+		}
+	}
+	return nil
+}
+
+// collectProbe records the pairs produced by one outer object's probe.
+// Matches are filtered by the predicate (window probes over-approximate
+// distance) and by the query-window semantics.
+func (x *exec) collectProbe(w geom.Rect, outer side, o geom.Object, matches []geom.Object) {
+	rg := make(map[uint32]geom.Object, 1)
+	var ps []geom.Pair
+	for _, m := range matches {
+		if !x.pred.Match(o.MBR, m.MBR) {
+			continue
+		}
+		var r, s geom.Object
+		if outer == sideR {
+			r, s = o, m
+		} else {
+			r, s = m, o
+		}
+		// Window semantics: the pair's reference point must lie in the
+		// effective query window.
+		if p, ok := geom.RefPointEps(r.MBR, s.MBR, x.spec.Eps); !ok || !x.window.ContainsPoint(p) {
+			continue
+		}
+		ps = append(ps, geom.Pair{RID: r.ID, SID: s.ID})
+		rg[r.ID] = r
+	}
+	x.addPairs(ps, rg)
+}
+
+// icebergCountable reports whether aggregate count-probes preserve the
+// iceberg semantics: the query window must cover the whole S dataset
+// (RANGE-COUNT counts matches anywhere in S) and the R objects must be
+// points (RANGE-COUNT probes are points).
+func (x *exec) icebergCountable() bool {
+	return x.pointData(sideR) && x.window.Contains(x.env.infoS.Bounds)
+}
+
+// icebergCountProbes obtains each outer R object's global match count
+// with one aggregate query (or one bucket of them), transferring eight
+// bytes per probe instead of the matching objects. Each R id is probed
+// at most once across the whole execution.
+func (x *exec) icebergCountProbes(outerObjs []geom.Object) error {
+	fresh := outerObjs[:0:0]
+	for _, o := range outerObjs {
+		if !x.probed[o.ID] {
+			x.probed[o.ID] = true
+			x.robjs[o.ID] = o
+			fresh = append(fresh, o)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	if x.env.Model.Bucket {
+		pts := make([]geom.Point, len(fresh))
+		for i, o := range fresh {
+			pts[i] = o.Center()
+		}
+		x.dec.agg += len(fresh)
+		ns, err := x.env.S.BucketRangeCount(pts, x.spec.Eps)
+		if err != nil {
+			return err
+		}
+		for i, n := range ns {
+			x.counts[fresh[i].ID] = int(n)
+		}
+		return nil
+	}
+	for _, o := range fresh {
+		x.dec.agg++
+		n, err := x.env.S.RangeCount(o.Center(), x.spec.Eps)
+		if err != nil {
+			return err
+		}
+		x.counts[o.ID] = n
+	}
+	return nil
+}

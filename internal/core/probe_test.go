@@ -1,0 +1,31 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestProbeShapes(t *testing.T) {
+	if os.Getenv("TRACE_DEBUG") == "" {
+		t.Skip("debug only; set TRACE_DEBUG=1")
+	}
+	for _, k := range []int{2, 4, 16, 128} {
+		robjs := dataset.GaussianClusters(1000, k, 150, dataset.World, 1002)
+		sobjs := dataset.GaussianClusters(1000, k, 150, dataset.World, 1003)
+		for _, alg := range []Algorithm{MobiJoin{}, UpJoin{}, SrJoin{}} {
+			env := testEnv(t, robjs, sobjs, 800)
+			env.Window = dataset.World
+			res, err := alg.Run(env, Spec{Kind: Distance, Eps: 75})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := res.Stats
+			fmt.Printf("k=%3d %-9s bytes=%7d agg=%4d hbsj=%3d nlsj=%3d repart=%3d pruned=%4d pairs=%5d Rdown=%7d Sdown=%7d up=%6d\n",
+				k, alg.Name(), st.TotalBytes(), st.AggQueries, st.HBSJ, st.NLSJ, st.Repartitions, st.Pruned, len(res.Pairs),
+				st.R.DownWireBytes, st.S.DownWireBytes, st.R.UpWireBytes+st.S.UpWireBytes)
+		}
+	}
+}

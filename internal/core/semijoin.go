@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// SemiJoin is the distributed indexed-join comparator of §5.3, adapted
+// from Tan, Ooi and Abel [16]. It requires both servers to publish their
+// R-tree metadata (server.PublishIndex) and works as follows, with the
+// PDA acting as the mediator between the two non-cooperating servers:
+//
+//  1. Identify the smaller dataset from the advertised cardinalities;
+//     call it the target and the other the source.
+//  2. Download one level of the source's R-tree MBRs (the second-to-last
+//     level, as in the paper's experiments) and upload them to the
+//     target server.
+//  3. The target returns its objects that fall inside (or within ε of)
+//     any of those MBRs; the PDA relays them to the source server.
+//  4. The source joins the uploaded objects against its dataset and
+//     returns the qualifying pairs to the PDA.
+//
+// Every hop crosses the PDA's metered links, so the reported byte counts
+// include both the downloads and the uploads, as in the paper.
+type SemiJoin struct{}
+
+// Name implements Algorithm.
+func (SemiJoin) Name() string { return "semiJoin" }
+
+// Run implements Algorithm.
+func (SemiJoin) Run(env *Env, spec Spec) (*Result, error) {
+	if spec.Kind == IcebergSemi {
+		return nil, fmt.Errorf("core: semiJoin does not support iceberg semantics")
+	}
+	x, err := newExec(env, spec)
+	if err != nil {
+		return nil, err
+	}
+	r0, s0 := env.Usage()
+
+	infoR, infoS := env.infoR, env.infoS
+	if infoR.TreeHeight == 0 || infoS.TreeHeight == 0 {
+		return nil, fmt.Errorf("core: semiJoin requires both servers to publish their index")
+	}
+	// SemiJoin moves whole-dataset structure, so it evaluates the join
+	// over the entire data space; restricted query windows would need
+	// object geometry the protocol does not relay.
+	if !env.Window.Contains(infoR.Bounds.Union(infoS.Bounds)) {
+		return nil, fmt.Errorf("core: semiJoin supports whole-space windows only")
+	}
+
+	// The source contributes the MBR level; it is the *larger* dataset
+	// (its objects never cross the link — only its MBRs and, at the end,
+	// the result pairs). The smaller (target) dataset's objects are
+	// relayed through the PDA.
+	source, target := sideS, sideR
+	sourceInfo := infoS
+	if infoR.Count > infoS.Count {
+		source, target = sideR, sideS
+		sourceInfo = infoR
+	}
+
+	// Second-to-last level: one above the leaves, or the leaves when the
+	// tree is a single level.
+	level := 1
+	if sourceInfo.TreeHeight < 2 {
+		level = 0
+	}
+	mbrs, err := x.remote(source).LevelMBRs(level)
+	if err != nil {
+		return nil, err
+	}
+
+	// Relay the MBRs to the target: the upload is metered as part of the
+	// MBR-MATCH request, whose response is the qualifying target objects.
+	targetObjs, err := x.remote(target).MBRMatch(mbrs, spec.Eps)
+	if err != nil {
+		return nil, err
+	}
+
+	// Relay the qualifying objects to the source for the final join.
+	pairs, err := x.remote(source).UploadJoin(targetObjs, spec.Eps)
+	if err != nil {
+		return nil, err
+	}
+
+	// UploadJoin returns pairs with the uploaded (target) ID first;
+	// normalize so RID is always the R-side object.
+	norm := make([]geom.Pair, 0, len(pairs))
+	for _, p := range pairs {
+		if target == sideR {
+			norm = append(norm, geom.Pair{RID: p.RID, SID: p.SID})
+		} else {
+			norm = append(norm, geom.Pair{RID: p.SID, SID: p.RID})
+		}
+	}
+
+	// R-side geometry is known only when R was the target.
+	rGeom := make(map[uint32]geom.Object, len(targetObjs))
+	if target == sideR {
+		for _, o := range targetObjs {
+			rGeom[o.ID] = o
+		}
+	}
+	x.addPairs(norm, rGeom)
+
+	res := x.result()
+	res.Stats = env.statsSince(r0, s0, x.dec)
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"repro/internal/geom"
+)
+
+// SrJoin is the Similarity Related Join of §4.2 (Fig. 5). For every
+// window it computes a density bitmap per dataset (Eq. 11, parameter
+// Rho): bit i is set when quadrant i is denser than rho times the
+// window's average density. Equal bitmaps mean the two distributions are
+// similar, so repartitioning cannot prune anything — each non-empty
+// quadrant is processed with the cheaper physical operator immediately.
+// Different bitmaps suggest prunable structure, so quadrants are
+// repartitioned aggressively (the repartitioning estimate counts only the
+// aggregate queries), unless a physical operator is already cheaper than
+// the three aggregate queries a further split would cost.
+type SrJoin struct {
+	// Rho is the density threshold of Eq. (11) as a fraction of the mean
+	// density; 0 means the paper's default of 0.30 (chosen in Fig. 6b).
+	Rho float64
+}
+
+// Name implements Algorithm.
+func (SrJoin) Name() string { return "srJoin" }
+
+func (s SrJoin) rho() float64 {
+	if s.Rho <= 0 {
+		return 0.30
+	}
+	return s.Rho
+}
+
+// Run implements Algorithm.
+func (s SrJoin) Run(env *Env, spec Spec) (*Result, error) {
+	x, err := newExec(env, spec)
+	if err != nil {
+		return nil, err
+	}
+	r0, s0 := env.Usage()
+	nr, err := x.count(sideR, x.window)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := x.count(sideS, x.window)
+	if err != nil {
+		return nil, err
+	}
+	sr := &srState{exec: x, rho: s.rho()}
+	if nr == 0 || ns == 0 {
+		x.dec.pruned++
+	} else if err := sr.join(x.window, exact(nr), exact(ns), 0); err != nil {
+		return nil, err
+	}
+	res := x.result()
+	res.Stats = env.statsSince(r0, s0, x.dec)
+	return res, nil
+}
+
+type srState struct {
+	*exec
+	rho float64
+}
+
+// bitmap computes the Eq. (11) density bitmap for equal-area quadrants:
+// bit i set iff count_i > rho * n/4.
+func (s *srState) bitmap(n int, qs [4]cnt) [4]bool {
+	thresh := s.rho * float64(n) / 4
+	var b [4]bool
+	for i, q := range qs {
+		b[i] = float64(q.n) > thresh
+	}
+	return b
+}
+
+// join is the recursive body of Fig. 5. The caller guarantees nr, ns > 0.
+func (s *srState) join(w geom.Rect, nr, ns cnt, depth int) error {
+	qr, err := s.quadrantCounts(sideR, w, nr)
+	if err != nil {
+		return err
+	}
+	qs, err := s.quadrantCounts(sideS, w, ns)
+	if err != nil {
+		return err
+	}
+	similar := s.bitmap(nr.n, qr) == s.bitmap(ns.n, qs)
+	quads := w.Quadrants()
+
+	for i, q := range quads {
+		if (qr[i].exact && qr[i].n == 0) || (qs[i].exact && qs[i].n == 0) {
+			s.dec.pruned++
+			continue
+		}
+		if qr[i].n == 0 || qs[i].n == 0 {
+			// Derived estimate says empty: confirm before pruning.
+			var err error
+			if qr[i], err = s.ensureExact(sideR, q, qr[i]); err != nil {
+				return err
+			}
+			if qs[i], err = s.ensureExact(sideS, q, qs[i]); err != nil {
+				return err
+			}
+			if qr[i].n == 0 || qs[i].n == 0 {
+				s.dec.pruned++
+				continue
+			}
+		}
+		// SrJoin estimates c1 without the memory constraint: HBSJ splits
+		// recursively with pruning when the quadrant does not fit
+		// ("HBSJ is recursively executed and pruning can also be applied
+		// at each recursion level", §4.2).
+		model := s.env.Model
+		model.Buffer = 0
+		st := s.modelStats(q, qr[i], qs[i])
+		c1 := model.C1(st)
+		c2 := model.C2(st)
+		c3 := model.C3(st)
+		cheapest := c1
+		if c2 < cheapest {
+			cheapest = c2
+		}
+		if c3 < cheapest {
+			cheapest = c3
+		}
+
+		apply := similar || cheapest < 3*s.env.Model.Taq() || !s.splittable(q, depth+1)
+		if !apply {
+			if err := s.recurse(q, qr[i], qs[i], depth); err != nil {
+				return err
+			}
+			continue
+		}
+		switch {
+		case c1 <= c2 && c1 <= c3:
+			err = s.doHBSJ(q, qr[i], qs[i], depth+1)
+		case c2 <= c3:
+			err = s.doNLSJ(q, sideR, qr[i], qs[i])
+		default:
+			err = s.doNLSJ(q, sideS, qr[i], qs[i])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *srState) recurse(q geom.Rect, nr, ns cnt, depth int) error {
+	s.dec.repart++
+	return s.join(q, nr, ns, depth+1)
+}

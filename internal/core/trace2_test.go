@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestTraceRailwayDebug(t *testing.T) {
+	if os.Getenv("TRACE_DEBUG") == "" {
+		t.Skip("debug only")
+	}
+	rail := dataset.Railway(dataset.DefaultRailway(), 1)
+	sobjs := dataset.GaussianClusters(1000, 8, 250, dataset.World, 3)
+	env := testEnv(t, rail, sobjs, 800)
+	env.Window = dataset.World
+	env.Model.Bucket = true
+	lines := 0
+	env.Trace = func(f string, a ...any) {
+		lines++
+		if lines < 80 {
+			fmt.Printf(f+"\n", a...)
+		}
+	}
+	res, err := UpJoin{}.Run(env, Spec{Kind: Distance, Eps: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("TOTAL bytes=%d agg=%d hbsj=%d nlsj=%d repart=%d pruned=%d pairs=%d Rdown=%d Sdown=%d up=%d\n",
+		st.TotalBytes(), st.AggQueries, st.HBSJ, st.NLSJ, st.Repartitions, st.Pruned, len(res.Pairs),
+		st.R.DownWireBytes, st.S.DownWireBytes, st.R.UpWireBytes+st.S.UpWireBytes)
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestTraceUpJoinDebug(t *testing.T) {
+	if os.Getenv("TRACE_DEBUG") == "" {
+		t.Skip("debug only")
+	}
+	robjs := dataset.GaussianClusters(1000, 4, 250, dataset.World, 1+0*1000+4*2)
+	sobjs := dataset.GaussianClusters(1000, 4, 250, dataset.World, 2+0*1000+4*2)
+	env := testEnv(t, robjs, sobjs, 800)
+	env.Window = dataset.World
+	env.Trace = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
+	res, err := UpJoin{}.Run(env, Spec{Kind: Distance, Eps: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("TOTAL bytes=%d agg=%d hbsj=%d nlsj=%d repart=%d pruned=%d pairs=%d\n",
+		st.TotalBytes(), st.AggQueries, st.HBSJ, st.NLSJ, st.Repartitions, st.Pruned, len(res.Pairs))
+	env2 := testEnv(t, robjs, sobjs, 800)
+	env2.Window = dataset.World
+	res2, _ := SrJoin{}.Run(env2, Spec{Kind: Distance, Eps: 75})
+	fmt.Printf("SRJOIN bytes=%d agg=%d\n", res2.Stats.TotalBytes(), res2.Stats.AggQueries)
+}

@@ -1,0 +1,261 @@
+// Package dataset generates and serializes the spatial workloads of the
+// paper's evaluation (§5):
+//
+//   - GaussianClusters: n points clustered around k randomly selected
+//     centers with Gaussian spread — the synthetic workload, with k from 1
+//     (maximally skewed) to 128 (effectively uniform).
+//   - Uniform: n independently uniform points.
+//   - Railway: a synthetic stand-in for the "railway segments of Germany"
+//     real dataset (~35K short segment MBRs concentrated along a sparse
+//     network). See DESIGN.md §2 for the substitution rationale.
+//
+// All generators are deterministic given a seed.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// World is the default data space used by the experiments.
+var World = geom.R(0, 0, 10000, 10000)
+
+// GaussianClusters generates n point objects grouped in k clusters whose
+// centers are uniform in bounds and whose members are normally
+// distributed around the center with standard deviation sigma (same in x
+// and y). Points falling outside bounds are clamped to it, as MBRs
+// outside the advertised space would never be reachable by window
+// queries. IDs are 0..n-1.
+func GaussianClusters(n, k int, sigma float64, bounds geom.Rect, seed int64) []geom.Object {
+	if n < 0 || k < 1 {
+		panic("dataset: need n >= 0 and k >= 1")
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Pt(
+			bounds.MinX+rnd.Float64()*bounds.Width(),
+			bounds.MinY+rnd.Float64()*bounds.Height(),
+		)
+	}
+	objs := make([]geom.Object, n)
+	for i := range objs {
+		c := centers[i%k]
+		p := geom.Pt(
+			clamp(c.X+rnd.NormFloat64()*sigma, bounds.MinX, bounds.MaxX),
+			clamp(c.Y+rnd.NormFloat64()*sigma, bounds.MinY, bounds.MaxY),
+		)
+		objs[i] = geom.PointObject(uint32(i), p)
+	}
+	return objs
+}
+
+// Uniform generates n independently uniform point objects in bounds.
+func Uniform(n int, bounds geom.Rect, seed int64) []geom.Object {
+	rnd := rand.New(rand.NewSource(seed))
+	objs := make([]geom.Object, n)
+	for i := range objs {
+		objs[i] = geom.PointObject(uint32(i), geom.Pt(
+			bounds.MinX+rnd.Float64()*bounds.Width(),
+			bounds.MinY+rnd.Float64()*bounds.Height(),
+		))
+	}
+	return objs
+}
+
+// ClusteredRects generates n small rectangle objects around k cluster
+// centers, for intersection-join workloads over non-point data. Each MBR
+// has uniform extents in (0, maxSide] per axis.
+func ClusteredRects(n, k int, sigma, maxSide float64, bounds geom.Rect, seed int64) []geom.Object {
+	pts := GaussianClusters(n, k, sigma, bounds, seed)
+	rnd := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for i := range pts {
+		c := pts[i].MBR.Center()
+		hw := rnd.Float64() * maxSide / 2
+		hh := rnd.Float64() * maxSide / 2
+		mbr := geom.RectFromCenter(c, hw, hh)
+		mbr, _ = clampRect(mbr, bounds)
+		pts[i].MBR = mbr
+	}
+	return pts
+}
+
+// RailwayConfig parameterizes the synthetic railway generator.
+type RailwayConfig struct {
+	// Segments is the approximate number of segment objects (the paper's
+	// dataset has ~35K).
+	Segments int
+	// Stations is the number of network vertices.
+	Stations int
+	// Degree is the average number of links per station.
+	Degree int
+	// Bounds is the data space.
+	Bounds geom.Rect
+	// Jitter is the per-subsegment lateral deviation, making the lines
+	// look like curved tracks rather than straight chords.
+	Jitter float64
+}
+
+// DefaultRailway mirrors the paper's real dataset scale: ~35K segments,
+// concentrated along a sparse corridor network so that — like the real
+// Germany railway data — large parts of the space are empty and
+// prunable.
+func DefaultRailway() RailwayConfig {
+	return RailwayConfig{
+		Segments: 35000,
+		Stations: 150,
+		Degree:   3,
+		Bounds:   World,
+		Jitter:   25,
+	}
+}
+
+// Railway synthesizes a rail-network dataset: stations are random points
+// (denser in a few metropolitan hot spots), edges connect each station to
+// its nearest unconnected neighbors, and each edge is subdivided into
+// short jittered sub-segments whose MBRs form the objects. The result is
+// a large, strongly skewed line-segment dataset comparable to the
+// Germany railway data used in §5.2.
+func Railway(cfg RailwayConfig, seed int64) []geom.Object {
+	if cfg.Segments <= 0 || cfg.Stations < 2 {
+		panic("dataset: railway config needs Segments > 0 and Stations >= 2")
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	b := cfg.Bounds
+
+	// Stations: 90% in metro hot spots, 10% spread out. Metro areas are
+	// dense two-dimensional webs (like city rail networks); the few
+	// intercity corridors leave wide empty regions between them.
+	metros := 5 + rnd.Intn(3)
+	metroCenters := make([]geom.Point, metros)
+	for i := range metroCenters {
+		metroCenters[i] = geom.Pt(
+			b.MinX+(0.15+0.7*rnd.Float64())*b.Width(),
+			b.MinY+(0.15+0.7*rnd.Float64())*b.Height(),
+		)
+	}
+	stations := make([]geom.Point, cfg.Stations)
+	for i := range stations {
+		if rnd.Float64() < 0.9 {
+			c := metroCenters[rnd.Intn(metros)]
+			stations[i] = geom.Pt(
+				clamp(c.X+rnd.NormFloat64()*b.Width()*0.06, b.MinX, b.MaxX),
+				clamp(c.Y+rnd.NormFloat64()*b.Height()*0.06, b.MinY, b.MaxY),
+			)
+		} else {
+			stations[i] = geom.Pt(
+				b.MinX+rnd.Float64()*b.Width(),
+				b.MinY+rnd.Float64()*b.Height(),
+			)
+		}
+	}
+
+	// Edges: connect each station to its Degree nearest neighbors.
+	type edge struct{ a, b int }
+	seen := map[[2]int]bool{}
+	var edges []edge
+	for i := range stations {
+		type cand struct {
+			j int
+			d float64
+		}
+		cands := make([]cand, 0, len(stations)-1)
+		for j := range stations {
+			if j != i {
+				cands = append(cands, cand{j, stations[i].DistSqTo(stations[j])})
+			}
+		}
+		sort.Slice(cands, func(x, y int) bool { return cands[x].d < cands[y].d })
+		for d := 0; d < cfg.Degree && d < len(cands); d++ {
+			a, bb := i, cands[d].j
+			if a > bb {
+				a, bb = bb, a
+			}
+			key := [2]int{a, bb}
+			if !seen[key] {
+				seen[key] = true
+				edges = append(edges, edge{a, bb})
+			}
+		}
+	}
+
+	// Total track length determines sub-segment length so that the total
+	// object count approximates cfg.Segments.
+	var totalLen float64
+	for _, e := range edges {
+		totalLen += stations[e.a].DistTo(stations[e.b])
+	}
+	segLen := totalLen / float64(cfg.Segments)
+	if segLen <= 0 {
+		segLen = 1
+	}
+
+	objs := make([]geom.Object, 0, cfg.Segments+len(edges))
+	id := uint32(0)
+	for _, e := range edges {
+		from, to := stations[e.a], stations[e.b]
+		length := from.DistTo(to)
+		steps := int(math.Ceil(length / segLen))
+		if steps < 1 {
+			steps = 1
+		}
+		// Unit normal for lateral jitter.
+		nx, ny := -(to.Y-from.Y)/length, (to.X-from.X)/length
+		prev := from
+		for s := 1; s <= steps; s++ {
+			t := float64(s) / float64(steps)
+			jit := 0.0
+			if s < steps {
+				// Smooth jitter: sinusoidal bow plus noise.
+				jit = cfg.Jitter * (math.Sin(t*math.Pi)*0.5 + (rnd.Float64() - 0.5))
+			}
+			cur := geom.Pt(
+				clamp(from.X+(to.X-from.X)*t+nx*jit, b.MinX, b.MaxX),
+				clamp(from.Y+(to.Y-from.Y)*t+ny*jit, b.MinY, b.MaxY),
+			)
+			objs = append(objs, geom.Object{ID: id, MBR: geom.R(prev.X, prev.Y, cur.X, cur.Y)})
+			id++
+			prev = cur
+		}
+	}
+	return objs
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// clampRect shifts/clips r into bounds; the bool reports whether any
+// clipping occurred.
+func clampRect(r geom.Rect, bounds geom.Rect) (geom.Rect, bool) {
+	out, ok := r.Intersection(bounds)
+	if !ok {
+		// Entirely outside: collapse to the nearest boundary point.
+		c := r.Center()
+		p := geom.Pt(clamp(c.X, bounds.MinX, bounds.MaxX), clamp(c.Y, bounds.MinY, bounds.MaxY))
+		return geom.RectFromPoint(p), true
+	}
+	return out, out != r
+}
+
+// Bounds returns the union MBR of the objects, or the zero Rect when the
+// slice is empty.
+func Bounds(objs []geom.Object) geom.Rect {
+	if len(objs) == 0 {
+		return geom.Rect{}
+	}
+	b := objs[0].MBR
+	for _, o := range objs[1:] {
+		b = b.Union(o.MBR)
+	}
+	return b
+}

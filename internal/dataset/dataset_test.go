@@ -1,0 +1,236 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGaussianClustersBasics(t *testing.T) {
+	objs := GaussianClusters(1000, 4, 200, World, 1)
+	if len(objs) != 1000 {
+		t.Fatalf("len = %d", len(objs))
+	}
+	ids := map[uint32]bool{}
+	for _, o := range objs {
+		if !o.IsPoint() {
+			t.Fatal("cluster objects must be points")
+		}
+		if !World.Contains(o.MBR) {
+			t.Fatalf("object %v outside world", o.MBR)
+		}
+		if ids[o.ID] {
+			t.Fatalf("duplicate id %d", o.ID)
+		}
+		ids[o.ID] = true
+	}
+}
+
+func TestGaussianClustersDeterministic(t *testing.T) {
+	a := GaussianClusters(100, 8, 150, World, 42)
+	b := GaussianClusters(100, 8, 150, World, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical datasets")
+		}
+	}
+	c := GaussianClusters(100, 8, 150, World, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+// skewScore is the fraction of a coarse grid's cells holding 95% of the
+// data; low values mean concentrated (skewed) datasets.
+func skewScore(objs []geom.Object) float64 {
+	const k = 16
+	cells := World.Grid(k)
+	counts := make([]int, len(cells))
+	for _, o := range objs {
+		c := o.MBR.Center()
+		col := int(float64(k) * (c.X - World.MinX) / World.Width())
+		row := int(float64(k) * (c.Y - World.MinY) / World.Height())
+		if col >= k {
+			col = k - 1
+		}
+		if row >= k {
+			row = k - 1
+		}
+		counts[row*k+col]++
+	}
+	// Count cells needed to reach 95% coverage, greedily.
+	total := len(objs)
+	covered, used := 0, 0
+	for covered < total*95/100 {
+		best := -1
+		for i, c := range counts {
+			if best < 0 || c > counts[best] {
+				best = i
+			}
+			_ = c
+		}
+		covered += counts[best]
+		counts[best] = -1
+		used++
+	}
+	return float64(used) / float64(len(cells))
+}
+
+func TestClusterCountControlsSkew(t *testing.T) {
+	skew1 := skewScore(GaussianClusters(1000, 1, 200, World, 5))
+	skew128 := skewScore(GaussianClusters(1000, 128, 200, World, 5))
+	if skew1 >= skew128 {
+		t.Fatalf("k=1 should be more skewed than k=128: %v vs %v", skew1, skew128)
+	}
+	if skew128 < 0.3 {
+		t.Fatalf("k=128 should be near-uniform, got score %v", skew128)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	objs := Uniform(500, World, 9)
+	if len(objs) != 500 {
+		t.Fatalf("len = %d", len(objs))
+	}
+	if skewScore(objs) < 0.4 {
+		t.Fatalf("uniform dataset scored too skewed: %v", skewScore(objs))
+	}
+}
+
+func TestClusteredRects(t *testing.T) {
+	objs := ClusteredRects(300, 4, 150, 50, World, 3)
+	if len(objs) != 300 {
+		t.Fatalf("len = %d", len(objs))
+	}
+	anyBox := false
+	for _, o := range objs {
+		if !World.Contains(o.MBR) {
+			t.Fatalf("rect %v outside world", o.MBR)
+		}
+		if o.MBR.Width() > 50 || o.MBR.Height() > 50 {
+			t.Fatalf("rect %v larger than maxSide", o.MBR)
+		}
+		if !o.IsPoint() {
+			anyBox = true
+		}
+	}
+	if !anyBox {
+		t.Fatal("expected non-degenerate rectangles")
+	}
+}
+
+func TestRailwayShape(t *testing.T) {
+	cfg := DefaultRailway()
+	objs := Railway(cfg, 7)
+	if len(objs) < cfg.Segments*8/10 || len(objs) > cfg.Segments*13/10 {
+		t.Fatalf("segment count %d not within 20-30%% of target %d", len(objs), cfg.Segments)
+	}
+	var diag float64
+	for _, o := range objs {
+		if !cfg.Bounds.Contains(o.MBR) {
+			t.Fatalf("segment %v outside bounds", o.MBR)
+		}
+		diag += math.Hypot(o.MBR.Width(), o.MBR.Height())
+	}
+	// Segments should be short relative to the world.
+	avg := diag / float64(len(objs))
+	if avg > cfg.Bounds.Width()/50 {
+		t.Fatalf("average segment diagonal %v too long", avg)
+	}
+	// Line data must be skewed: big empty areas.
+	if s := skewScore(objs); s > 0.85 {
+		t.Fatalf("railway data should leave empty space, skew score %v", s)
+	}
+}
+
+func TestRailwayDeterministic(t *testing.T) {
+	a := Railway(DefaultRailway(), 11)
+	b := Railway(DefaultRailway(), 11)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical railway")
+		}
+	}
+}
+
+func TestBoundsHelper(t *testing.T) {
+	if Bounds(nil) != (geom.Rect{}) {
+		t.Fatal("empty bounds should be zero")
+	}
+	objs := []geom.Object{
+		geom.PointObject(1, geom.Pt(3, 4)),
+		geom.PointObject(2, geom.Pt(-1, 10)),
+	}
+	if got, want := Bounds(objs), geom.R(-1, 4, 3, 10); got != want {
+		t.Fatalf("Bounds = %v, want %v", got, want)
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	objs := GaussianClusters(137, 3, 100, World, 21)
+	var buf bytes.Buffer
+	if err := Write(&buf, objs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(objs) {
+		t.Fatalf("len = %d, want %d", len(got), len(objs))
+	}
+	for i := range objs {
+		if got[i] != objs[i] {
+			t.Fatalf("object %d: got %v, want %v", i, got[i], objs[i])
+		}
+	}
+}
+
+func TestIOBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("JUNKxxxx"))); err == nil {
+		t.Fatal("bad magic should error")
+	}
+}
+
+func TestIOTruncated(t *testing.T) {
+	objs := Uniform(10, World, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, objs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Fatal("truncated stream should error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.spd")
+	objs := Railway(RailwayConfig{Segments: 500, Stations: 20, Degree: 2, Bounds: World, Jitter: 10}, 2)
+	if err := SaveFile(path, objs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(objs) {
+		t.Fatalf("len = %d, want %d", len(got), len(objs))
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.spd")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

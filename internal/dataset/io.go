@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/geom"
+)
+
+// File format: magic "SPD1", uint32 count, then count records of
+// uint32 id + 4×float64 MBR, all little-endian. Coordinates are stored at
+// full precision; the wire protocol's float32 narrowing applies only to
+// transfers, not to storage.
+
+var magic = [4]byte{'S', 'P', 'D', '1'}
+
+// Write serializes objs to w.
+func Write(w io.Writer, objs []geom.Object) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(objs))); err != nil {
+		return err
+	}
+	var rec [4 + 8*4]byte
+	for _, o := range objs {
+		binary.LittleEndian.PutUint32(rec[0:], o.ID)
+		binary.LittleEndian.PutUint64(rec[4:], math.Float64bits(o.MBR.MinX))
+		binary.LittleEndian.PutUint64(rec[12:], math.Float64bits(o.MBR.MinY))
+		binary.LittleEndian.PutUint64(rec[20:], math.Float64bits(o.MBR.MaxX))
+		binary.LittleEndian.PutUint64(rec[28:], math.Float64bits(o.MBR.MaxY))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes objects written by Write.
+func Read(r io.Reader) ([]geom.Object, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("dataset: bad magic %q", m)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("dataset: reading count: %w", err)
+	}
+	objs := make([]geom.Object, n)
+	var rec [4 + 8*4]byte
+	for i := range objs {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("dataset: reading record %d/%d: %w", i, n, err)
+		}
+		objs[i] = geom.Object{
+			ID: binary.LittleEndian.Uint32(rec[0:]),
+			MBR: geom.Rect{
+				MinX: math.Float64frombits(binary.LittleEndian.Uint64(rec[4:])),
+				MinY: math.Float64frombits(binary.LittleEndian.Uint64(rec[12:])),
+				MaxX: math.Float64frombits(binary.LittleEndian.Uint64(rec[20:])),
+				MaxY: math.Float64frombits(binary.LittleEndian.Uint64(rec[28:])),
+			},
+		}
+	}
+	return objs, nil
+}
+
+// SaveFile writes objs to the named file.
+func SaveFile(path string, objs []geom.Object) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, objs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads objects from the named file.
+func LoadFile(path string) ([]geom.Object, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

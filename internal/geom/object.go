@@ -1,0 +1,76 @@
+package geom
+
+// Object is a spatial object as stored by the dataset servers and
+// exchanged over the wire: an opaque identifier plus its minimum bounding
+// rectangle. Point datasets use degenerate MBRs.
+//
+// Identifiers are unique within one dataset; the join algorithms use them
+// for duplicate elimination and for pairing results.
+type Object struct {
+	ID  uint32
+	MBR Rect
+}
+
+// PointObject builds an Object with a degenerate MBR at p.
+func PointObject(id uint32, p Point) Object {
+	return Object{ID: id, MBR: RectFromPoint(p)}
+}
+
+// IsPoint reports whether the object's MBR is degenerate (zero extent).
+func (o Object) IsPoint() bool {
+	return o.MBR.MinX == o.MBR.MaxX && o.MBR.MinY == o.MBR.MaxY
+}
+
+// Center returns the centroid of the object's MBR. For point objects this
+// is the point itself.
+func (o Object) Center() Point { return o.MBR.Center() }
+
+// Pair is one result of a spatial join: the identifiers of the two
+// qualifying objects, R-side first.
+type Pair struct {
+	RID, SID uint32
+}
+
+// RefPoint returns the duplicate-avoidance reference point for a candidate
+// pair of MBRs, following the reference-point technique of Dittrich and
+// Seeger (ICDE 2000): the bottom-left corner of the intersection of the
+// two (ε-expanded, if applicable) rectangles. A pair is reported by the
+// partition that contains its reference point, and by no other partition.
+//
+// The boolean result is false when the rectangles do not intersect, in
+// which case the pair cannot be a join candidate at all.
+func RefPoint(a, b Rect) (Point, bool) {
+	inter, ok := a.Intersection(b)
+	if !ok {
+		return Point{}, false
+	}
+	return Point{X: inter.MinX, Y: inter.MinY}, true
+}
+
+// RefPointWithin reports whether the reference point of the candidate pair
+// (a, b) lies inside the partition window w. Join operators evaluating a
+// partition w report a pair only when this holds, so that pairs found in
+// several overlapping partitions are emitted exactly once.
+func RefPointWithin(a, b Rect, w Rect) bool {
+	p, ok := RefPoint(a, b)
+	if !ok {
+		return false
+	}
+	return w.ContainsPoint(p)
+}
+
+// RefPointEps is the distance-join generalization of RefPoint: the
+// bottom-left corner of the intersection of the two MBRs each expanded by
+// eps/2 — the symmetric ε/2 expansion the paper applies to partition
+// cells (§3). For any pair within (box) distance eps the expanded MBRs
+// intersect, and the reference point is within box-distance eps/2 of both
+// objects, so the pair is always discoverable from the partition cell
+// containing the point once that cell's fetch windows are expanded by
+// eps/2. With eps = 0 it degenerates to RefPoint.
+func RefPointEps(a, b Rect, eps float64) (Point, bool) {
+	if eps > 0 {
+		a = a.Expand(eps / 2)
+		b = b.Expand(eps / 2)
+	}
+	return RefPoint(a, b)
+}

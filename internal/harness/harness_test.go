@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps harness tests fast: small datasets, one run.
+func tinyConfig() Config {
+	cfg := Defaults()
+	cfg.Runs = 1
+	cfg.Points = 200
+	return cfg
+}
+
+func checkTable(t *testing.T, tab *Table, wantSeries int) {
+	t.Helper()
+	if len(tab.Cells) != wantSeries*len(Clusters) {
+		t.Fatalf("%s: %d cells, want %d", tab.ID, len(tab.Cells), wantSeries*len(Clusters))
+	}
+	if len(tab.Series()) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", tab.ID, len(tab.Series()), wantSeries)
+	}
+	if len(tab.XValues()) != len(Clusters) {
+		t.Fatalf("%s: %d x values", tab.ID, len(tab.XValues()))
+	}
+	for _, c := range tab.Cells {
+		if c.Bytes <= 0 {
+			t.Fatalf("%s: non-positive bytes for %s/%s", tab.ID, c.Algorithm, c.X)
+		}
+		if c.Queries <= 0 {
+			t.Fatalf("%s: no queries for %s/%s", tab.ID, c.Algorithm, c.X)
+		}
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	tab, err := Fig6a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 4) // four α values
+}
+
+func TestFig6bShape(t *testing.T) {
+	tab, err := Fig6b(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 5) // five ρ values
+}
+
+func TestFig7Shapes(t *testing.T) {
+	for _, fn := range []func(Config) (*Table, error){Fig7a, Fig7b} {
+		tab, err := fn(tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTable(t, tab, 3)
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("railway generation is slow")
+	}
+	cfg := tinyConfig()
+	for _, fn := range []func(Config) (*Table, error){Fig8a, Fig8b} {
+		tab, err := fn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTable(t, tab, 3)
+	}
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	for _, id := range []string{"6a", "6b", "7a", "7b", "8a", "8b"} {
+		if All[id] == nil {
+			t.Fatalf("figure %s missing from registry", id)
+		}
+	}
+	if len(All) != 6 {
+		t.Fatalf("registry has %d entries, want 6", len(All))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "t", Title: "demo", XName: "k",
+		Cells: []Cell{
+			{Algorithm: "a", X: "1", Bytes: 100},
+			{Algorithm: "a", X: "2", Bytes: 200},
+			{Algorithm: "b", X: "1", Bytes: 300},
+		},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "k", "a", "b", "100", "300", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if _, ok := tab.Get("a", "2"); !ok {
+		t.Fatal("Get(a,2) should exist")
+	}
+	if _, ok := tab.Get("b", "2"); ok {
+		t.Fatal("Get(b,2) should not exist")
+	}
+}
+
+// TestFig7bHeadlineShape asserts the paper's qualitative claim on a
+// small-but-real configuration: for strongly skewed data MobiJoin must
+// not beat UpJoin by more than noise, and for uniform data all three
+// must be within a factor of two of each other.
+func TestFig7bHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	cfg := Defaults()
+	cfg.Runs = 5
+	tab, err := Fig7b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mobi2, _ := tab.Get("mobiJoin", "2")
+	up2, _ := tab.Get("upJoin", "2")
+	if up2.Bytes > mobi2.Bytes*1.5 {
+		t.Errorf("k=2: upJoin (%v) should not lose badly to mobiJoin (%v)", up2.Bytes, mobi2.Bytes)
+	}
+	mobi128, _ := tab.Get("mobiJoin", "128")
+	up128, _ := tab.Get("upJoin", "128")
+	sr128, _ := tab.Get("srJoin", "128")
+	for name, v := range map[string]float64{"upJoin": up128.Bytes, "srJoin": sr128.Bytes} {
+		if v > 2*mobi128.Bytes {
+			t.Errorf("k=128: %s (%v) should be within 2x of mobiJoin (%v)", name, v, mobi128.Bytes)
+		}
+	}
+}

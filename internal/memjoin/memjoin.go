@@ -1,0 +1,243 @@
+// Package memjoin provides the main-memory spatial join algorithms the
+// mobile device runs over downloaded partitions: a spatial-hash (grid)
+// join in the spirit of PBSM's in-memory phase, a plane-sweep join, and a
+// nested-loop join. All three produce identical result sets; the grid
+// join is the default used by HBSJ, the others serve as oracles and as
+// fallbacks for degenerate extents.
+//
+// Join predicates are expressed as a Pred: MBR intersection (the filter
+// step of an intersection join) or within-ε distance (distance joins).
+// Duplicate avoidance across partitions uses the reference-point rule
+// from package geom: a pair is reported only if its reference point lies
+// in the partition window being processed.
+package memjoin
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Pred is a join predicate over two object MBRs.
+type Pred struct {
+	// Eps is the distance threshold; 0 means plain MBR intersection.
+	Eps float64
+}
+
+// Intersection is the MBR-intersection predicate.
+func Intersection() Pred { return Pred{} }
+
+// WithinDist is the distance predicate: MinDist(a, b) <= eps.
+func WithinDist(eps float64) Pred { return Pred{Eps: eps} }
+
+// Match reports whether the predicate holds for MBRs a and b.
+func (p Pred) Match(a, b geom.Rect) bool {
+	if p.Eps <= 0 {
+		return a.Intersects(b)
+	}
+	return a.WithinDist(b, p.Eps)
+}
+
+// refMatch applies duplicate avoidance: the pair qualifies only if the
+// reference point of the symmetrically ε/2-expanded MBR pair
+// (geom.RefPointEps) falls inside w.
+func (p Pred) refMatch(a, b geom.Rect, w geom.Rect, dedup bool) bool {
+	if !p.Match(a, b) {
+		return false
+	}
+	if !dedup {
+		return true
+	}
+	rp, ok := geom.RefPointEps(a, b, p.Eps)
+	return ok && w.ContainsPoint(rp)
+}
+
+// Options controls a main-memory join invocation.
+type Options struct {
+	// Window is the partition being joined; used for duplicate avoidance.
+	Window geom.Rect
+	// Dedup enables the reference-point rule. Callers joining exactly one
+	// partition can disable it to keep pairs whose reference point falls
+	// outside (e.g. ε-neighbors of objects near the window edge).
+	Dedup bool
+}
+
+// GridJoin performs a spatial-hash join of r and s under pred, appending
+// qualifying pairs to dst. The grid resolution adapts to the input size.
+// This is the in-memory half of HBSJ.
+func GridJoin(r, s []geom.Object, pred Pred, opt Options, dst []geom.Pair) []geom.Pair {
+	if len(r) == 0 || len(s) == 0 {
+		return dst
+	}
+	// Hash the smaller side; probe with the larger.
+	swapped := false
+	build, probe := r, s
+	if len(s) < len(r) {
+		build, probe = s, r
+		swapped = true
+	}
+
+	// Grid over the union extent, expanded by eps so probes stay in range.
+	extent := build[0].MBR
+	for _, o := range build[1:] {
+		extent = extent.Union(o.MBR)
+	}
+	if pred.Eps > 0 {
+		extent = extent.Expand(pred.Eps)
+	}
+	k := int(math.Sqrt(float64(len(build)))) + 1
+	if k > 64 {
+		k = 64
+	}
+	cw := extent.Width() / float64(k)
+	ch := extent.Height() / float64(k)
+	if cw <= 0 || ch <= 0 {
+		// Degenerate extent: everything in one cell — nested loop.
+		return NestedLoop(r, s, pred, opt, dst)
+	}
+
+	cellOf := func(x, y float64) (int, int) {
+		cx := int((x - extent.MinX) / cw)
+		cy := int((y - extent.MinY) / ch)
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= k {
+			cx = k - 1
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy >= k {
+			cy = k - 1
+		}
+		return cx, cy
+	}
+
+	buckets := make(map[int][]int) // cell index -> build indices
+	for i, o := range build {
+		x0, y0 := cellOf(o.MBR.MinX, o.MBR.MinY)
+		x1, y1 := cellOf(o.MBR.MaxX, o.MBR.MaxY)
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				idx := cy*k + cx
+				buckets[idx] = append(buckets[idx], i)
+			}
+		}
+	}
+
+	// To avoid emitting a pair once per shared cell, dedup candidates per
+	// probe with a stamp array.
+	stamp := make([]int, len(build))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for pi, po := range probe {
+		q := po.MBR
+		if pred.Eps > 0 {
+			q = q.Expand(pred.Eps)
+		}
+		x0, y0 := cellOf(q.MinX, q.MinY)
+		x1, y1 := cellOf(q.MaxX, q.MaxY)
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				for _, bi := range buckets[cy*k+cx] {
+					if stamp[bi] == pi {
+						continue
+					}
+					stamp[bi] = pi
+					var a, b geom.Object
+					if swapped {
+						a, b = po, build[bi]
+					} else {
+						a, b = build[bi], po
+					}
+					if pred.refMatch(a.MBR, b.MBR, opt.Window, opt.Dedup) {
+						dst = append(dst, geom.Pair{RID: a.ID, SID: b.ID})
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// PlaneSweep joins r and s by sorting on MinX (expanded by eps on the R
+// side) and sweeping. It is the classical forward-sweep filter join.
+func PlaneSweep(r, s []geom.Object, pred Pred, opt Options, dst []geom.Pair) []geom.Pair {
+	if len(r) == 0 || len(s) == 0 {
+		return dst
+	}
+	rs := make([]geom.Object, len(r))
+	copy(rs, r)
+	ss := make([]geom.Object, len(s))
+	copy(ss, s)
+	eps := pred.Eps
+	sort.Slice(rs, func(i, j int) bool { return rs[i].MBR.MinX < rs[j].MBR.MinX })
+	sort.Slice(ss, func(i, j int) bool { return ss[i].MBR.MinX < ss[j].MBR.MinX })
+
+	i, j := 0, 0
+	for i < len(rs) && j < len(ss) {
+		if rs[i].MBR.MinX-eps <= ss[j].MBR.MinX {
+			// rs[i] opens first: scan ss from j while within x reach.
+			lim := rs[i].MBR.MaxX + eps
+			for jj := j; jj < len(ss) && ss[jj].MBR.MinX <= lim; jj++ {
+				if pred.refMatch(rs[i].MBR, ss[jj].MBR, opt.Window, opt.Dedup) {
+					dst = append(dst, geom.Pair{RID: rs[i].ID, SID: ss[jj].ID})
+				}
+			}
+			i++
+		} else {
+			lim := ss[j].MBR.MaxX + eps
+			for ii := i; ii < len(rs) && rs[ii].MBR.MinX-eps <= lim+eps; ii++ {
+				if rs[ii].MBR.MinX-eps > ss[j].MBR.MaxX+eps {
+					break
+				}
+				if pred.refMatch(rs[ii].MBR, ss[j].MBR, opt.Window, opt.Dedup) {
+					dst = append(dst, geom.Pair{RID: rs[ii].ID, SID: ss[j].ID})
+				}
+			}
+			j++
+		}
+	}
+	return dst
+}
+
+// NestedLoop is the quadratic oracle join.
+func NestedLoop(r, s []geom.Object, pred Pred, opt Options, dst []geom.Pair) []geom.Pair {
+	for _, a := range r {
+		for _, b := range s {
+			if pred.refMatch(a.MBR, b.MBR, opt.Window, opt.Dedup) {
+				dst = append(dst, geom.Pair{RID: a.ID, SID: b.ID})
+			}
+		}
+	}
+	return dst
+}
+
+// SortPairs orders pairs by (RID, SID); used to compare result sets.
+func SortPairs(ps []geom.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].RID != ps[j].RID {
+			return ps[i].RID < ps[j].RID
+		}
+		return ps[i].SID < ps[j].SID
+	})
+}
+
+// DedupPairs sorts and removes duplicate pairs in place, returning the
+// compacted slice.
+func DedupPairs(ps []geom.Pair) []geom.Pair {
+	if len(ps) < 2 {
+		return ps
+	}
+	SortPairs(ps)
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

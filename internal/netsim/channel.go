@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+)
+
+// Handler processes one request frame and produces one response frame.
+// Dataset servers implement this.
+type Handler interface {
+	Handle(req []byte) (resp []byte)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req []byte) []byte
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(req []byte) []byte { return f(req) }
+
+// ErrClosed is returned by transports after Close.
+var ErrClosed = errors.New("netsim: transport closed")
+
+// ChannelTransport is an in-process RoundTripper in which the server runs
+// as its own goroutine peer, receiving request frames over a channel and
+// answering over per-request reply channels. This models the paper's
+// device↔server message exchange without sockets while preserving exact
+// frame sizes for metering.
+type ChannelTransport struct {
+	reqs chan chanReq
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	done      chan struct{} // server goroutine exited
+}
+
+type chanReq struct {
+	frame []byte
+	reply chan []byte
+}
+
+// Serve starts a goroutine running h as a server peer and returns the
+// client's transport to it. The goroutine exits when the transport is
+// closed.
+func Serve(h Handler) *ChannelTransport {
+	t := &ChannelTransport{
+		reqs:   make(chan chanReq),
+		closed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(t.done)
+		for {
+			select {
+			case r := <-t.reqs:
+				r.reply <- h.Handle(r.frame)
+			case <-t.closed:
+				return
+			}
+		}
+	}()
+	return t
+}
+
+// RoundTrip implements RoundTripper.
+func (t *ChannelTransport) RoundTrip(req []byte) ([]byte, error) {
+	r := chanReq{frame: req, reply: make(chan []byte, 1)}
+	select {
+	case t.reqs <- r:
+	case <-t.closed:
+		return nil, ErrClosed
+	}
+	select {
+	case resp := <-r.reply:
+		return resp, nil
+	case <-t.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Close implements RoundTripper; it stops the server goroutine.
+func (t *ChannelTransport) Close() error {
+	t.closeOnce.Do(func() { close(t.closed) })
+	<-t.done
+	return nil
+}

@@ -1,0 +1,214 @@
+// Package netsim models the metered wireless link between the mobile
+// device and the dataset servers.
+//
+// The paper's cost metric is the number of transferred bytes including
+// TCP/IP packetization overhead (Eq. 1):
+//
+//	TB(B) = B + BH * ceil(B / (MTU - BH))
+//
+// where BH is the per-packet header size (40 bytes for TCP/IP) and MTU the
+// maximum transmission unit of the physical layer (1500 for Ethernet/WiFi,
+// 576 for dial-up). Every frame that crosses a transport in this package
+// is charged according to this formula through a Meter; experiment results
+// report metered totals, never estimates.
+//
+// Two transports implement the same RoundTripper interface: a
+// channel-based in-process transport in which each server is a goroutine
+// peer, and a TCP transport over real sockets (package net). Algorithms
+// are transport-agnostic.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LinkConfig describes the physical link parameters of Eq. (1).
+type LinkConfig struct {
+	// MTU is the maximum transmission unit in bytes.
+	MTU int
+	// HeaderBytes is the per-packet TCP/IP header overhead (BH).
+	HeaderBytes int
+}
+
+// DefaultLink returns the paper's WiFi/Ethernet link: MTU 1500, BH 40.
+func DefaultLink() LinkConfig { return LinkConfig{MTU: 1500, HeaderBytes: 40} }
+
+// DialupLink returns the paper's dial-up alternative: MTU 576, BH 40.
+func DialupLink() LinkConfig { return LinkConfig{MTU: 576, HeaderBytes: 40} }
+
+// Validate reports whether the configuration is usable.
+func (lc LinkConfig) Validate() error {
+	if lc.HeaderBytes < 0 {
+		return fmt.Errorf("netsim: negative header size %d", lc.HeaderBytes)
+	}
+	if lc.MTU <= lc.HeaderBytes {
+		return fmt.Errorf("netsim: MTU %d must exceed header size %d", lc.MTU, lc.HeaderBytes)
+	}
+	return nil
+}
+
+// Packets returns the number of network packets needed to carry a payload
+// of b bytes. A zero-byte payload still occupies one packet (the request
+// must be delivered), matching the BH+BQ query-cost term of §3.1.
+func (lc LinkConfig) Packets(b int) int {
+	if b <= 0 {
+		return 1
+	}
+	perPacket := lc.MTU - lc.HeaderBytes
+	return (b + perPacket - 1) / perPacket
+}
+
+// TB returns the total transferred bytes for a payload of b bytes,
+// including per-packet header overhead — Eq. (1) of the paper.
+func (lc LinkConfig) TB(b int) int {
+	return b + lc.HeaderBytes*lc.Packets(b)
+}
+
+// Direction distinguishes uplink (device → server) from downlink
+// (server → device) traffic in the accounting breakdown.
+type Direction int
+
+// Directions of transfer relative to the mobile device.
+const (
+	Up   Direction = iota // device → server (queries, uploads)
+	Down                  // server → device (results)
+)
+
+// Usage is an immutable snapshot of the traffic that crossed one metered
+// link, with the breakdown the experiments report.
+type Usage struct {
+	// Messages is the number of frames transferred.
+	Messages int
+	// PayloadBytes is the sum of frame sizes before packetization.
+	PayloadBytes int
+	// WireBytes is the metered total after Eq. (1): payload + headers.
+	WireBytes int
+	// Packets is the number of network packets used.
+	Packets int
+	// UpWireBytes and DownWireBytes split WireBytes by direction.
+	UpWireBytes   int
+	DownWireBytes int
+	// Queries counts uplink frames (each uplink frame is one query).
+	Queries int
+}
+
+// Add returns the element-wise sum of two usage snapshots.
+func (u Usage) Add(v Usage) Usage {
+	return Usage{
+		Messages:      u.Messages + v.Messages,
+		PayloadBytes:  u.PayloadBytes + v.PayloadBytes,
+		WireBytes:     u.WireBytes + v.WireBytes,
+		Packets:       u.Packets + v.Packets,
+		UpWireBytes:   u.UpWireBytes + v.UpWireBytes,
+		DownWireBytes: u.DownWireBytes + v.DownWireBytes,
+		Queries:       u.Queries + v.Queries,
+	}
+}
+
+// Meter accumulates the byte accounting of one device↔server link.
+// It is safe for concurrent use.
+type Meter struct {
+	link LinkConfig
+	// PricePerByte is the tariff (bR or bS) applied to WireBytes when
+	// computing monetary cost. The experiments use equal prices.
+	price float64
+
+	mu sync.Mutex
+	u  Usage
+}
+
+// NewMeter returns a Meter for the given link and per-byte price.
+func NewMeter(link LinkConfig, pricePerByte float64) *Meter {
+	if err := link.Validate(); err != nil {
+		panic(err)
+	}
+	return &Meter{link: link, price: pricePerByte}
+}
+
+// Link returns the link configuration the meter charges against.
+func (m *Meter) Link() LinkConfig { return m.link }
+
+// PricePerByte returns the tariff applied by Cost.
+func (m *Meter) PricePerByte() float64 { return m.price }
+
+// Charge records the transfer of one frame of the given payload size in
+// the given direction and returns the wire bytes charged.
+func (m *Meter) Charge(payload int, dir Direction) int {
+	wire := m.link.TB(payload)
+	pkts := m.link.Packets(payload)
+	m.mu.Lock()
+	m.u.Messages++
+	m.u.PayloadBytes += payload
+	m.u.WireBytes += wire
+	m.u.Packets += pkts
+	if dir == Up {
+		m.u.UpWireBytes += wire
+		m.u.Queries++
+	} else {
+		m.u.DownWireBytes += wire
+	}
+	m.mu.Unlock()
+	return wire
+}
+
+// Usage returns a snapshot of the accumulated accounting.
+func (m *Meter) Usage() Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.u
+}
+
+// Reset clears the accumulated accounting (between experiment runs).
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.u = Usage{}
+	m.mu.Unlock()
+}
+
+// Cost returns the monetary cost of the traffic so far: price × WireBytes.
+func (m *Meter) Cost() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.price * float64(m.u.WireBytes)
+}
+
+// RoundTripper is the client's view of a server connection: send one
+// request frame, receive one response frame. Implementations must be safe
+// for sequential use from a single goroutine; the join algorithms issue
+// strictly sequential round trips per server, as a single-threaded PDA
+// does.
+type RoundTripper interface {
+	RoundTrip(req []byte) (resp []byte, err error)
+	Close() error
+}
+
+// Metered wraps a RoundTripper, charging every request and response to a
+// Meter. It is the only path by which algorithm traffic reaches a server,
+// so no transfer escapes accounting.
+type Metered struct {
+	rt RoundTripper
+	m  *Meter
+}
+
+// NewMetered wraps rt so that all traffic is charged to meter.
+func NewMetered(rt RoundTripper, meter *Meter) *Metered {
+	return &Metered{rt: rt, m: meter}
+}
+
+// Meter returns the meter charged by this connection.
+func (c *Metered) Meter() *Meter { return c.m }
+
+// RoundTrip implements RoundTripper.
+func (c *Metered) RoundTrip(req []byte) ([]byte, error) {
+	c.m.Charge(len(req), Up)
+	resp, err := c.rt.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	c.m.Charge(len(resp), Down)
+	return resp, nil
+}
+
+// Close implements RoundTripper.
+func (c *Metered) Close() error { return c.rt.Close() }

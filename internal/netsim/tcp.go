@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP framing: each frame is preceded by a 4-byte little-endian length.
+// The length prefix is transport plumbing, not protocol payload; metering
+// (Eq. 1) is applied to the frame itself by the Metered wrapper, exactly
+// as for the channel transport, so both transports account identically.
+
+const maxFrame = 64 << 20 // sanity bound for the length prefix
+
+func writeFrame(w io.Writer, frame []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("netsim: frame of %d bytes exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// TCPServer serves a Handler over a TCP listener, one goroutine per
+// connection, frames delimited by length prefixes.
+type TCPServer struct {
+	ln net.Listener
+	h  Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenAndServe starts a TCP server for h on addr (e.g. "127.0.0.1:0")
+// and returns it once the listener is bound. Use Addr to discover the
+// bound address and Close to shut down.
+func ListenAndServe(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{ln: ln, h: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's bound address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return // client closed or broken frame
+		}
+		if err := writeFrame(conn, s.h.Handle(req)); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and all open connections, waiting for the
+// connection goroutines to exit.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// TCPTransport is a RoundTripper over a single TCP connection.
+type TCPTransport struct {
+	conn net.Conn
+}
+
+// DialTCP connects to a TCPServer at addr.
+func DialTCP(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPTransport{conn: conn}, nil
+}
+
+// RoundTrip implements RoundTripper.
+func (t *TCPTransport) RoundTrip(req []byte) ([]byte, error) {
+	if err := writeFrame(t.conn, req); err != nil {
+		return nil, err
+	}
+	return readFrame(t.conn)
+}
+
+// Close implements RoundTripper.
+func (t *TCPTransport) Close() error { return t.conn.Close() }

@@ -1,0 +1,326 @@
+// Package rtree implements an aggregate R-tree (aR-tree) over spatial
+// objects: an R-tree whose internal entries additionally store the number
+// of objects in their subtree, so that COUNT window queries are answered
+// without visiting fully-covered subtrees. The paper's servers answer
+// COUNT queries from exactly this kind of structure (§3, citing the
+// aR-tree of Papadias et al. [11]).
+//
+// Trees are bulk-loaded with the Sort-Tile-Recursive (STR) algorithm and
+// also support incremental insertion (quadratic split), so servers can be
+// built from static snapshots or grown dynamically. The tree additionally
+// exposes the MBRs of a whole level, which the SemiJoin comparator of
+// §5.3 transfers between servers.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Degree bounds for tree nodes: a 4 KiB page holds on the order of 64
+// 20-byte object records plus header, the fanout regime of the paper's
+// servers; MinEntries = 40% fill per Guttman.
+const (
+	MaxEntries = 64
+	MinEntries = 26
+)
+
+type node struct {
+	mbr      geom.Rect
+	count    int // aggregate: number of objects in the subtree
+	leaf     bool
+	children []*node       // internal nodes
+	objects  []geom.Object // leaf nodes
+}
+
+// Tree is an aggregate R-tree. The zero value is an empty tree ready for
+// Insert; use Bulk for efficient construction from a slice.
+type Tree struct {
+	root   *node
+	height int // number of levels; 0 for empty, 1 for a single leaf
+}
+
+// Bulk builds a tree from objs using STR bulk loading. The input slice is
+// not retained; objects are copied into leaves.
+func Bulk(objs []geom.Object) *Tree {
+	t := &Tree{}
+	if len(objs) == 0 {
+		return t
+	}
+	leaves := strLeaves(objs)
+	level := leaves
+	t.height = 1
+	for len(level) > 1 {
+		level = strPack(level)
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+// strLeaves tiles the objects into leaf nodes ordered by x then y.
+func strLeaves(objs []geom.Object) []*node {
+	sorted := make([]geom.Object, len(objs))
+	copy(sorted, objs)
+	n := len(sorted)
+	leafCount := (n + MaxEntries - 1) / MaxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perSlice := sliceCount * MaxEntries
+
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].MBR.Center().X < sorted[j].MBR.Center().X
+	})
+	leaves := make([]*node, 0, leafCount)
+	for start := 0; start < n; start += perSlice {
+		end := min(start+perSlice, n)
+		slice := sorted[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].MBR.Center().Y < slice[j].MBR.Center().Y
+		})
+		for s := 0; s < len(slice); s += MaxEntries {
+			e := min(s+MaxEntries, len(slice))
+			leaf := &node{leaf: true, objects: append([]geom.Object(nil), slice[s:e]...)}
+			leaf.recompute()
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// strPack groups a level of nodes into parents using the same tiling.
+func strPack(level []*node) []*node {
+	n := len(level)
+	parentCount := (n + MaxEntries - 1) / MaxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	perSlice := sliceCount * MaxEntries
+
+	sort.Slice(level, func(i, j int) bool {
+		return level[i].mbr.Center().X < level[j].mbr.Center().X
+	})
+	parents := make([]*node, 0, parentCount)
+	for start := 0; start < n; start += perSlice {
+		end := min(start+perSlice, n)
+		slice := level[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].mbr.Center().Y < slice[j].mbr.Center().Y
+		})
+		for s := 0; s < len(slice); s += MaxEntries {
+			e := min(s+MaxEntries, len(slice))
+			p := &node{children: append([]*node(nil), slice[s:e]...)}
+			p.recompute()
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+// recompute refreshes mbr and count from the node's entries.
+func (nd *node) recompute() {
+	if nd.leaf {
+		nd.count = len(nd.objects)
+		if len(nd.objects) == 0 {
+			nd.mbr = geom.Rect{}
+			return
+		}
+		mbr := nd.objects[0].MBR
+		for _, o := range nd.objects[1:] {
+			mbr = mbr.Union(o.MBR)
+		}
+		nd.mbr = mbr
+		return
+	}
+	nd.count = 0
+	if len(nd.children) == 0 {
+		nd.mbr = geom.Rect{}
+		return
+	}
+	mbr := nd.children[0].mbr
+	for _, c := range nd.children {
+		nd.count += c.count
+		mbr = mbr.Union(c.mbr)
+	}
+	nd.mbr = mbr
+}
+
+// Len returns the number of objects in the tree.
+func (t *Tree) Len() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.count
+}
+
+// Height returns the number of levels (0 for an empty tree; leaves are
+// level 0 when addressing LevelMBRs).
+func (t *Tree) Height() int { return t.height }
+
+// Bounds returns the MBR of all objects. The empty tree has zero bounds.
+func (t *Tree) Bounds() geom.Rect {
+	if t.root == nil {
+		return geom.Rect{}
+	}
+	return t.root.mbr
+}
+
+// Search appends to dst all objects whose MBR intersects w and returns
+// the extended slice.
+func (t *Tree) Search(w geom.Rect, dst []geom.Object) []geom.Object {
+	if t.root == nil {
+		return dst
+	}
+	return searchNode(t.root, w, dst)
+}
+
+func searchNode(nd *node, w geom.Rect, dst []geom.Object) []geom.Object {
+	if !nd.mbr.Intersects(w) {
+		return dst
+	}
+	if nd.leaf {
+		for _, o := range nd.objects {
+			if o.MBR.Intersects(w) {
+				dst = append(dst, o)
+			}
+		}
+		return dst
+	}
+	for _, c := range nd.children {
+		dst = searchNode(c, w, dst)
+	}
+	return dst
+}
+
+// Count returns the exact number of objects whose MBR intersects w.
+// Subtrees entirely inside w contribute their aggregate count without
+// descent; only boundary nodes are expanded.
+func (t *Tree) Count(w geom.Rect) int {
+	if t.root == nil {
+		return 0
+	}
+	return countNode(t.root, w)
+}
+
+func countNode(nd *node, w geom.Rect) int {
+	if !nd.mbr.Intersects(w) {
+		return 0
+	}
+	if w.Contains(nd.mbr) {
+		return nd.count
+	}
+	if nd.leaf {
+		n := 0
+		for _, o := range nd.objects {
+			if o.MBR.Intersects(w) {
+				n++
+			}
+		}
+		return n
+	}
+	n := 0
+	for _, c := range nd.children {
+		n += countNode(c, w)
+	}
+	return n
+}
+
+// SearchDist appends to dst all objects whose MBR lies within Euclidean
+// distance eps of point p and returns the extended slice.
+func (t *Tree) SearchDist(p geom.Point, eps float64, dst []geom.Object) []geom.Object {
+	if t.root == nil {
+		return dst
+	}
+	return distNode(t.root, p, eps, dst)
+}
+
+func distNode(nd *node, p geom.Point, eps float64, dst []geom.Object) []geom.Object {
+	if nd.mbr.DistToPoint(p) > eps {
+		return dst
+	}
+	if nd.leaf {
+		for _, o := range nd.objects {
+			if o.MBR.DistToPoint(p) <= eps {
+				dst = append(dst, o)
+			}
+		}
+		return dst
+	}
+	for _, c := range nd.children {
+		dst = distNode(c, p, eps, dst)
+	}
+	return dst
+}
+
+// CountDist returns the number of objects within distance eps of p.
+func (t *Tree) CountDist(p geom.Point, eps float64) int {
+	return len(t.SearchDist(p, eps, nil))
+}
+
+// AvgArea returns the average MBR area of the objects intersecting w,
+// and 0 when no object intersects. It backs the AVG-AREA aggregate the
+// paper adds for polygon datasets (§3.1).
+func (t *Tree) AvgArea(w geom.Rect) float64 {
+	var sum float64
+	var n int
+	for _, o := range t.Search(w, nil) {
+		sum += o.MBR.Area()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// LevelMBRs returns the MBRs of all nodes at the given level, where level
+// 0 is the leaf level and Height()-1 is the root. It returns an error for
+// an out-of-range level or an empty tree.
+func (t *Tree) LevelMBRs(level int) ([]geom.Rect, error) {
+	if t.root == nil {
+		return nil, fmt.Errorf("rtree: level %d of empty tree", level)
+	}
+	if level < 0 || level >= t.height {
+		return nil, fmt.Errorf("rtree: level %d out of range [0,%d)", level, t.height)
+	}
+	depth := t.height - 1 - level // root is depth 0
+	var out []geom.Rect
+	var walk func(nd *node, d int)
+	walk = func(nd *node, d int) {
+		if d == depth {
+			out = append(out, nd.mbr)
+			return
+		}
+		for _, c := range nd.children {
+			walk(c, d+1)
+		}
+	}
+	walk(t.root, 0)
+	return out, nil
+}
+
+// All appends every object in the tree to dst and returns the result.
+func (t *Tree) All(dst []geom.Object) []geom.Object {
+	if t.root == nil {
+		return dst
+	}
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.leaf {
+			dst = append(dst, nd.objects...)
+			return
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return dst
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,213 @@
+// Package server implements a non-cooperative spatial dataset server: it
+// holds one dataset indexed by an aggregate R-tree and answers the
+// primitive queries of the paper (§3) — WINDOW, COUNT, ε-RANGE — plus the
+// bucket and aggregate variants of §3.1, over any transport from package
+// netsim.
+//
+// Servers never expose their index to normal clients. The SemiJoin
+// comparator of §5.3 requires an index-publishing, cooperative protocol;
+// those message types are answered only when the server is constructed
+// with PublishIndex, mirroring the paper's observation that "in practice,
+// SemiJoin cannot be applied in our problem".
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/memjoin"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+// Server answers wire-protocol requests for one spatial dataset.
+// It implements netsim.Handler and is safe for concurrent requests
+// (the tree is immutable after construction).
+type Server struct {
+	name         string
+	tree         *rtree.Tree
+	publishIndex bool
+	pointData    bool
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// PublishIndex enables the cooperative SemiJoin message types
+// (MBR-LEVEL, MBR-MATCH, UPLOAD-JOIN). Off by default.
+func PublishIndex() Option {
+	return func(s *Server) { s.publishIndex = true }
+}
+
+// New builds a server named name (diagnostics only) over the given
+// objects, bulk-loading the aR-tree.
+func New(name string, objs []geom.Object, opts ...Option) *Server {
+	s := &Server{name: name, tree: rtree.Bulk(objs), pointData: true}
+	for _, o := range objs {
+		if !o.IsPoint() {
+			s.pointData = false
+			break
+		}
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name returns the diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Len returns the dataset cardinality.
+func (s *Server) Len() int { return s.tree.Len() }
+
+// Tree exposes the underlying index for in-process white-box tests.
+func (s *Server) Tree() *rtree.Tree { return s.tree }
+
+// Handle implements netsim.Handler: decode one request frame, answer one
+// response frame. Malformed or unsupported requests produce MsgError
+// frames rather than panics, so a misbehaving client cannot crash the
+// server.
+func (s *Server) Handle(req []byte) []byte {
+	switch wire.Type(req) {
+	case wire.MsgWindow:
+		w, err := wire.DecodeWindowLike(req, wire.MsgWindow)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.EncodeObjects(s.tree.Search(w, nil))
+
+	case wire.MsgCount:
+		w, err := wire.DecodeWindowLike(req, wire.MsgCount)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.EncodeCountReply(int64(s.tree.Count(w)))
+
+	case wire.MsgAvgArea:
+		w, err := wire.DecodeWindowLike(req, wire.MsgAvgArea)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.EncodeFloatReply(s.tree.AvgArea(w))
+
+	case wire.MsgRange:
+		p, eps, err := wire.DecodeRangeLike(req, wire.MsgRange)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.EncodeObjects(s.tree.SearchDist(p, eps, nil))
+
+	case wire.MsgRangeCount:
+		p, eps, err := wire.DecodeRangeLike(req, wire.MsgRangeCount)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.EncodeCountReply(int64(s.tree.CountDist(p, eps)))
+
+	case wire.MsgBucketRange:
+		pts, eps, err := wire.DecodeBucketRangeLike(req, wire.MsgBucketRange)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		groups := make([][]geom.Object, len(pts))
+		for i, p := range pts {
+			groups[i] = s.tree.SearchDist(p, eps, nil)
+		}
+		return wire.EncodeBucketObjects(groups)
+
+	case wire.MsgBucketRangeCount:
+		pts, eps, err := wire.DecodeBucketRangeLike(req, wire.MsgBucketRangeCount)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		ns := make([]int64, len(pts))
+		for i, p := range pts {
+			ns[i] = int64(s.tree.CountDist(p, eps))
+		}
+		return wire.EncodeCountsReply(ns)
+
+	case wire.MsgInfo:
+		info := wire.Info{
+			Count:     int64(s.tree.Len()),
+			Bounds:    s.tree.Bounds(),
+			PointData: s.pointData,
+		}
+		if s.publishIndex {
+			info.TreeHeight = int32(s.tree.Height())
+		}
+		return wire.EncodeInfoReply(info)
+
+	case wire.MsgMBRLevel:
+		if !s.publishIndex {
+			return wire.EncodeError(s.name + " does not publish its index")
+		}
+		level, err := wire.DecodeMBRLevel(req)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		mbrs, err := s.tree.LevelMBRs(level)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.EncodeRects(mbrs)
+
+	case wire.MsgMBRMatch:
+		if !s.publishIndex {
+			return wire.EncodeError(s.name + " does not publish its index")
+		}
+		rects, eps, err := wire.DecodeMBRMatch(req)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.EncodeObjects(s.matchMBRs(rects, eps))
+
+	case wire.MsgUploadJoin:
+		if !s.publishIndex {
+			return wire.EncodeError(s.name + " does not accept uploads")
+		}
+		objs, eps, err := wire.DecodeUploadJoin(req)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.EncodePairs(s.uploadJoin(objs, eps))
+
+	default:
+		return wire.EncodeError(fmt.Sprintf("%s: unsupported request %v", s.name, wire.Type(req)))
+	}
+}
+
+// matchMBRs returns the distinct objects intersecting (within eps of) any
+// of the rects.
+func (s *Server) matchMBRs(rects []geom.Rect, eps float64) []geom.Object {
+	seen := make(map[uint32]bool)
+	var out []geom.Object
+	for _, r := range rects {
+		q := r
+		if eps > 0 {
+			q = r.Expand(eps)
+		}
+		for _, o := range s.tree.Search(q, nil) {
+			if eps > 0 && !o.MBR.WithinDist(r, eps) {
+				continue
+			}
+			if !seen[o.ID] {
+				seen[o.ID] = true
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}
+
+// uploadJoin joins uploaded objects against the local dataset and returns
+// pairs (uploaded ID first). It reuses the device-side grid join.
+func (s *Server) uploadJoin(objs []geom.Object, eps float64) []geom.Pair {
+	local := s.tree.All(nil)
+	pred := memjoin.Intersection()
+	if eps > 0 {
+		pred = memjoin.WithinDist(eps)
+	}
+	pairs := memjoin.GridJoin(objs, local, pred, memjoin.Options{}, nil)
+	return memjoin.DedupPairs(pairs)
+}

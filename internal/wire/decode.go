@@ -1,0 +1,272 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Type returns the message type of a frame without decoding the payload.
+func Type(frame []byte) MsgType {
+	if len(frame) == 0 {
+		return MsgInvalid
+	}
+	return MsgType(frame[0])
+}
+
+func check(frame []byte, want MsgType, minLen int) error {
+	if len(frame) < 1 {
+		return ErrShortFrame
+	}
+	if MsgType(frame[0]) != want {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, MsgType(frame[0]), want)
+	}
+	if len(frame) < minLen {
+		return fmt.Errorf("%w: %d bytes, need at least %d for %v", ErrShortFrame, len(frame), minLen, want)
+	}
+	return nil
+}
+
+// DecodeWindowLike decodes WINDOW, COUNT and AVG-AREA requests, which all
+// carry a single rectangle.
+func DecodeWindowLike(frame []byte, want MsgType) (geom.Rect, error) {
+	if err := check(frame, want, 1+RectSize); err != nil {
+		return geom.Rect{}, err
+	}
+	if len(frame) != 1+RectSize {
+		return geom.Rect{}, ErrTrailing
+	}
+	return getRect(frame[1:]), nil
+}
+
+// DecodeRangeLike decodes RANGE and RANGE-COUNT requests.
+func DecodeRangeLike(frame []byte, want MsgType) (geom.Point, float64, error) {
+	if err := check(frame, want, 1+PointSize+4); err != nil {
+		return geom.Point{}, 0, err
+	}
+	if len(frame) != 1+PointSize+4 {
+		return geom.Point{}, 0, ErrTrailing
+	}
+	p := getPoint(frame[1:])
+	eps := float64(f32(frame[1+PointSize:]))
+	return p, eps, nil
+}
+
+func f32(b []byte) float32 {
+	return math.Float32frombits(le.Uint32(b))
+}
+
+// DecodeBucketRangeLike decodes BUCKET-RANGE and BUCKET-RANGE-COUNT
+// requests.
+func DecodeBucketRangeLike(frame []byte, want MsgType) ([]geom.Point, float64, error) {
+	if err := check(frame, want, 1+4+4); err != nil {
+		return nil, 0, err
+	}
+	eps := float64(f32(frame[1:]))
+	n := int(le.Uint32(frame[5:]))
+	if len(frame) != 9+PointSize*n {
+		return nil, 0, fmt.Errorf("%w: bucket of %d points", ErrShortFrame, n)
+	}
+	pts := make([]geom.Point, n)
+	off := 9
+	for i := range pts {
+		pts[i] = getPoint(frame[off:])
+		off += PointSize
+	}
+	return pts, eps, nil
+}
+
+// DecodeMBRLevel decodes an MBR-LEVEL request.
+func DecodeMBRLevel(frame []byte) (int, error) {
+	if err := check(frame, MsgMBRLevel, 1+4); err != nil {
+		return 0, err
+	}
+	return int(le.Uint32(frame[1:])), nil
+}
+
+// DecodeMBRMatch decodes an MBR-MATCH request.
+func DecodeMBRMatch(frame []byte) ([]geom.Rect, float64, error) {
+	if err := check(frame, MsgMBRMatch, 1+4+4); err != nil {
+		return nil, 0, err
+	}
+	eps := float64(f32(frame[1:]))
+	n := int(le.Uint32(frame[5:]))
+	if len(frame) != 9+RectSize*n {
+		return nil, 0, fmt.Errorf("%w: batch of %d rects", ErrShortFrame, n)
+	}
+	rects := make([]geom.Rect, n)
+	off := 9
+	for i := range rects {
+		rects[i] = getRect(frame[off:])
+		off += RectSize
+	}
+	return rects, eps, nil
+}
+
+// DecodeUploadJoin decodes an UPLOAD-JOIN request.
+func DecodeUploadJoin(frame []byte) ([]geom.Object, float64, error) {
+	if err := check(frame, MsgUploadJoin, 1+4+4); err != nil {
+		return nil, 0, err
+	}
+	eps := float64(f32(frame[1:]))
+	n := int(le.Uint32(frame[5:]))
+	if len(frame) != 9+ObjectSize*n {
+		return nil, 0, fmt.Errorf("%w: upload of %d objects", ErrShortFrame, n)
+	}
+	objs := make([]geom.Object, n)
+	off := 9
+	for i := range objs {
+		objs[i] = getObject(frame[off:])
+		off += ObjectSize
+	}
+	return objs, eps, nil
+}
+
+// DecodeObjects decodes an OBJECTS response.
+func DecodeObjects(frame []byte) ([]geom.Object, error) {
+	if err := check(frame, MsgObjects, 1+4); err != nil {
+		return nil, err
+	}
+	n := int(le.Uint32(frame[1:]))
+	if len(frame) != 5+ObjectSize*n {
+		return nil, fmt.Errorf("%w: objects response of %d", ErrShortFrame, n)
+	}
+	objs := make([]geom.Object, n)
+	off := 5
+	for i := range objs {
+		objs[i] = getObject(frame[off:])
+		off += ObjectSize
+	}
+	return objs, nil
+}
+
+// DecodeCountReply decodes a COUNT-REPLY response.
+func DecodeCountReply(frame []byte) (int64, error) {
+	if err := check(frame, MsgCountReply, 1+CountSize); err != nil {
+		return 0, err
+	}
+	return int64(le.Uint64(frame[1:])), nil
+}
+
+// DecodeCountsReply decodes a COUNTS-REPLY response.
+func DecodeCountsReply(frame []byte) ([]int64, error) {
+	if err := check(frame, MsgCountsReply, 1+4); err != nil {
+		return nil, err
+	}
+	n := int(le.Uint32(frame[1:]))
+	if len(frame) != 5+CountSize*n {
+		return nil, fmt.Errorf("%w: counts response of %d", ErrShortFrame, n)
+	}
+	ns := make([]int64, n)
+	off := 5
+	for i := range ns {
+		ns[i] = int64(le.Uint64(frame[off:]))
+		off += CountSize
+	}
+	return ns, nil
+}
+
+// DecodeFloatReply decodes a FLOAT-REPLY response.
+func DecodeFloatReply(frame []byte) (float64, error) {
+	if err := check(frame, MsgFloatReply, 1+8); err != nil {
+		return 0, err
+	}
+	return getFloat64(frame[1:]), nil
+}
+
+// DecodeBucketObjects decodes a BUCKET-OBJECTS response.
+func DecodeBucketObjects(frame []byte) ([][]geom.Object, error) {
+	if err := check(frame, MsgBucketObjects, 1+4); err != nil {
+		return nil, err
+	}
+	n := int(le.Uint32(frame[1:]))
+	groups := make([][]geom.Object, n)
+	off := 5
+	for i := range groups {
+		if off+4 > len(frame) {
+			return nil, fmt.Errorf("%w: bucket group header %d", ErrShortFrame, i)
+		}
+		m := int(le.Uint32(frame[off:]))
+		off += 4
+		if off+ObjectSize*m > len(frame) {
+			return nil, fmt.Errorf("%w: bucket group %d of %d objects", ErrShortFrame, i, m)
+		}
+		g := make([]geom.Object, m)
+		for j := range g {
+			g[j] = getObject(frame[off:])
+			off += ObjectSize
+		}
+		groups[i] = g
+	}
+	if off != len(frame) {
+		return nil, ErrTrailing
+	}
+	return groups, nil
+}
+
+// DecodeInfoReply decodes an INFO-REPLY response.
+func DecodeInfoReply(frame []byte) (Info, error) {
+	if err := check(frame, MsgInfoReply, 1+8+RectSize+4+1); err != nil {
+		return Info{}, err
+	}
+	return Info{
+		Count:      int64(le.Uint64(frame[1:])),
+		Bounds:     getRect(frame[9:]),
+		TreeHeight: int32(le.Uint32(frame[9+RectSize:])),
+		PointData:  frame[9+RectSize+4] == 1,
+	}, nil
+}
+
+// DecodeRects decodes a RECTS response.
+func DecodeRects(frame []byte) ([]geom.Rect, error) {
+	if err := check(frame, MsgRects, 1+4); err != nil {
+		return nil, err
+	}
+	n := int(le.Uint32(frame[1:]))
+	if len(frame) != 5+RectSize*n {
+		return nil, fmt.Errorf("%w: rects response of %d", ErrShortFrame, n)
+	}
+	rects := make([]geom.Rect, n)
+	off := 5
+	for i := range rects {
+		rects[i] = getRect(frame[off:])
+		off += RectSize
+	}
+	return rects, nil
+}
+
+// DecodePairs decodes a PAIRS response.
+func DecodePairs(frame []byte) ([]geom.Pair, error) {
+	if err := check(frame, MsgPairs, 1+4); err != nil {
+		return nil, err
+	}
+	n := int(le.Uint32(frame[1:]))
+	if len(frame) != 5+PairSize*n {
+		return nil, fmt.Errorf("%w: pairs response of %d", ErrShortFrame, n)
+	}
+	pairs := make([]geom.Pair, n)
+	off := 5
+	for i := range pairs {
+		pairs[i] = geom.Pair{RID: le.Uint32(frame[off:]), SID: le.Uint32(frame[off+4:])}
+		off += PairSize
+	}
+	return pairs, nil
+}
+
+// DecodeError decodes an ERROR response into a Go error.
+func DecodeError(frame []byte) error {
+	if err := check(frame, MsgError, 1+4); err != nil {
+		return err
+	}
+	n := int(le.Uint32(frame[1:]))
+	if len(frame) < 5+n {
+		return ErrShortFrame
+	}
+	return &ServerError{Msg: string(frame[5 : 5+n])}
+}
+
+// ServerError is an error reported by a dataset server.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }

@@ -1,0 +1,417 @@
+// Package wire defines the binary protocol spoken between the mobile
+// client and the dataset servers, and the exact on-the-wire sizes of every
+// message. All byte accounting in the repository derives from the
+// encodings in this package.
+//
+// A message is a single frame:
+//
+//	[1 byte type][payload...]
+//
+// The transport layer (package netsim) is responsible for delivering whole
+// frames and for charging the TCP/IP packetization overhead of Eq. (1) of
+// the paper; this package only defines payload layouts.
+//
+// Layout conventions: little-endian; coordinates are float32 on the wire
+// (the paper's PDA prototype used compact object records; 20-byte objects
+// match the cost model default Bobj = 20); identifiers and cardinalities
+// are uint32; money-free aggregate answers are int64 (BA = 8 bytes).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// MsgType identifies a frame's meaning.
+type MsgType uint8
+
+// Request message types. WINDOW, COUNT and RANGE are the primitive-query
+// interface of the paper (§3). BUCKETRANGE is the bucket submission of
+// §3.1. RANGECOUNT supports iceberg semi-joins (a COUNT over an ε-range,
+// still a plain aggregate query for the server). AVGAREA returns the
+// average object-MBR area intersecting a window (the extra aggregate
+// mentioned in §3.1 for polygon data). The MBRLEVEL / MBRMATCH / UPLOADJOIN
+// trio exists only for the SemiJoin comparator of §5.3 and models the
+// index-publishing, cooperative protocol of Tan et al. [16].
+const (
+	MsgInvalid MsgType = iota
+	MsgWindow
+	MsgCount
+	MsgRange
+	MsgBucketRange
+	MsgRangeCount
+	MsgBucketRangeCount
+	MsgAvgArea
+	MsgInfo
+	MsgMBRLevel
+	MsgMBRMatch
+	MsgUploadJoin
+
+	// Response types.
+	MsgObjects
+	MsgCountReply
+	MsgBucketObjects
+	MsgCountsReply
+	MsgFloatReply
+	MsgInfoReply
+	MsgRects
+	MsgPairs
+	MsgError
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t MsgType) String() string {
+	switch t {
+	case MsgWindow:
+		return "WINDOW"
+	case MsgCount:
+		return "COUNT"
+	case MsgRange:
+		return "RANGE"
+	case MsgBucketRange:
+		return "BUCKET-RANGE"
+	case MsgRangeCount:
+		return "RANGE-COUNT"
+	case MsgBucketRangeCount:
+		return "BUCKET-RANGE-COUNT"
+	case MsgAvgArea:
+		return "AVG-AREA"
+	case MsgInfo:
+		return "INFO"
+	case MsgMBRLevel:
+		return "MBR-LEVEL"
+	case MsgMBRMatch:
+		return "MBR-MATCH"
+	case MsgUploadJoin:
+		return "UPLOAD-JOIN"
+	case MsgObjects:
+		return "OBJECTS"
+	case MsgCountReply:
+		return "COUNT-REPLY"
+	case MsgBucketObjects:
+		return "BUCKET-OBJECTS"
+	case MsgCountsReply:
+		return "COUNTS-REPLY"
+	case MsgFloatReply:
+		return "FLOAT-REPLY"
+	case MsgInfoReply:
+		return "INFO-REPLY"
+	case MsgRects:
+		return "RECTS"
+	case MsgPairs:
+		return "PAIRS"
+	case MsgError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Fixed wire sizes in bytes.
+const (
+	// ObjectSize is the encoded size of one spatial object:
+	// uint32 id + 4×float32 MBR. This is the cost model's default Bobj.
+	ObjectSize = 4 + 4*4
+	// RectSize is the encoded size of one rectangle.
+	RectSize = 4 * 4
+	// PointSize is the encoded size of one point.
+	PointSize = 2 * 4
+	// CountSize is the encoded size of one aggregate answer (BA).
+	CountSize = 8
+	// PairSize is the encoded size of one join-result pair.
+	PairSize = 4 + 4
+)
+
+// Errors returned by the decoders.
+var (
+	ErrShortFrame = errors.New("wire: frame too short")
+	ErrBadType    = errors.New("wire: unexpected message type")
+	ErrTrailing   = errors.New("wire: trailing bytes after payload")
+)
+
+var le = binary.LittleEndian
+
+// --- primitive encoders -------------------------------------------------
+
+func putRect(b []byte, r geom.Rect) {
+	le.PutUint32(b[0:], math.Float32bits(float32(r.MinX)))
+	le.PutUint32(b[4:], math.Float32bits(float32(r.MinY)))
+	le.PutUint32(b[8:], math.Float32bits(float32(r.MaxX)))
+	le.PutUint32(b[12:], math.Float32bits(float32(r.MaxY)))
+}
+
+func getRect(b []byte) geom.Rect {
+	return geom.Rect{
+		MinX: float64(math.Float32frombits(le.Uint32(b[0:]))),
+		MinY: float64(math.Float32frombits(le.Uint32(b[4:]))),
+		MaxX: float64(math.Float32frombits(le.Uint32(b[8:]))),
+		MaxY: float64(math.Float32frombits(le.Uint32(b[12:]))),
+	}
+}
+
+func putPoint(b []byte, p geom.Point) {
+	le.PutUint32(b[0:], math.Float32bits(float32(p.X)))
+	le.PutUint32(b[4:], math.Float32bits(float32(p.Y)))
+}
+
+func getPoint(b []byte) geom.Point {
+	return geom.Point{
+		X: float64(math.Float32frombits(le.Uint32(b[0:]))),
+		Y: float64(math.Float32frombits(le.Uint32(b[4:]))),
+	}
+}
+
+func putObject(b []byte, o geom.Object) {
+	le.PutUint32(b[0:], o.ID)
+	putRect(b[4:], o.MBR)
+}
+
+func getObject(b []byte) geom.Object {
+	return geom.Object{ID: le.Uint32(b[0:]), MBR: getRect(b[4:])}
+}
+
+func putFloat64(b []byte, f float64) { le.PutUint64(b, math.Float64bits(f)) }
+func getFloat64(b []byte) float64    { return math.Float64frombits(le.Uint64(b)) }
+
+// --- request frames -----------------------------------------------------
+
+// EncodeWindow encodes a WINDOW query for window w.
+// Frame: type + rect = 17 bytes.
+func EncodeWindow(w geom.Rect) []byte {
+	b := make([]byte, 1+RectSize)
+	b[0] = byte(MsgWindow)
+	putRect(b[1:], w)
+	return b
+}
+
+// EncodeCount encodes a COUNT query for window w.
+func EncodeCount(w geom.Rect) []byte {
+	b := make([]byte, 1+RectSize)
+	b[0] = byte(MsgCount)
+	putRect(b[1:], w)
+	return b
+}
+
+// EncodeAvgArea encodes an AVG-AREA aggregate query for window w.
+func EncodeAvgArea(w geom.Rect) []byte {
+	b := make([]byte, 1+RectSize)
+	b[0] = byte(MsgAvgArea)
+	putRect(b[1:], w)
+	return b
+}
+
+// EncodeRange encodes an ε-RANGE query around point p.
+// Frame: type + point + eps(float32) = 13 bytes.
+func EncodeRange(p geom.Point, eps float64) []byte {
+	b := make([]byte, 1+PointSize+4)
+	b[0] = byte(MsgRange)
+	putPoint(b[1:], p)
+	le.PutUint32(b[1+PointSize:], math.Float32bits(float32(eps)))
+	return b
+}
+
+// EncodeRangeCount encodes a COUNT-over-ε-range aggregate query.
+func EncodeRangeCount(p geom.Point, eps float64) []byte {
+	b := EncodeRange(p, eps)
+	b[0] = byte(MsgRangeCount)
+	return b
+}
+
+// EncodeBucketRange encodes a bucket of ε-RANGE queries submitted at once
+// (§3.1, "bucket queries"). Frame: type + eps + n + n points.
+func EncodeBucketRange(pts []geom.Point, eps float64) []byte {
+	b := make([]byte, 1+4+4+PointSize*len(pts))
+	b[0] = byte(MsgBucketRange)
+	le.PutUint32(b[1:], math.Float32bits(float32(eps)))
+	le.PutUint32(b[5:], uint32(len(pts)))
+	off := 9
+	for _, p := range pts {
+		putPoint(b[off:], p)
+		off += PointSize
+	}
+	return b
+}
+
+// EncodeBucketRangeCount is the aggregate variant of EncodeBucketRange:
+// the server answers with one count per probe point instead of objects.
+func EncodeBucketRangeCount(pts []geom.Point, eps float64) []byte {
+	b := EncodeBucketRange(pts, eps)
+	b[0] = byte(MsgBucketRangeCount)
+	return b
+}
+
+// EncodeInfo encodes a dataset-info request (cardinality and bounds).
+// Servers routinely advertise this much (it is the acknowledgment
+// metadata the paper assumes available).
+func EncodeInfo() []byte { return []byte{byte(MsgInfo)} }
+
+// EncodeMBRLevel encodes a SemiJoin-only request for the MBRs of one
+// R-tree level. Level 0 is the leaf level.
+func EncodeMBRLevel(level int) []byte {
+	b := make([]byte, 1+4)
+	b[0] = byte(MsgMBRLevel)
+	le.PutUint32(b[1:], uint32(level))
+	return b
+}
+
+// EncodeMBRMatch encodes a SemiJoin-only batch request: return all objects
+// intersecting (or within eps of) any of the given rectangles.
+func EncodeMBRMatch(rects []geom.Rect, eps float64) []byte {
+	b := make([]byte, 1+4+4+RectSize*len(rects))
+	b[0] = byte(MsgMBRMatch)
+	le.PutUint32(b[1:], math.Float32bits(float32(eps)))
+	le.PutUint32(b[5:], uint32(len(rects)))
+	off := 9
+	for _, r := range rects {
+		putRect(b[off:], r)
+		off += RectSize
+	}
+	return b
+}
+
+// EncodeUploadJoin encodes a SemiJoin-only request: join the uploaded
+// objects against the server's dataset with predicate distance ≤ eps
+// (eps = 0 means MBR intersection) and return the qualifying pairs with
+// the uploaded object's ID first.
+func EncodeUploadJoin(objs []geom.Object, eps float64) []byte {
+	b := make([]byte, 1+4+4+ObjectSize*len(objs))
+	b[0] = byte(MsgUploadJoin)
+	le.PutUint32(b[1:], math.Float32bits(float32(eps)))
+	le.PutUint32(b[5:], uint32(len(objs)))
+	off := 9
+	for _, o := range objs {
+		putObject(b[off:], o)
+		off += ObjectSize
+	}
+	return b
+}
+
+// --- response frames ----------------------------------------------------
+
+// EncodeObjects encodes an OBJECTS response.
+func EncodeObjects(objs []geom.Object) []byte {
+	b := make([]byte, 1+4+ObjectSize*len(objs))
+	b[0] = byte(MsgObjects)
+	le.PutUint32(b[1:], uint32(len(objs)))
+	off := 5
+	for _, o := range objs {
+		putObject(b[off:], o)
+		off += ObjectSize
+	}
+	return b
+}
+
+// EncodeCountReply encodes a single aggregate answer.
+func EncodeCountReply(n int64) []byte {
+	b := make([]byte, 1+CountSize)
+	b[0] = byte(MsgCountReply)
+	le.PutUint64(b[1:], uint64(n))
+	return b
+}
+
+// EncodeCountsReply encodes one aggregate answer per probe of a bucket
+// aggregate request.
+func EncodeCountsReply(ns []int64) []byte {
+	b := make([]byte, 1+4+CountSize*len(ns))
+	b[0] = byte(MsgCountsReply)
+	le.PutUint32(b[1:], uint32(len(ns)))
+	off := 5
+	for _, n := range ns {
+		le.PutUint64(b[off:], uint64(n))
+		off += CountSize
+	}
+	return b
+}
+
+// EncodeFloatReply encodes a floating-point aggregate answer (AVG-AREA).
+func EncodeFloatReply(f float64) []byte {
+	b := make([]byte, 1+8)
+	b[0] = byte(MsgFloatReply)
+	putFloat64(b[1:], f)
+	return b
+}
+
+// EncodeBucketObjects encodes the response to a bucket ε-RANGE request:
+// for each probe, the number of result objects followed by the objects,
+// concatenated in probe order. This matches Eq. (5): each probe's answer
+// carries an extra per-probe record (the count header).
+func EncodeBucketObjects(groups [][]geom.Object) []byte {
+	size := 1 + 4
+	for _, g := range groups {
+		size += 4 + ObjectSize*len(g)
+	}
+	b := make([]byte, size)
+	b[0] = byte(MsgBucketObjects)
+	le.PutUint32(b[1:], uint32(len(groups)))
+	off := 5
+	for _, g := range groups {
+		le.PutUint32(b[off:], uint32(len(g)))
+		off += 4
+		for _, o := range g {
+			putObject(b[off:], o)
+			off += ObjectSize
+		}
+	}
+	return b
+}
+
+// Info is the public dataset metadata a server advertises.
+type Info struct {
+	Count      int64     // dataset cardinality
+	Bounds     geom.Rect // dataset bounding rectangle
+	TreeHeight int32     // R-tree height (published only for SemiJoin runs)
+	PointData  bool      // true when every object has a degenerate MBR
+}
+
+// EncodeInfoReply encodes dataset metadata.
+func EncodeInfoReply(info Info) []byte {
+	b := make([]byte, 1+8+RectSize+4+1)
+	b[0] = byte(MsgInfoReply)
+	le.PutUint64(b[1:], uint64(info.Count))
+	putRect(b[9:], info.Bounds)
+	le.PutUint32(b[9+RectSize:], uint32(info.TreeHeight))
+	if info.PointData {
+		b[9+RectSize+4] = 1
+	}
+	return b
+}
+
+// EncodeRects encodes a RECTS response (R-tree level MBRs).
+func EncodeRects(rects []geom.Rect) []byte {
+	b := make([]byte, 1+4+RectSize*len(rects))
+	b[0] = byte(MsgRects)
+	le.PutUint32(b[1:], uint32(len(rects)))
+	off := 5
+	for _, r := range rects {
+		putRect(b[off:], r)
+		off += RectSize
+	}
+	return b
+}
+
+// EncodePairs encodes a PAIRS response (UPLOAD-JOIN results).
+func EncodePairs(pairs []geom.Pair) []byte {
+	b := make([]byte, 1+4+PairSize*len(pairs))
+	b[0] = byte(MsgPairs)
+	le.PutUint32(b[1:], uint32(len(pairs)))
+	off := 5
+	for _, p := range pairs {
+		le.PutUint32(b[off:], p.RID)
+		le.PutUint32(b[off+4:], p.SID)
+		off += PairSize
+	}
+	return b
+}
+
+// EncodeError encodes a server-side error message.
+func EncodeError(msg string) []byte {
+	b := make([]byte, 1+4+len(msg))
+	b[0] = byte(MsgError)
+	le.PutUint32(b[1:], uint32(len(msg)))
+	copy(b[5:], msg)
+	return b
+}

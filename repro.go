@@ -1,0 +1,193 @@
+// Package repro is the public facade of the reproduction of
+// "Ad-hoc Distributed Spatial Joins on Mobile Devices" (Kalnis, Mamoulis,
+// Bakiras, Li — IPDPS 2006).
+//
+// It wires together the building blocks under internal/ into a small,
+// documented API: start dataset servers (in-process goroutine peers or
+// real TCP), connect a simulated mobile device to them over metered
+// links, and evaluate spatial joins with the paper's algorithms while
+// accounting every transferred byte.
+//
+// Quick start:
+//
+//	hotels := repro.GaussianClusters(1000, 4, 300, repro.World, 1)
+//	bars := repro.GaussianClusters(1000, 4, 300, repro.World, 2)
+//	sess, _ := repro.NewSession(repro.SessionConfig{
+//		R: hotels, S: bars, Buffer: 800,
+//	})
+//	defer sess.Close()
+//	res, _ := sess.Run(repro.UpJoin{}, repro.Spec{Kind: repro.Distance, Eps: 150})
+//	fmt.Println(len(res.Pairs), "pairs for", res.Stats.TotalBytes(), "bytes")
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every figure.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/server"
+)
+
+// Re-exported geometry and result types.
+type (
+	// Point is a location in the plane.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle (MBR).
+	Rect = geom.Rect
+	// Object is a spatial object: ID plus MBR.
+	Object = geom.Object
+	// Pair is one join result.
+	Pair = geom.Pair
+)
+
+// Re-exported join specification and results.
+type (
+	// Spec describes a join query (kind, ε, iceberg threshold).
+	Spec = core.Spec
+	// Kind selects the join predicate family.
+	Kind = core.Kind
+	// Result is a join outcome with byte-accounting stats.
+	Result = core.Result
+	// Stats summarizes the traffic and decisions of one execution.
+	Stats = core.Stats
+	// Algorithm is one join evaluation strategy.
+	Algorithm = core.Algorithm
+	// Env is the execution environment handed to algorithms.
+	Env = core.Env
+)
+
+// Join kinds.
+const (
+	// Intersection is the MBR-intersection join.
+	Intersection = core.Intersection
+	// Distance is the ε-distance join.
+	Distance = core.Distance
+	// IcebergSemi is the iceberg distance semi-join.
+	IcebergSemi = core.IcebergSemi
+)
+
+// The paper's algorithms.
+type (
+	// Naive downloads both datasets (§3 strawman).
+	Naive = core.Naive
+	// Grid is regular-grid partitioning with COUNT pruning (§3).
+	Grid = core.Grid
+	// MobiJoin is the SSTD 2003 baseline analysed in §3.2.
+	MobiJoin = core.MobiJoin
+	// UpJoin is the Uniform Partition Join (§4.1).
+	UpJoin = core.UpJoin
+	// SrJoin is the Similarity Related Join (§4.2).
+	SrJoin = core.SrJoin
+	// SemiJoin is the cooperative indexed comparator (§5.3).
+	SemiJoin = core.SemiJoin
+)
+
+// Dataset helpers.
+var (
+	// World is the default data space.
+	World = dataset.World
+	// GaussianClusters generates the paper's synthetic workload.
+	GaussianClusters = dataset.GaussianClusters
+	// Uniform generates uniform points.
+	Uniform = dataset.Uniform
+	// Railway generates the synthetic railway substitute dataset.
+	Railway = dataset.Railway
+	// Oracle computes the reference result locally.
+	Oracle = core.Oracle
+)
+
+// DefaultRailway is the ~35K-segment configuration of §5.2.
+func DefaultRailway() dataset.RailwayConfig { return dataset.DefaultRailway() }
+
+// SessionConfig configures NewSession.
+type SessionConfig struct {
+	// R and S are the two datasets to serve.
+	R, S []Object
+	// Buffer is the device capacity in objects (0 = unlimited).
+	Buffer int
+	// PriceR and PriceS are per-byte tariffs; 0 means 1 unit each.
+	PriceR, PriceS float64
+	// Window restricts the join spatially; zero means whole space.
+	Window Rect
+	// Bucket enables bucket query submission (§3.1).
+	Bucket bool
+	// PublishIndexes enables the SemiJoin comparator's cooperative
+	// protocol on both servers.
+	PublishIndexes bool
+	// Seed drives algorithm-internal randomness.
+	Seed int64
+}
+
+// Session is a ready-to-run device↔servers assembly using in-process
+// goroutine servers. Create one per joined dataset pair; run as many
+// algorithms as desired (each Run sees only its own traffic).
+type Session struct {
+	env        *core.Env
+	rtR, rtS   netsim.RoundTripper
+	remR, remS *client.Remote
+}
+
+// NewSession starts two in-process servers for cfg.R and cfg.S and wires
+// a device environment to them.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	if cfg.PriceR == 0 {
+		cfg.PriceR = 1
+	}
+	if cfg.PriceS == 0 {
+		cfg.PriceS = 1
+	}
+	var opts []server.Option
+	if cfg.PublishIndexes {
+		opts = append(opts, server.PublishIndex())
+	}
+	srvR := server.New("R", cfg.R, opts...)
+	srvS := server.New("S", cfg.S, opts...)
+	rtR := netsim.Serve(srvR)
+	rtS := netsim.Serve(srvS)
+	remR := client.NewRemote("R", rtR, netsim.DefaultLink(), cfg.PriceR)
+	remS := client.NewRemote("S", rtS, netsim.DefaultLink(), cfg.PriceS)
+	model := costmodel.Default()
+	model.Bucket = cfg.Bucket
+	model.PriceR, model.PriceS = cfg.PriceR, cfg.PriceS
+	env := core.NewEnv(remR, remS, client.Device{BufferObjects: cfg.Buffer}, model, cfg.Window)
+	env.Seed = cfg.Seed
+	return &Session{env: env, rtR: rtR, rtS: rtS, remR: remR, remS: remS}, nil
+}
+
+// Run executes one algorithm. Stats cover only this run's traffic.
+func (s *Session) Run(alg Algorithm, spec Spec) (*Result, error) {
+	if alg == nil {
+		return nil, fmt.Errorf("repro: nil algorithm")
+	}
+	return alg.Run(s.env, spec)
+}
+
+// Env exposes the underlying environment for advanced use (custom
+// algorithms, inspecting meters).
+func (s *Session) Env() *Env { return s.env }
+
+// Close shuts down the server goroutines.
+func (s *Session) Close() error {
+	err1 := s.remR.Close()
+	err2 := s.remS.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Pt builds a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// R builds a Rect from two corners.
+func R(x1, y1, x2, y2 float64) Rect { return geom.R(x1, y1, x2, y2) }
+
+// PointObject builds a point Object.
+func PointObject(id uint32, p Point) Object { return geom.PointObject(id, p) }
