@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -251,6 +252,84 @@ func BenchmarkAblationMTU(b *testing.B) {
 	}
 	b.ReportMetric(float64(wifi), "wifiBytes")
 	b.ReportMetric(float64(dialup), "dialupBytes")
+}
+
+// --- concurrent execution engine ------------------------------------------
+
+// benchParallel measures one algorithm at the given parallelism on the
+// paper's clustered workload over a link with realistic wireless latency
+// (RTT 300µs): the dominant cost of a join is waiting on round trips, so
+// the engine's dual-server overlap and sibling fan-out translate directly
+// into wall-clock time. Byte counts are reported as a metric and are
+// identical across parallelism levels (the equivalence tests enforce it);
+// only the time/op column should move.
+func benchParallel(b *testing.B, alg core.Algorithm, spec core.Spec, parallelism int) {
+	b.Helper()
+	robjs := GaussianClusters(1000, 8, 250, World, 55)
+	sobjs := GaussianClusters(1000, 8, 250, World, 56)
+	// Servers (R-tree builds included) are constructed once outside the
+	// timed loop: the benchmark isolates execution time, and only the
+	// transports are per-iteration state.
+	srvR := server.New("R", robjs)
+	srvS := server.New("S", sobjs)
+	link := netsim.DefaultLink()
+	link.RTT = 300 * time.Microsecond
+	workers := parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	var bytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trR := netsim.ServeParallel(srvR, workers)
+		trS := netsim.ServeParallel(srvS, workers)
+		r := client.NewRemote("R", trR, link, 1)
+		s := client.NewRemote("S", trS, link, 1)
+		env := core.NewEnv(r, s, client.Device{BufferObjects: 400}, costmodel.Default(), World)
+		env.Parallelism = parallelism
+		res, err := alg.Run(env, spec)
+		r.Close()
+		s.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = res.Stats.TotalBytes()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytes), "bytes")
+}
+
+// BenchmarkParallelUpJoin sweeps the Parallelism knob for UpJoin — the
+// paper's headline algorithm — on the clustered workload. Expect
+// time/op to drop substantially from p=1 to p=4 while the bytes metric
+// stays constant.
+func BenchmarkParallelUpJoin(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchParallel(b, core.UpJoin{}, core.Spec{Kind: core.Distance, Eps: 75}, p)
+		})
+	}
+}
+
+// BenchmarkParallelGrid sweeps the knob for the Grid baseline, whose 16
+// independent cells are an ideal fan-out shape.
+func BenchmarkParallelGrid(b *testing.B) {
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchParallel(b, core.Grid{}, core.Spec{Kind: core.Distance, Eps: 75}, p)
+		})
+	}
+}
+
+// BenchmarkParallelNaive sweeps the knob for Naive, where the win is the
+// downloads of sibling partitions overlapping each other and the
+// device-side joins (the prefetch pipeline).
+func BenchmarkParallelNaive(b *testing.B) {
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchParallel(b, core.Naive{}, core.Spec{Kind: core.Distance, Eps: 75}, p)
+		})
+	}
 }
 
 // BenchmarkMultiwayChain measures the future-work three-dataset chain

@@ -6,7 +6,7 @@
 //
 //	spatialjoin -r 127.0.0.1:7001 -s 127.0.0.1:7002 \
 //	    -alg upjoin -kind distance -eps 150 -buffer 800 [-bucket] \
-//	    [-window minx,miny,maxx,maxy] [-m 10] [-pairs]
+//	    [-window minx,miny,maxx,maxy] [-m 10] [-pairs] [-parallel 4]
 package main
 
 import (
@@ -62,18 +62,19 @@ func algorithm(name string) (core.Algorithm, error) {
 
 func main() {
 	var (
-		rAddr  = flag.String("r", "", "address of the R server (required)")
-		sAddr  = flag.String("s", "", "address of the S server (required)")
-		alg    = flag.String("alg", "upjoin", "naive, grid, mobijoin, upjoin, srjoin, semijoin")
-		kind   = flag.String("kind", "distance", "intersection, distance, iceberg")
-		eps    = flag.Float64("eps", 150, "distance threshold")
-		m      = flag.Int("m", 10, "iceberg minimum matches")
-		buffer = flag.Int("buffer", 800, "device buffer in objects")
-		bucket = flag.Bool("bucket", false, "use bucket query submission")
-		priceR = flag.Float64("price-r", 1, "per-byte tariff for R")
-		priceS = flag.Float64("price-s", 1, "per-byte tariff for S")
-		window = flag.String("window", "", "query window minx,miny,maxx,maxy (default: whole space)")
-		pairs  = flag.Bool("pairs", false, "print the result pairs/objects")
+		rAddr    = flag.String("r", "", "address of the R server (required)")
+		sAddr    = flag.String("s", "", "address of the S server (required)")
+		alg      = flag.String("alg", "upjoin", "naive, grid, mobijoin, upjoin, srjoin, semijoin")
+		kind     = flag.String("kind", "distance", "intersection, distance, iceberg")
+		eps      = flag.Float64("eps", 150, "distance threshold")
+		m        = flag.Int("m", 10, "iceberg minimum matches")
+		buffer   = flag.Int("buffer", 800, "device buffer in objects")
+		bucket   = flag.Bool("bucket", false, "use bucket query submission")
+		priceR   = flag.Float64("price-r", 1, "per-byte tariff for R")
+		priceS   = flag.Float64("price-s", 1, "per-byte tariff for S")
+		window   = flag.String("window", "", "query window minx,miny,maxx,maxy (default: whole space)")
+		pairs    = flag.Bool("pairs", false, "print the result pairs/objects")
+		parallel = flag.Int("parallel", 1, "max in-flight requests (1 = the paper's sequential device)")
 	)
 	flag.Parse()
 	if *rAddr == "" || *sAddr == "" {
@@ -98,9 +99,13 @@ func main() {
 		fatal(fmt.Errorf("unknown join kind %q", *kind))
 	}
 
-	trR, err := netsim.DialTCP(*rAddr)
+	conns := *parallel
+	if conns < 1 {
+		conns = 1
+	}
+	trR, err := netsim.DialTCPPool(*rAddr, conns)
 	fatal(err)
-	trS, err := netsim.DialTCP(*sAddr)
+	trS, err := netsim.DialTCPPool(*sAddr, conns)
 	fatal(err)
 	remR := client.NewRemote("R("+*rAddr+")", trR, netsim.DefaultLink(), *priceR)
 	remS := client.NewRemote("S("+*sAddr+")", trS, netsim.DefaultLink(), *priceS)
@@ -111,6 +116,7 @@ func main() {
 	model.Bucket = *bucket
 	model.PriceR, model.PriceS = *priceR, *priceS
 	env := core.NewEnv(remR, remS, client.Device{BufferObjects: *buffer}, model, win)
+	env.Parallelism = *parallel
 
 	res, err := a.Run(env, spec)
 	fatal(err)

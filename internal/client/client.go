@@ -28,7 +28,10 @@ func (d Device) CanHold(n int) bool {
 }
 
 // Remote is the client-side proxy to one dataset server over a metered
-// transport. All methods are strictly request/response.
+// transport. All methods are strictly request/response. A Remote is safe
+// for concurrent use: metering is atomic and both transports accept
+// concurrent in-flight round trips, so the concurrent executor may issue
+// several queries to the same server at once.
 type Remote struct {
 	name string
 	conn netsim.RoundTripper

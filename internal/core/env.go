@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/client"
 	"repro/internal/costmodel"
@@ -27,9 +28,20 @@ type Env struct {
 	// Seed drives the algorithm-internal randomness (UpJoin's random
 	// confirmation windows). Fixed per run for reproducibility.
 	Seed int64
+	// Parallelism bounds the number of concurrently in-flight remote
+	// operations of one run. 0 or 1 reproduces the paper's single-threaded
+	// PDA: every round trip strictly sequential. Higher values enable the
+	// concurrent execution engine — independent R-side and S-side requests
+	// issue in parallel, sibling partitions are processed by a bounded
+	// worker pool, and partition downloads overlap device-side joins — while
+	// issuing exactly the same set of requests, so results and metered byte
+	// counts are identical to the sequential run.
+	Parallelism int
 	// Trace, when non-nil, receives one line per algorithm decision
 	// (window visited, operator chosen, counts). Intended for debugging
 	// and for the decision-log ablations; not part of the cost model.
+	// Under Parallelism > 1 the callback may fire from several goroutines
+	// at once and must be safe for concurrent calls.
 	Trace func(format string, args ...any)
 
 	infoR, infoS wire.Info
@@ -44,17 +56,45 @@ func NewEnv(r, s *client.Remote, device client.Device, model costmodel.Params, w
 }
 
 // prepare fetches dataset metadata once per environment (two INFO round
-// trips, metered like everything else) and resolves the query window.
+// trips, metered like everything else — and overlapped when the
+// environment is parallel) and resolves the query window.
 func (e *Env) prepare() error {
 	if e.prepared {
 		return nil
 	}
-	var err error
-	if e.infoR, err = e.R.Info(); err != nil {
-		return fmt.Errorf("core: info from R: %w", err)
+	fetchR := func() error {
+		info, err := e.R.Info()
+		if err != nil {
+			return fmt.Errorf("core: info from R: %w", err)
+		}
+		e.infoR = info
+		return nil
 	}
-	if e.infoS, err = e.S.Info(); err != nil {
-		return fmt.Errorf("core: info from S: %w", err)
+	fetchS := func() error {
+		info, err := e.S.Info()
+		if err != nil {
+			return fmt.Errorf("core: info from S: %w", err)
+		}
+		e.infoS = info
+		return nil
+	}
+	if e.Parallelism > 1 {
+		errc := make(chan error, 1)
+		go func() { errc <- fetchR() }()
+		errS := fetchS()
+		if errR := <-errc; errR != nil {
+			return errR
+		}
+		if errS != nil {
+			return errS
+		}
+	} else {
+		if err := fetchR(); err != nil {
+			return err
+		}
+		if err := fetchS(); err != nil {
+			return err
+		}
 	}
 	if e.Window == (geom.Rect{}) {
 		e.Window = e.infoR.Bounds.Union(e.infoS.Bounds)
@@ -67,7 +107,9 @@ func (e *Env) prepare() error {
 func (e *Env) Usage() (r, s netsim.Usage) { return e.R.Usage(), e.S.Usage() }
 
 // statsSince builds a Stats from meter snapshots taken before the run.
-func (e *Env) statsSince(r0, s0 netsim.Usage, dec decisions) Stats {
+// It must be called only after every worker goroutine of the run has
+// joined, so the meters are quiescent and the snapshots exact.
+func (e *Env) statsSince(r0, s0 netsim.Usage, dec *decisions) Stats {
 	r1, s1 := e.R.Usage(), e.S.Usage()
 	diff := func(a, b netsim.Usage) netsim.Usage {
 		return netsim.Usage{
@@ -83,17 +125,20 @@ func (e *Env) statsSince(r0, s0 netsim.Usage, dec decisions) Stats {
 	ru, su := diff(r1, r0), diff(s1, s0)
 	return Stats{
 		R: ru, S: su,
-		AggQueries:   dec.agg,
-		HBSJ:         dec.hbsj,
-		NLSJ:         dec.nlsj,
-		Repartitions: dec.repart,
-		Pruned:       dec.pruned,
+		AggQueries:   int(dec.agg.Load()),
+		HBSJ:         int(dec.hbsj.Load()),
+		NLSJ:         int(dec.nlsj.Load()),
+		Repartitions: int(dec.repart.Load()),
+		Pruned:       int(dec.pruned.Load()),
 		MoneyCost: e.R.Meter().PricePerByte()*float64(ru.WireBytes) +
 			e.S.Meter().PricePerByte()*float64(su.WireBytes),
 	}
 }
 
-// decisions counts the choices an execution made.
+// decisions counts the choices an execution made. The counters are
+// atomics so concurrent workers can record decisions without contention;
+// each counter is an order-independent sum, so parallel and sequential
+// executions of the same plan report identical totals.
 type decisions struct {
-	agg, hbsj, nlsj, repart, pruned int
+	agg, hbsj, nlsj, repart, pruned atomic.Int64
 }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"math/rand"
+	"sync"
 
 	"repro/internal/client"
 	"repro/internal/costmodel"
@@ -24,21 +24,23 @@ const (
 )
 
 // exec carries the per-run state shared by all algorithms: environment,
-// spec, predicate, result sink, decision counters, and the RNG for
-// randomized confirmation queries.
+// spec, predicate, result sink, decision counters, and the worker pool of
+// the concurrent engine (see parallel.go). The sink and the iceberg
+// ledger are guarded by mu; decision counters are atomics.
 type exec struct {
 	env  *Env
 	spec Spec
 	pred memjoin.Pred
 	dec  decisions
-	rng  *rand.Rand
+	par  *gate // nil = sequential execution
 	// window is the effective query window of this run: env.Window
 	// expanded by ε/2 (the root is a partition cell like any other), so
 	// that reference points on the window hull are not lost. Oracle
 	// applies the same expansion.
 	window geom.Rect
 
-	// sink
+	// sink (all fields below are guarded by mu)
+	mu     sync.Mutex
 	pairs  []geom.Pair
 	robjs  map[uint32]geom.Object // R geometry seen (for iceberg output)
 	counts map[uint32]int         // iceberg: exact global match count per R id
@@ -56,7 +58,7 @@ func newExec(env *Env, spec Spec) (*exec, error) {
 		env:   env,
 		spec:  spec,
 		pred:  spec.pred(),
-		rng:   rand.New(rand.NewSource(env.Seed + 1)),
+		par:   newGate(env.Parallelism),
 		robjs: make(map[uint32]geom.Object),
 	}
 	x.window = env.Window
@@ -126,7 +128,7 @@ func (x *exec) splittable(w geom.Rect, depth int) bool {
 
 // count issues one COUNT aggregate query for side d on partition w.
 func (x *exec) count(d side, w geom.Rect) (int, error) {
-	x.dec.agg++
+	x.dec.agg.Add(1)
 	return x.remote(d).Count(x.fetchWindow(d, w))
 }
 
@@ -198,15 +200,19 @@ func (x *exec) quadrantCounts(d side, w geom.Rect, parent cnt) ([4]cnt, error) {
 // --- result sink ---------------------------------------------------------
 
 // addPairs records join pairs; R geometry is remembered for iceberg
-// output when provided.
+// output when provided. Safe for concurrent workers; result assembly
+// sorts and deduplicates, so insertion order does not matter.
 func (x *exec) addPairs(ps []geom.Pair, rGeom map[uint32]geom.Object) {
+	x.mu.Lock()
 	x.pairs = append(x.pairs, ps...)
 	for id, o := range rGeom {
 		x.robjs[id] = o
 	}
+	x.mu.Unlock()
 }
 
-// result assembles the Result, deduplicating pairs globally.
+// result assembles the Result, deduplicating pairs globally. It must be
+// called only after every worker of the run has joined.
 func (x *exec) result() *Result {
 	pairs := memjoin.DedupPairs(x.pairs)
 	res := &Result{}

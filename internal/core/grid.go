@@ -26,23 +26,30 @@ func (g Grid) Run(env *Env, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	r0, s0 := env.Usage()
-	for _, cell := range x.window.Grid(k) {
-		if err := gridCell(x, cell); err != nil {
-			return nil, err
-		}
+	cells := x.window.Grid(k)
+	// Grid cells are independent subproblems: the worker pool processes
+	// them concurrently, overlapping one cell's download/join with its
+	// neighbours' COUNT probes.
+	if err := x.fanoutSiblings(len(cells), func(i int) error {
+		return gridCell(x, cells[i])
+	}); err != nil {
+		return nil, err
 	}
 	res := x.result()
-	res.Stats = env.statsSince(r0, s0, x.dec)
+	res.Stats = env.statsSince(r0, s0, &x.dec)
 	return res, nil
 }
 
 func gridCell(x *exec, w geom.Rect) error {
+	// The S-side COUNT is skipped when R is empty, so the two probes stay
+	// sequential within a cell — parallelizing them would issue requests
+	// the sequential plan avoids, breaking byte-for-byte equivalence.
 	nr, err := x.count(sideR, w)
 	if err != nil {
 		return err
 	}
 	if nr == 0 {
-		x.dec.pruned++
+		x.dec.pruned.Add(1)
 		return nil
 	}
 	ns, err := x.count(sideS, w)
@@ -50,7 +57,7 @@ func gridCell(x *exec, w geom.Rect) error {
 		return err
 	}
 	if ns == 0 {
-		x.dec.pruned++
+		x.dec.pruned.Add(1)
 		return nil
 	}
 	// doHBSJ splits recursively (with pruning) when the cell exceeds the

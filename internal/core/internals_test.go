@@ -145,13 +145,13 @@ func TestQuadrantCountDerivation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := x.dec.agg
+	before := x.dec.agg.Load()
 	qs, err := x.quadrantCounts(sideR, dataset.World, exact(parent))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if x.dec.agg-before != 3 {
-		t.Fatalf("expected 3 aggregate queries, got %d", x.dec.agg-before)
+	if got := x.dec.agg.Load() - before; got != 3 {
+		t.Fatalf("expected 3 aggregate queries, got %d", got)
 	}
 	sum := 0
 	for _, q := range qs {

@@ -29,19 +29,15 @@ func (MobiJoin) Run(env *Env, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	r0, s0 := env.Usage()
-	nr, err := x.count(sideR, x.window)
+	nr, ns, err := x.countBoth(x.window)
 	if err != nil {
 		return nil, err
 	}
-	ns, err := x.count(sideS, x.window)
-	if err != nil {
-		return nil, err
-	}
-	if err := mobiJoin(x, x.window, exact(nr), exact(ns), 0); err != nil {
+	if err := mobiJoin(x, x.window, nr, ns, 0); err != nil {
 		return nil, err
 	}
 	res := x.result()
-	res.Stats = env.statsSince(r0, s0, x.dec)
+	res.Stats = env.statsSince(r0, s0, &x.dec)
 	return res, nil
 }
 
@@ -49,21 +45,18 @@ func mobiJoin(x *exec, w geom.Rect, nr, ns cnt, depth int) error {
 	// Prune only on measured zeros; derived estimates (distance joins)
 	// are confirmed by the physical operators before they can prune.
 	if (nr.exact && nr.n == 0) || (ns.exact && ns.n == 0) {
-		x.dec.pruned++
+		x.dec.pruned.Add(1)
 		return nil
 	}
 	if nr.n == 0 || ns.n == 0 {
 		// Approximate zero: resolve it now — the window is either empty
 		// (prune) or nearly so (the operator choice needs real counts).
 		var err error
-		if nr, err = x.ensureExact(sideR, w, nr); err != nil {
-			return err
-		}
-		if ns, err = x.ensureExact(sideS, w, ns); err != nil {
+		if nr, ns, err = x.ensureExactBoth(w, nr, ns); err != nil {
 			return err
 		}
 		if nr.n == 0 || ns.n == 0 {
-			x.dec.pruned++
+			x.dec.pruned.Add(1)
 			return nil
 		}
 	}
@@ -92,20 +85,14 @@ func mobiJoin(x *exec, w geom.Rect, nr, ns cnt, depth int) error {
 	case 3:
 		return x.doNLSJ(w, sideS, nr, ns)
 	default:
-		x.dec.repart++
-		qr, err := x.quadrantCounts(sideR, w, nr)
+		x.dec.repart.Add(1)
+		qr, qs, err := x.quadrantCountsBoth(w, nr, ns)
 		if err != nil {
 			return err
 		}
-		qs, err := x.quadrantCounts(sideS, w, ns)
-		if err != nil {
-			return err
-		}
-		for i, q := range w.Quadrants() {
-			if err := mobiJoin(x, q, qr[i], qs[i], depth+1); err != nil {
-				return err
-			}
-		}
-		return nil
+		quads := w.Quadrants()
+		return x.fanoutSiblings(4, func(i int) error {
+			return mobiJoin(x, quads[i], qr[i], qs[i], depth+1)
+		})
 	}
 }

@@ -22,6 +22,10 @@ import (
 type Multiway struct {
 	// Inner is the pairwise algorithm; nil means UpJoin{}.
 	Inner Algorithm
+	// Parallelism is handed to every link's environment (see
+	// Env.Parallelism). Links themselves stay sequential: each consumes
+	// the previous link's result.
+	Parallelism int
 }
 
 // ModelParams aliases the cost-model parameter set for multiway callers.
@@ -70,6 +74,7 @@ func (m Multiway) RunChain(remotes []*client.Remote, device client.Device, model
 	for step := 0; step < len(remotes)-1; step++ {
 		env := NewEnv(remotes[step], remotes[step+1], device, model, window)
 		env.Seed = int64(step + 1)
+		env.Parallelism = m.Parallelism
 		link, err := inner.Run(env, stepSpec(eps[step]))
 		if err != nil {
 			return nil, fmt.Errorf("core: multiway link %d: %w", step, err)

@@ -23,21 +23,19 @@ func (Naive) Run(env *Env, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	res := x.result()
-	res.Stats = env.statsSince(r0, s0, x.dec)
+	res.Stats = env.statsSince(r0, s0, &x.dec)
 	return res, nil
 }
 
 func naiveWindow(x *exec, w geom.Rect, depth int) error {
 	// COUNT queries are needed for memory safety only (deciding whether
-	// the downloads fit); they never prune.
-	nr, err := x.count(sideR, w)
+	// the downloads fit); they never prune. Both sides are always counted,
+	// so the two queries overlap under a parallel environment.
+	cr, cs, err := x.countBoth(w)
 	if err != nil {
 		return err
 	}
-	ns, err := x.count(sideS, w)
-	if err != nil {
-		return err
-	}
+	nr, ns := cr.n, cs.n
 	if !x.env.Device.CanHold(nr+ns) && !x.splittable(w, depth) {
 		// Degenerate window denser than the buffer: stream probes to stay
 		// memory-honest instead of overflowing the device.
@@ -48,22 +46,28 @@ func naiveWindow(x *exec, w geom.Rect, depth int) error {
 		return x.doNLSJ(w, outer, exact(nr), exact(ns))
 	}
 	if !x.env.Device.CanHold(nr+ns) && depth < maxDepth {
-		x.dec.repart++
-		for _, q := range w.Quadrants() {
-			if err := naiveWindow(x, q, depth+1); err != nil {
-				return err
-			}
-		}
-		return nil
+		x.dec.repart.Add(1)
+		quads := w.Quadrants()
+		return x.fanoutSiblings(4, func(i int) error {
+			return naiveWindow(x, quads[i], depth+1)
+		})
 	}
 	// Leaf: download both windows unconditionally (no emptiness pruning)
 	// and join on the device.
-	x.dec.hbsj++
-	robjs, err := x.env.R.Window(x.fetchWindow(sideR, w))
-	if err != nil {
-		return err
-	}
-	sobjs, err := x.env.S.Window(x.fetchWindow(sideS, w))
+	x.dec.hbsj.Add(1)
+	var robjs, sobjs []geom.Object
+	err = x.both(
+		func() error {
+			var err error
+			robjs, err = x.env.R.Window(x.fetchWindow(sideR, w))
+			return err
+		},
+		func() error {
+			var err error
+			sobjs, err = x.env.S.Window(x.fetchWindow(sideS, w))
+			return err
+		},
+	)
 	if err != nil {
 		return err
 	}

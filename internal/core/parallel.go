@@ -1,0 +1,242 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// This file is the concurrent execution engine shared by all algorithms.
+//
+// The paper's device is single-threaded, but nothing in the cost model
+// requires serial execution: the two servers are independent (a COUNT to R
+// never depends on the reply from S), sibling partitions produced by
+// recursive splitting are independent subproblems, and the device can join
+// one partition's objects while the next partition is still downloading.
+// The engine exploits exactly — and only — that independence:
+//
+//   - both() overlaps one R-side and one S-side operation (dual-radio
+//     probing);
+//   - fanout() runs independent sibling tasks on a bounded worker pool,
+//     which also pipelines naturally: while one sibling's task is joining
+//     downloaded objects on the CPU, another's is blocked on its window
+//     download;
+//   - the result sink and the iceberg probe ledger are mutex-protected,
+//     and decision counters are atomics.
+//
+// Determinism is preserved by construction. The set of requests issued for
+// a partition depends only on that partition (never on scheduling), every
+// accumulated quantity is an order-independent sum, and pairs are sorted
+// and deduplicated at result assembly — so a parallel run returns the same
+// result set and meters the same byte totals as the sequential run. The
+// two scheduling-sensitive exceptions are handled explicitly: UpJoin's
+// random confirmation windows derive from a per-window hash instead of a
+// shared RNG stream (windowRand), and iceberg bucket count-probes — whose
+// bucket grouping depends on which partition first claims an object — fall
+// back to sequential sibling order (fanoutSiblings).
+
+// gate is the bounded worker pool of one run: a semaphore of
+// Parallelism-1 slots for extra goroutines (the calling goroutine is the
+// implicit last worker). A nil *gate means sequential execution.
+type gate struct {
+	slots chan struct{}
+}
+
+// newGate returns the pool for the given parallelism, or nil for
+// sequential execution.
+func newGate(parallelism int) *gate {
+	if parallelism <= 1 {
+		return nil
+	}
+	return &gate{slots: make(chan struct{}, parallelism-1)}
+}
+
+// parallel reports whether this run uses the concurrent engine.
+func (x *exec) parallel() bool { return x.par != nil }
+
+// both runs two independent operations, overlapping them when the engine
+// is parallel and a pool slot is free; otherwise f then g sequentially.
+// It returns f's error first (matching the sequential call order), then
+// g's.
+func (x *exec) both(f, g func() error) error {
+	if x.par != nil {
+		select {
+		case x.par.slots <- struct{}{}:
+			errc := make(chan error, 1)
+			go func() {
+				defer func() { <-x.par.slots }()
+				errc <- f()
+			}()
+			gerr := g()
+			if ferr := <-errc; ferr != nil {
+				return ferr
+			}
+			return gerr
+		default:
+			// Pool saturated: run inline rather than oversubscribe.
+		}
+	}
+	if err := f(); err != nil {
+		return err
+	}
+	return g()
+}
+
+// fanout runs n independent tasks f(0..n-1). Sequentially it stops at the
+// first error, exactly like the loops it replaces. In parallel it
+// schedules each task on the pool when a slot is free (running it inline
+// otherwise, so the caller's goroutine always contributes work and the
+// engine cannot deadlock however deep the recursion), waits for all
+// scheduled tasks, and returns the first error observed. Once an error is
+// recorded no further tasks start — already-running tasks finish, but
+// whole subtrees are not launched after a failure, preserving the
+// sequential path's cheap abort.
+func (x *exec) fanout(n int, f func(i int) error) error {
+	if x.par == nil || n < 2 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	record := func(err error) {
+		if err != nil {
+			mu.Lock()
+			if first == nil {
+				first = err
+			}
+			mu.Unlock()
+		}
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return first != nil
+	}
+	for i := 0; i < n; i++ {
+		if failed() {
+			break
+		}
+		i := i
+		if i == n-1 {
+			record(f(i))
+			break
+		}
+		select {
+		case x.par.slots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-x.par.slots }()
+				record(f(i))
+			}()
+		default:
+			record(f(i))
+		}
+	}
+	wg.Wait()
+	return first
+}
+
+// fanoutSiblings is fanout for sibling partitions. It degrades to
+// sequential order for iceberg runs that combine bucket mode with
+// count-probes: there, the bucket grouping of aggregate count-probes
+// depends on which partition first claims each R object, so concurrent
+// siblings would make the wire framing — and hence the metered bytes —
+// scheduling-dependent. Iceberg bucket runs that cannot use count-probes
+// (windowed, or MBR data) have no shared ledger and fan out normally.
+func (x *exec) fanoutSiblings(n int, f func(i int) error) error {
+	if x.spec.Kind == IcebergSemi && x.env.Model.Bucket && x.icebergCountable() {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return x.fanout(n, f)
+}
+
+// countBoth issues the two root COUNT queries of a window in parallel.
+func (x *exec) countBoth(w geom.Rect) (nr, ns cnt, err error) {
+	err = x.both(
+		func() error {
+			n, err := x.count(sideR, w)
+			nr = exact(n)
+			return err
+		},
+		func() error {
+			n, err := x.count(sideS, w)
+			ns = exact(n)
+			return err
+		},
+	)
+	return nr, ns, err
+}
+
+// ensureExactBoth re-counts both sides of w where the given counts are
+// estimates, overlapping the two independent COUNTs.
+func (x *exec) ensureExactBoth(w geom.Rect, nr, ns cnt) (rn, sn cnt, err error) {
+	err = x.both(
+		func() error {
+			var err error
+			rn, err = x.ensureExact(sideR, w, nr)
+			return err
+		},
+		func() error {
+			var err error
+			sn, err = x.ensureExact(sideS, w, ns)
+			return err
+		},
+	)
+	return rn, sn, err
+}
+
+// quadrantCountsBoth gathers both sides' quadrant counts of w,
+// overlapping the R-side and S-side query batches.
+func (x *exec) quadrantCountsBoth(w geom.Rect, nr, ns cnt) (qr, qs [4]cnt, err error) {
+	err = x.both(
+		func() error {
+			var err error
+			qr, err = x.quadrantCounts(sideR, w, nr)
+			return err
+		},
+		func() error {
+			var err error
+			qs, err = x.quadrantCounts(sideS, w, ns)
+			return err
+		},
+	)
+	return qr, qs, err
+}
+
+// windowRand returns a deterministic RNG for decisions about dataset d on
+// window w, derived from the run seed and the window geometry. Unlike a
+// shared sequential RNG stream, the draw for a window does not depend on
+// how many windows were visited before it, so randomized decisions (and
+// the requests they trigger) are identical under any scheduling.
+func windowRand(seed int64, d side, w geom.Rect) *rand.Rand {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(seed + 1))
+	put(uint64(d))
+	put(math.Float64bits(w.MinX))
+	put(math.Float64bits(w.MinY))
+	put(math.Float64bits(w.MaxX))
+	put(math.Float64bits(w.MaxY))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}

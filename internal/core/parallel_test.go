@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/server"
+)
+
+// testEnvParallel is testEnv with the concurrent engine enabled: the
+// in-process servers get one worker per unit of parallelism and the
+// environment carries the knob.
+func testEnvParallel(t *testing.T, robjs, sobjs []geom.Object, buffer, parallelism int, opts ...server.Option) *Env {
+	t.Helper()
+	workers := parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	trR := netsim.ServeParallel(server.New("R", robjs, opts...), workers)
+	trS := netsim.ServeParallel(server.New("S", sobjs, opts...), workers)
+	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
+	s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	t.Cleanup(func() { r.Close(); s.Close() })
+	env := NewEnv(r, s, client.Device{BufferObjects: buffer}, costmodel.Default(), geom.Rect{})
+	env.Parallelism = parallelism
+	return env
+}
+
+// runBoth executes alg sequentially and with Parallelism 4 over identical
+// servers and returns both results.
+func runBoth(t *testing.T, alg Algorithm, spec Spec, robjs, sobjs []geom.Object, buffer int, bucket bool) (seq, par *Result) {
+	t.Helper()
+	envSeq := testEnvParallel(t, robjs, sobjs, buffer, 1)
+	envSeq.Model.Bucket = bucket
+	envSeq.Seed = 3
+	seq, err := alg.Run(envSeq, spec)
+	if err != nil {
+		t.Fatalf("%s sequential: %v", alg.Name(), err)
+	}
+	envPar := testEnvParallel(t, robjs, sobjs, buffer, 4)
+	envPar.Model.Bucket = bucket
+	envPar.Seed = 3
+	par, err = alg.Run(envPar, spec)
+	if err != nil {
+		t.Fatalf("%s parallel: %v", alg.Name(), err)
+	}
+	return seq, par
+}
+
+// TestParallelMatchesSequential is the engine's core guarantee: with
+// Parallelism 4, every algorithm returns exactly the sequential result
+// and meters exactly the sequential byte count, for every join kind and
+// for bucket submission. Run under -race this also exercises the sink,
+// ledger, and meter synchronization.
+func TestParallelMatchesSequential(t *testing.T) {
+	robjs := dataset.GaussianClusters(600, 4, 300, dataset.World, 201)
+	sobjs := dataset.GaussianClusters(600, 4, 300, dataset.World, 202)
+	specs := []struct {
+		name   string
+		spec   Spec
+		bucket bool
+	}{
+		{"distance", Spec{Kind: Distance, Eps: 120}, false},
+		{"distance-bucket", Spec{Kind: Distance, Eps: 120}, true},
+		{"intersection", Spec{Kind: Intersection}, false},
+		{"iceberg", Spec{Kind: IcebergSemi, Eps: 200, MinMatches: 3}, false},
+		{"iceberg-bucket", Spec{Kind: IcebergSemi, Eps: 200, MinMatches: 3}, true},
+	}
+	for _, sc := range specs {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for _, alg := range allAlgorithms() {
+				for _, buffer := range []int{150, 800} {
+					seq, par := runBoth(t, alg, sc.spec, robjs, sobjs, buffer, sc.bucket)
+					if !pairSetsEqual(seq.Pairs, par.Pairs) {
+						t.Fatalf("%s buffer=%d: parallel %d pairs, sequential %d",
+							alg.Name(), buffer, len(par.Pairs), len(seq.Pairs))
+					}
+					if len(seq.Objects) != len(par.Objects) {
+						t.Fatalf("%s buffer=%d: parallel %d objects, sequential %d",
+							alg.Name(), buffer, len(par.Objects), len(seq.Objects))
+					}
+					for i := range seq.Objects {
+						if seq.Objects[i].ID != par.Objects[i].ID {
+							t.Fatalf("%s buffer=%d: object %d differs", alg.Name(), buffer, i)
+						}
+					}
+					if seq.Stats.TotalBytes() != par.Stats.TotalBytes() {
+						t.Fatalf("%s buffer=%d: parallel metered %d bytes, sequential %d",
+							alg.Name(), buffer, par.Stats.TotalBytes(), seq.Stats.TotalBytes())
+					}
+					if seq.Stats.TotalQueries() != par.Stats.TotalQueries() {
+						t.Fatalf("%s buffer=%d: parallel %d queries, sequential %d",
+							alg.Name(), buffer, par.Stats.TotalQueries(), seq.Stats.TotalQueries())
+					}
+					if seq.Stats.AggQueries != par.Stats.AggQueries {
+						t.Fatalf("%s buffer=%d: parallel %d aggregate queries, sequential %d",
+							alg.Name(), buffer, par.Stats.AggQueries, seq.Stats.AggQueries)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesOracle pins the parallel engine directly against the
+// local oracle on a workload whose small buffer forces deep recursive
+// splitting (lots of sibling fan-out).
+func TestParallelMatchesOracle(t *testing.T) {
+	robjs := dataset.GaussianClusters(500, 8, 200, dataset.World, 211)
+	sobjs := dataset.GaussianClusters(500, 8, 200, dataset.World, 212)
+	spec := Spec{Kind: Distance, Eps: 100}
+	want := Oracle(robjs, sobjs, spec, dataset.Bounds(robjs).Union(dataset.Bounds(sobjs)))
+	for _, alg := range allAlgorithms() {
+		env := testEnvParallel(t, robjs, sobjs, 100, 8)
+		got, err := alg.Run(env, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if !pairSetsEqual(got.Pairs, want.Pairs) {
+			t.Fatalf("%s parallel: %d pairs, oracle %d", alg.Name(), len(got.Pairs), len(want.Pairs))
+		}
+	}
+}
+
+// TestParallelSemiJoin covers the cooperative comparator under the
+// concurrent engine (its three protocol hops are inherently sequential,
+// but the environment preparation overlaps its INFO round trips).
+func TestParallelSemiJoin(t *testing.T) {
+	robjs := dataset.Uniform(200, dataset.World, 221)
+	sobjs := dataset.Uniform(300, dataset.World, 222)
+	spec := Spec{Kind: Distance, Eps: 150}
+	want := Oracle(robjs, sobjs, spec, dataset.World)
+	env := testEnvParallel(t, robjs, sobjs, 800, 4, server.PublishIndex())
+	env.Window = dataset.World
+	got, err := SemiJoin{}.Run(env, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairSetsEqual(got.Pairs, want.Pairs) {
+		t.Fatalf("semiJoin parallel: %d pairs, oracle %d", len(got.Pairs), len(want.Pairs))
+	}
+}
+
+// TestParallelOverTCP runs the concurrent engine over the pooled TCP
+// transport and checks byte-count parity with the channel transport.
+func TestParallelOverTCP(t *testing.T) {
+	robjs := dataset.GaussianClusters(200, 4, 200, dataset.World, 231)
+	sobjs := dataset.GaussianClusters(200, 4, 200, dataset.World, 232)
+	spec := Spec{Kind: Distance, Eps: 120}
+
+	envCh := testEnvParallel(t, robjs, sobjs, 300, 4)
+	envCh.Seed = 7
+	a, err := UpJoin{}.Run(envCh, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srvR, err := netsim.ListenAndServe("127.0.0.1:0", server.New("R", robjs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvR.Close()
+	srvS, err := netsim.ListenAndServe("127.0.0.1:0", server.New("S", sobjs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvS.Close()
+	trR, err := netsim.DialTCPPool(srvR.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trS, err := netsim.DialTCPPool(srvS.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
+	s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	defer r.Close()
+	defer s.Close()
+	env := NewEnv(r, s, client.Device{BufferObjects: 300}, costmodel.Default(), geom.Rect{})
+	env.Seed = 7
+	env.Parallelism = 4
+	b, err := UpJoin{}.Run(env, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairSetsEqual(a.Pairs, b.Pairs) {
+		t.Fatalf("TCP parallel: %d pairs, channel %d", len(b.Pairs), len(a.Pairs))
+	}
+	if a.Stats.TotalBytes() != b.Stats.TotalBytes() {
+		t.Fatalf("transport changed accounting: channel %d vs TCP %d",
+			a.Stats.TotalBytes(), b.Stats.TotalBytes())
+	}
+}
+
+// TestWindowRandDeterministic pins the scheduling-independence of
+// UpJoin's randomized confirmation probes: the RNG for a window depends
+// only on (seed, side, window), never on visit order.
+func TestWindowRandDeterministic(t *testing.T) {
+	w := geom.R(100, 200, 900, 1000)
+	a := randomQuadrantWindow(windowRand(3, sideR, w), w)
+	b := randomQuadrantWindow(windowRand(3, sideR, w), w)
+	if a != b {
+		t.Fatalf("same (seed, side, window) must give the same probe: %v vs %v", a, b)
+	}
+	if c := randomQuadrantWindow(windowRand(3, sideS, w), w); c == a {
+		t.Fatal("different sides should (generically) give different probes")
+	}
+	if d := randomQuadrantWindow(windowRand(4, sideR, w), w); d == a {
+		t.Fatal("different seeds should (generically) give different probes")
+	}
+}
+
+// TestFanoutBounded checks the pool never runs more than Parallelism
+// tasks at once and degrades to pure sequential order when nil. Each
+// task dwells briefly so overlap actually occurs: the bound must be hit
+// (proving concurrency happens) but never exceeded.
+func TestFanoutBounded(t *testing.T) {
+	x := &exec{par: newGate(3)}
+	var (
+		mu      sync.Mutex
+		active  int
+		maxSeen int
+	)
+	err := x.fanout(64, func(int) error {
+		mu.Lock()
+		active++
+		if active > maxSeen {
+			maxSeen = active
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		active--
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen > 3 {
+		t.Fatalf("pool of 3 ran %d tasks at once", maxSeen)
+	}
+	if maxSeen < 3 {
+		t.Fatalf("pool of 3 never reached 3 concurrent tasks (max %d); no overlap happened", maxSeen)
+	}
+
+	var order []int
+	xs := &exec{} // sequential
+	if err := xs.fanout(5, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential fanout out of order: %v", order)
+		}
+	}
+}
+
+// TestFanoutStopsLaunchingAfterError checks the cheap-abort behavior:
+// once a task fails, no further tasks are launched (running ones may
+// finish, but whole subtrees are not started on a dead run).
+func TestFanoutStopsLaunchingAfterError(t *testing.T) {
+	boom := fmt.Errorf("boom")
+
+	// Sequential: deterministic stop at the first failure.
+	var seqRuns int
+	xs := &exec{}
+	if err := xs.fanout(10, func(i int) error {
+		seqRuns++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	}); err != boom {
+		t.Fatalf("sequential fanout error = %v, want boom", err)
+	}
+	if seqRuns != 3 {
+		t.Fatalf("sequential fanout ran %d tasks after failure at index 2", seqRuns)
+	}
+
+	// Parallel: every task fails instantly; after the first recorded
+	// failure the launch loop must break, so far fewer than n start.
+	x := &exec{par: newGate(3)}
+	var launched atomic.Int64
+	err := x.fanout(1000, func(int) error {
+		launched.Add(1)
+		return boom
+	})
+	if err != boom {
+		t.Fatalf("parallel fanout error = %v, want boom", err)
+	}
+	if n := launched.Load(); n >= 1000 {
+		t.Fatalf("parallel fanout launched all %d tasks despite immediate failures", n)
+	}
+}

@@ -12,20 +12,23 @@ import (
 // the window is split into quadrants recursively with COUNT pruning at
 // each level, exactly as §3/§4.2 describe ("HBSJ is recursively executed
 // and pruning can also be applied at each recursion level").
+//
+// Under a parallel environment the R-side and S-side requests of each
+// step (re-counts, quadrant counts, window downloads) overlap, and the
+// four quadrants of a split are processed by the worker pool — so while
+// one quadrant's objects are being joined on the device, a sibling's
+// download is in flight.
 func (x *exec) doHBSJ(w geom.Rect, nr, ns cnt, depth int) error {
 	if nr.exact && ns.exact && (nr.n == 0 || ns.n == 0) {
-		x.dec.pruned++
+		x.dec.pruned.Add(1)
 		return nil
 	}
 	var err error
-	if nr, err = x.ensureExact(sideR, w, nr); err != nil {
-		return err
-	}
-	if ns, err = x.ensureExact(sideS, w, ns); err != nil {
+	if nr, ns, err = x.ensureExactBoth(w, nr, ns); err != nil {
 		return err
 	}
 	if nr.n == 0 || ns.n == 0 {
-		x.dec.pruned++
+		x.dec.pruned.Add(1)
 		return nil
 	}
 	if !x.env.Device.CanHold(nr.n + ns.n) {
@@ -39,29 +42,31 @@ func (x *exec) doHBSJ(w geom.Rect, nr, ns cnt, depth int) error {
 			}
 			return x.doNLSJ(w, outer, nr, ns)
 		}
-		x.dec.repart++
-		qr, err := x.quadrantCounts(sideR, w, nr)
+		x.dec.repart.Add(1)
+		qr, qs, err := x.quadrantCountsBoth(w, nr, ns)
 		if err != nil {
 			return err
 		}
-		qs, err := x.quadrantCounts(sideS, w, ns)
-		if err != nil {
-			return err
-		}
-		for i, q := range w.Quadrants() {
-			if err := x.doHBSJ(q, qr[i], qs[i], depth+1); err != nil {
-				return err
-			}
-		}
-		return nil
+		quads := w.Quadrants()
+		return x.fanoutSiblings(4, func(i int) error {
+			return x.doHBSJ(quads[i], qr[i], qs[i], depth+1)
+		})
 	}
 
-	x.dec.hbsj++
-	robjs, err := x.env.R.Window(x.fetchWindow(sideR, w))
-	if err != nil {
-		return err
-	}
-	sobjs, err := x.env.S.Window(x.fetchWindow(sideS, w))
+	x.dec.hbsj.Add(1)
+	var robjs, sobjs []geom.Object
+	err = x.both(
+		func() error {
+			var err error
+			robjs, err = x.env.R.Window(x.fetchWindow(sideR, w))
+			return err
+		},
+		func() error {
+			var err error
+			sobjs, err = x.env.S.Window(x.fetchWindow(sideS, w))
+			return err
+		},
+	)
 	if err != nil {
 		return err
 	}
@@ -84,24 +89,24 @@ func (x *exec) joinLocal(robjs, sobjs []geom.Object) {
 // doNLSJ executes the nested-loop spatial join on partition w with the
 // given outer side: download the outer window, then probe the inner
 // server once per outer object (or in buckets, Eq. 6, when the model is
-// configured for bucket submission).
+// configured for bucket submission). Under a parallel environment the
+// per-object probes are spread over the worker pool; each probe is an
+// independent request, so the probe set — and the metered bytes — do not
+// depend on scheduling.
 //
 // For iceberg semi-joins with outer R over a whole-space window, probes
 // are aggregate RANGE-COUNT queries: only the per-object match count is
 // transferred, never the matching objects.
 func (x *exec) doNLSJ(w geom.Rect, outer side, nr, ns cnt) error {
 	var err error
-	if nr, err = x.ensureExact(sideR, w, nr); err != nil {
-		return err
-	}
-	if ns, err = x.ensureExact(sideS, w, ns); err != nil {
+	if nr, ns, err = x.ensureExactBoth(w, nr, ns); err != nil {
 		return err
 	}
 	if nr.n == 0 || ns.n == 0 {
-		x.dec.pruned++
+		x.dec.pruned.Add(1)
 		return nil
 	}
-	x.dec.nlsj++
+	x.dec.nlsj.Add(1)
 
 	inner := sideS
 	if outer == sideS {
@@ -135,7 +140,8 @@ func (x *exec) doNLSJ(w geom.Rect, outer side, nr, ns cnt) error {
 // paper's "simulate ε-RANGE by a WINDOW query", §3).
 func (x *exec) singleProbes(w geom.Rect, outer, inner side, outerObjs []geom.Object) error {
 	rin := x.remote(inner)
-	for _, o := range outerObjs {
+	return x.fanout(len(outerObjs), func(i int) error {
+		o := outerObjs[i]
 		var matches []geom.Object
 		var err error
 		if o.IsPoint() && x.spec.Eps > 0 {
@@ -151,8 +157,8 @@ func (x *exec) singleProbes(w geom.Rect, outer, inner side, outerObjs []geom.Obj
 			return err
 		}
 		x.collectProbe(w, outer, o, matches)
-	}
-	return nil
+		return nil
+	})
 }
 
 // errNonPointBucket signals that bucket probing is not applicable.
@@ -160,7 +166,9 @@ var errNonPointBucket = fmt.Errorf("core: bucket probes require point outer obje
 
 // bucketProbes submits outer objects as bucket ε-RANGE queries sized to
 // the device buffer. Only point outers are supported (the bucket wire
-// format carries probe points).
+// format carries probe points). The chunking is fixed by the outer list
+// before any request is issued, so concurrent buckets stay byte-identical
+// to sequential ones.
 func (x *exec) bucketProbes(w geom.Rect, outer, inner side, outerObjs []geom.Object) error {
 	for _, o := range outerObjs {
 		if !o.IsPoint() || x.spec.Eps <= 0 {
@@ -172,7 +180,9 @@ func (x *exec) bucketProbes(w geom.Rect, outer, inner side, outerObjs []geom.Obj
 	if bucket <= 0 || bucket > len(outerObjs) {
 		bucket = len(outerObjs)
 	}
-	for start := 0; start < len(outerObjs); start += bucket {
+	nChunks := (len(outerObjs) + bucket - 1) / bucket
+	return x.fanout(nChunks, func(ci int) error {
+		start := ci * bucket
 		end := start + bucket
 		if end > len(outerObjs) {
 			end = len(outerObjs)
@@ -189,8 +199,8 @@ func (x *exec) bucketProbes(w geom.Rect, outer, inner side, outerObjs []geom.Obj
 		for i, g := range groups {
 			x.collectProbe(w, outer, chunk[i], g)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // collectProbe records the pairs produced by one outer object's probe.
@@ -230,10 +240,14 @@ func (x *exec) icebergCountable() bool {
 
 // icebergCountProbes obtains each outer R object's global match count
 // with one aggregate query (or one bucket of them), transferring eight
-// bytes per probe instead of the matching objects. Each R id is probed
-// at most once across the whole execution.
+// bytes per probe instead of the matching objects. Each R id is probed at
+// most once across the whole execution: ids are claimed in the shared
+// ledger (under the sink mutex) before any probe is issued, so concurrent
+// partitions sharing an object through overlapping ε/2-expanded fetch
+// windows never probe it twice.
 func (x *exec) icebergCountProbes(outerObjs []geom.Object) error {
 	fresh := outerObjs[:0:0]
+	x.mu.Lock()
 	for _, o := range outerObjs {
 		if !x.probed[o.ID] {
 			x.probed[o.ID] = true
@@ -241,6 +255,7 @@ func (x *exec) icebergCountProbes(outerObjs []geom.Object) error {
 			fresh = append(fresh, o)
 		}
 	}
+	x.mu.Unlock()
 	if len(fresh) == 0 {
 		return nil
 	}
@@ -249,23 +264,28 @@ func (x *exec) icebergCountProbes(outerObjs []geom.Object) error {
 		for i, o := range fresh {
 			pts[i] = o.Center()
 		}
-		x.dec.agg += len(fresh)
+		x.dec.agg.Add(int64(len(fresh)))
 		ns, err := x.env.S.BucketRangeCount(pts, x.spec.Eps)
 		if err != nil {
 			return err
 		}
+		x.mu.Lock()
 		for i, n := range ns {
 			x.counts[fresh[i].ID] = int(n)
 		}
+		x.mu.Unlock()
 		return nil
 	}
-	for _, o := range fresh {
-		x.dec.agg++
+	return x.fanout(len(fresh), func(i int) error {
+		o := fresh[i]
+		x.dec.agg.Add(1)
 		n, err := x.env.S.RangeCount(o.Center(), x.spec.Eps)
 		if err != nil {
 			return err
 		}
+		x.mu.Lock()
 		x.counts[o.ID] = n
-	}
-	return nil
+		x.mu.Unlock()
+		return nil
+	})
 }

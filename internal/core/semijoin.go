@@ -106,6 +106,6 @@ func (SemiJoin) Run(env *Env, spec Spec) (*Result, error) {
 	x.addPairs(norm, rGeom)
 
 	res := x.result()
-	res.Stats = env.statsSince(r0, s0, x.dec)
+	res.Stats = env.statsSince(r0, s0, &x.dec)
 	return res, nil
 }

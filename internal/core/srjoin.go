@@ -37,22 +37,18 @@ func (s SrJoin) Run(env *Env, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	r0, s0 := env.Usage()
-	nr, err := x.count(sideR, x.window)
-	if err != nil {
-		return nil, err
-	}
-	ns, err := x.count(sideS, x.window)
+	nr, ns, err := x.countBoth(x.window)
 	if err != nil {
 		return nil, err
 	}
 	sr := &srState{exec: x, rho: s.rho()}
-	if nr == 0 || ns == 0 {
-		x.dec.pruned++
-	} else if err := sr.join(x.window, exact(nr), exact(ns), 0); err != nil {
+	if nr.n == 0 || ns.n == 0 {
+		x.dec.pruned.Add(1)
+	} else if err := sr.join(x.window, nr, ns, 0); err != nil {
 		return nil, err
 	}
 	res := x.result()
-	res.Stats = env.statsSince(r0, s0, x.dec)
+	res.Stats = env.statsSince(r0, s0, &x.dec)
 	return res, nil
 }
 
@@ -73,35 +69,32 @@ func (s *srState) bitmap(n int, qs [4]cnt) [4]bool {
 }
 
 // join is the recursive body of Fig. 5. The caller guarantees nr, ns > 0.
+// The four quadrants are independent once their counts and the similarity
+// verdict are known, so they are handed to the worker pool.
 func (s *srState) join(w geom.Rect, nr, ns cnt, depth int) error {
-	qr, err := s.quadrantCounts(sideR, w, nr)
-	if err != nil {
-		return err
-	}
-	qs, err := s.quadrantCounts(sideS, w, ns)
+	qr, qs, err := s.quadrantCountsBoth(w, nr, ns)
 	if err != nil {
 		return err
 	}
 	similar := s.bitmap(nr.n, qr) == s.bitmap(ns.n, qs)
 	quads := w.Quadrants()
 
-	for i, q := range quads {
-		if (qr[i].exact && qr[i].n == 0) || (qs[i].exact && qs[i].n == 0) {
-			s.dec.pruned++
-			continue
+	return s.fanoutSiblings(4, func(i int) error {
+		q := quads[i]
+		cr, cs := qr[i], qs[i]
+		if (cr.exact && cr.n == 0) || (cs.exact && cs.n == 0) {
+			s.dec.pruned.Add(1)
+			return nil
 		}
-		if qr[i].n == 0 || qs[i].n == 0 {
+		if cr.n == 0 || cs.n == 0 {
 			// Derived estimate says empty: confirm before pruning.
 			var err error
-			if qr[i], err = s.ensureExact(sideR, q, qr[i]); err != nil {
+			if cr, cs, err = s.ensureExactBoth(q, cr, cs); err != nil {
 				return err
 			}
-			if qs[i], err = s.ensureExact(sideS, q, qs[i]); err != nil {
-				return err
-			}
-			if qr[i].n == 0 || qs[i].n == 0 {
-				s.dec.pruned++
-				continue
+			if cr.n == 0 || cs.n == 0 {
+				s.dec.pruned.Add(1)
+				return nil
 			}
 		}
 		// SrJoin estimates c1 without the memory constraint: HBSJ splits
@@ -110,7 +103,7 @@ func (s *srState) join(w geom.Rect, nr, ns cnt, depth int) error {
 		// at each recursion level", §4.2).
 		model := s.env.Model
 		model.Buffer = 0
-		st := s.modelStats(q, qr[i], qs[i])
+		st := s.modelStats(q, cr, cs)
 		c1 := model.C1(st)
 		c2 := model.C2(st)
 		c3 := model.C3(st)
@@ -124,27 +117,20 @@ func (s *srState) join(w geom.Rect, nr, ns cnt, depth int) error {
 
 		apply := similar || cheapest < 3*s.env.Model.Taq() || !s.splittable(q, depth+1)
 		if !apply {
-			if err := s.recurse(q, qr[i], qs[i], depth); err != nil {
-				return err
-			}
-			continue
+			return s.recurse(q, cr, cs, depth)
 		}
 		switch {
 		case c1 <= c2 && c1 <= c3:
-			err = s.doHBSJ(q, qr[i], qs[i], depth+1)
+			return s.doHBSJ(q, cr, cs, depth+1)
 		case c2 <= c3:
-			err = s.doNLSJ(q, sideR, qr[i], qs[i])
+			return s.doNLSJ(q, sideR, cr, cs)
 		default:
-			err = s.doNLSJ(q, sideS, qr[i], qs[i])
+			return s.doNLSJ(q, sideS, cr, cs)
 		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	})
 }
 
 func (s *srState) recurse(q geom.Rect, nr, ns cnt, depth int) error {
-	s.dec.repart++
+	s.dec.repart.Add(1)
 	return s.join(q, nr, ns, depth+1)
 }

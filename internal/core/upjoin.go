@@ -40,21 +40,17 @@ func (u UpJoin) Run(env *Env, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	r0, s0 := env.Usage()
-	nr, err := x.count(sideR, x.window)
-	if err != nil {
-		return nil, err
-	}
-	ns, err := x.count(sideS, x.window)
+	nr, ns, err := x.countBoth(x.window)
 	if err != nil {
 		return nil, err
 	}
 	up := &upState{exec: x, alpha: u.alpha()}
-	err = up.join(x.window, dsState{n: exact(nr)}, dsState{n: exact(ns)}, 0)
+	err = up.join(x.window, dsState{n: nr}, dsState{n: ns}, 0)
 	if err != nil {
 		return nil, err
 	}
 	res := x.result()
-	res.Stats = env.statsSince(r0, s0, x.dec)
+	res.Stats = env.statsSince(r0, s0, &x.dec)
 	return res, nil
 }
 
@@ -136,9 +132,11 @@ func (u *upState) inspect(d side, w geom.Rect, st dsState) (dsState, error) {
 		return st, nil
 	}
 	// Statistics look uniform: confirm with one COUNT at a random
-	// quadrant-sized window inside w (Fig. 3 line 6).
-	probe := randomQuadrantWindow(u.rng, w)
-	u.dec.agg++
+	// quadrant-sized window inside w (Fig. 3 line 6). The window derives
+	// from a per-(dataset, window) RNG, not a shared stream, so the probe
+	// — and its metered bytes — is the same under any scheduling.
+	probe := randomQuadrantWindow(windowRand(u.env.Seed, d, w), w)
+	u.dec.agg.Add(1)
 	pn, err := u.remote(d).Count(u.fetchWindow(d, probe))
 	if err != nil {
 		return st, err
@@ -175,7 +173,7 @@ func (u *upState) join(w geom.Rect, rst, sst dsState, depth int) error {
 	// those flow on, and the physical operators re-count exactly before
 	// acting.
 	if (rst.n.exact && rst.n.n == 0) || (sst.n.exact && sst.n.n == 0) {
-		u.dec.pruned++
+		u.dec.pruned.Add(1)
 		return nil
 	}
 	if !u.splittable(w, depth) {
@@ -185,11 +183,21 @@ func (u *upState) join(w geom.Rect, rst, sst dsState, depth int) error {
 		return u.forcePhysical(w, rst.n, sst.n)
 	}
 
-	var err error
-	if rst, err = u.inspect(sideR, w, rst); err != nil {
-		return err
-	}
-	if sst, err = u.inspect(sideS, w, sst); err != nil {
+	// The two datasets' statistics are gathered independently, so the
+	// R-side and S-side inspection batches overlap on a parallel link.
+	err := u.both(
+		func() error {
+			var err error
+			rst, err = u.inspect(sideR, w, rst)
+			return err
+		},
+		func() error {
+			var err error
+			sst, err = u.inspect(sideS, w, sst)
+			return err
+		},
+	)
+	if err != nil {
 		return err
 	}
 
@@ -267,23 +275,22 @@ func (u *upState) join(w geom.Rect, rst, sst dsState, depth int) error {
 }
 
 // recurse repartitions w into quadrants, reusing measured quadrant counts
-// and propagating uniformity verdicts downward.
+// and propagating uniformity verdicts downward. The quadrants are
+// independent subproblems and run on the worker pool.
 func (u *upState) recurse(w geom.Rect, rst, sst dsState, depth int) error {
-	u.dec.repart++
+	u.dec.repart.Add(1)
 	if !rst.hasQuads {
 		rst.quads = estQuads(rst.n.n)
 	}
 	if !sst.hasQuads {
 		sst.quads = estQuads(sst.n.n)
 	}
-	for i, q := range w.Quadrants() {
+	quads := w.Quadrants()
+	return u.fanoutSiblings(4, func(i int) error {
 		cr := dsState{n: rst.quads[i], uniform: rst.uniform, tested: rst.tested && rst.uniform}
 		cs := dsState{n: sst.quads[i], uniform: sst.uniform, tested: sst.tested && sst.uniform}
-		if err := u.join(q, cr, cs, depth+1); err != nil {
-			return err
-		}
-	}
-	return nil
+		return u.join(quads[i], cr, cs, depth+1)
+	})
 }
 
 // forcePhysical applies the cheapest feasible physical operator without

@@ -40,6 +40,10 @@ type Config struct {
 	Buffer int
 	// Bucket enables bucket query submission.
 	Bucket bool
+	// Parallelism enables the concurrent execution engine for every run
+	// (0/1 = sequential). Measured byte counts are identical either way;
+	// the knob only changes wall-clock time.
+	Parallelism int
 }
 
 // Defaults mirror §5: 1000-point datasets, buffer 800 (40% of total),
@@ -137,10 +141,14 @@ func (t *Table) Render(w io.Writer) {
 // runOnce executes one algorithm over freshly served datasets and returns
 // its stats and result size.
 func runOnce(alg core.Algorithm, robjs, sobjs []geom.Object, cfg Config, spec core.Spec, seed int64, opts ...server.Option) (core.Stats, int, error) {
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
 	srvR := server.New("R", robjs, opts...)
 	srvS := server.New("S", sobjs, opts...)
-	trR := netsim.Serve(srvR)
-	trS := netsim.Serve(srvS)
+	trR := netsim.ServeParallel(srvR, workers)
+	trS := netsim.ServeParallel(srvS, workers)
 	defer trR.Close()
 	defer trS.Close()
 	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
@@ -149,6 +157,7 @@ func runOnce(alg core.Algorithm, robjs, sobjs []geom.Object, cfg Config, spec co
 	model.Bucket = cfg.Bucket
 	env := core.NewEnv(r, s, client.Device{BufferObjects: cfg.Buffer}, model, dataset.World)
 	env.Seed = seed
+	env.Parallelism = cfg.Parallelism
 	res, err := alg.Run(env, spec)
 	if err != nil {
 		return core.Stats{}, 0, fmt.Errorf("%s: %w", alg.Name(), err)

@@ -6,7 +6,8 @@ import (
 )
 
 // Handler processes one request frame and produces one response frame.
-// Dataset servers implement this.
+// Dataset servers implement this. Handlers must be safe for concurrent
+// calls when served with more than one worker.
 type Handler interface {
 	Handle(req []byte) (resp []byte)
 }
@@ -21,16 +22,21 @@ func (f HandlerFunc) Handle(req []byte) []byte { return f(req) }
 var ErrClosed = errors.New("netsim: transport closed")
 
 // ChannelTransport is an in-process RoundTripper in which the server runs
-// as its own goroutine peer, receiving request frames over a channel and
-// answering over per-request reply channels. This models the paper's
+// as one or more goroutine peers, receiving request frames over a channel
+// and answering over per-request reply channels. This models the paper's
 // device↔server message exchange without sockets while preserving exact
 // frame sizes for metering.
+//
+// RoundTrip is safe for concurrent use: each call carries its own reply
+// channel, so responses can never be delivered to the wrong caller. With
+// a single worker (Serve) concurrent requests queue and are answered one
+// at a time; ServeParallel keeps several requests in service at once.
 type ChannelTransport struct {
 	reqs chan chanReq
 
 	closeOnce sync.Once
 	closed    chan struct{}
-	done      chan struct{} // server goroutine exited
+	done      chan struct{} // all server goroutines exited
 }
 
 type chanReq struct {
@@ -38,25 +44,43 @@ type chanReq struct {
 	reply chan []byte
 }
 
-// Serve starts a goroutine running h as a server peer and returns the
-// client's transport to it. The goroutine exits when the transport is
+// Serve starts a single goroutine running h as a server peer and returns
+// the client's transport to it. The goroutine exits when the transport is
 // closed.
-func Serve(h Handler) *ChannelTransport {
+func Serve(h Handler) *ChannelTransport { return ServeParallel(h, 1) }
+
+// ServeParallel starts workers goroutines running h as a server peer, so
+// up to workers requests are serviced concurrently (h must tolerate
+// concurrent Handle calls; the dataset server does — its index is
+// immutable). workers < 1 is treated as 1. All goroutines exit when the
+// transport is closed.
+func ServeParallel(h Handler, workers int) *ChannelTransport {
+	if workers < 1 {
+		workers = 1
+	}
 	t := &ChannelTransport{
 		reqs:   make(chan chanReq),
 		closed: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
-	go func() {
-		defer close(t.done)
-		for {
-			select {
-			case r := <-t.reqs:
-				r.reply <- h.Handle(r.frame)
-			case <-t.closed:
-				return
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case r := <-t.reqs:
+					r.reply <- h.Handle(r.frame)
+				case <-t.closed:
+					return
+				}
 			}
-		}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(t.done)
 	}()
 	return t
 }
@@ -77,7 +101,7 @@ func (t *ChannelTransport) RoundTrip(req []byte) ([]byte, error) {
 	}
 }
 
-// Close implements RoundTripper; it stops the server goroutine.
+// Close implements RoundTripper; it stops the server goroutines.
 func (t *ChannelTransport) Close() error {
 	t.closeOnce.Do(func() { close(t.closed) })
 	<-t.done

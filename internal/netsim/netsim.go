@@ -16,11 +16,18 @@
 // channel-based in-process transport in which each server is a goroutine
 // peer, and a TCP transport over real sockets (package net). Algorithms
 // are transport-agnostic.
+//
+// Both transports and the Meter are safe for concurrent use, so a device
+// may keep several requests in flight at once — to both servers, or even
+// several to the same server. Byte accounting is per frame and therefore
+// independent of how requests interleave: a concurrent execution meters
+// exactly the same totals as a sequential one issuing the same requests.
 package netsim
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // LinkConfig describes the physical link parameters of Eq. (1).
@@ -29,6 +36,12 @@ type LinkConfig struct {
 	MTU int
 	// HeaderBytes is the per-packet TCP/IP header overhead (BH).
 	HeaderBytes int
+	// RTT, when positive, simulates the link's round-trip latency: every
+	// round trip over a Metered connection blocks for this duration.
+	// Latency is wall-clock only — it never affects byte accounting — and
+	// exists so that pipelined executions can demonstrate their overlap
+	// (several in-flight requests pay their RTTs concurrently).
+	RTT time.Duration
 }
 
 // DefaultLink returns the paper's WiFi/Ethernet link: MTU 1500, BH 40.
@@ -44,6 +57,9 @@ func (lc LinkConfig) Validate() error {
 	}
 	if lc.MTU <= lc.HeaderBytes {
 		return fmt.Errorf("netsim: MTU %d must exceed header size %d", lc.MTU, lc.HeaderBytes)
+	}
+	if lc.RTT < 0 {
+		return fmt.Errorf("netsim: negative RTT %v", lc.RTT)
 	}
 	return nil
 }
@@ -106,16 +122,25 @@ func (u Usage) Add(v Usage) Usage {
 	}
 }
 
-// Meter accumulates the byte accounting of one device↔server link.
-// It is safe for concurrent use.
+// Meter accumulates the byte accounting of one device↔server link. All
+// counters are lock-free atomics, so any number of in-flight requests can
+// charge concurrently without contending; a Usage snapshot taken while
+// requests are in flight may mix charges from different frames, but
+// snapshots taken at quiescent points (as the executor does, before and
+// after a run) are exact.
 type Meter struct {
 	link LinkConfig
-	// PricePerByte is the tariff (bR or bS) applied to WireBytes when
-	// computing monetary cost. The experiments use equal prices.
+	// price is the tariff (bR or bS) applied to WireBytes when computing
+	// monetary cost. The experiments use equal prices.
 	price float64
 
-	mu sync.Mutex
-	u  Usage
+	messages      atomic.Int64
+	payloadBytes  atomic.Int64
+	wireBytes     atomic.Int64
+	packets       atomic.Int64
+	upWireBytes   atomic.Int64
+	downWireBytes atomic.Int64
+	queries       atomic.Int64
 }
 
 // NewMeter returns a Meter for the given link and per-byte price.
@@ -137,47 +162,54 @@ func (m *Meter) PricePerByte() float64 { return m.price }
 func (m *Meter) Charge(payload int, dir Direction) int {
 	wire := m.link.TB(payload)
 	pkts := m.link.Packets(payload)
-	m.mu.Lock()
-	m.u.Messages++
-	m.u.PayloadBytes += payload
-	m.u.WireBytes += wire
-	m.u.Packets += pkts
+	m.messages.Add(1)
+	m.payloadBytes.Add(int64(payload))
+	m.wireBytes.Add(int64(wire))
+	m.packets.Add(int64(pkts))
 	if dir == Up {
-		m.u.UpWireBytes += wire
-		m.u.Queries++
+		m.upWireBytes.Add(int64(wire))
+		m.queries.Add(1)
 	} else {
-		m.u.DownWireBytes += wire
+		m.downWireBytes.Add(int64(wire))
 	}
-	m.mu.Unlock()
 	return wire
 }
 
 // Usage returns a snapshot of the accumulated accounting.
 func (m *Meter) Usage() Usage {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.u
+	return Usage{
+		Messages:      int(m.messages.Load()),
+		PayloadBytes:  int(m.payloadBytes.Load()),
+		WireBytes:     int(m.wireBytes.Load()),
+		Packets:       int(m.packets.Load()),
+		UpWireBytes:   int(m.upWireBytes.Load()),
+		DownWireBytes: int(m.downWireBytes.Load()),
+		Queries:       int(m.queries.Load()),
+	}
 }
 
 // Reset clears the accumulated accounting (between experiment runs).
 func (m *Meter) Reset() {
-	m.mu.Lock()
-	m.u = Usage{}
-	m.mu.Unlock()
+	m.messages.Store(0)
+	m.payloadBytes.Store(0)
+	m.wireBytes.Store(0)
+	m.packets.Store(0)
+	m.upWireBytes.Store(0)
+	m.downWireBytes.Store(0)
+	m.queries.Store(0)
 }
 
 // Cost returns the monetary cost of the traffic so far: price × WireBytes.
 func (m *Meter) Cost() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.price * float64(m.u.WireBytes)
+	return m.price * float64(m.wireBytes.Load())
 }
 
 // RoundTripper is the client's view of a server connection: send one
 // request frame, receive one response frame. Implementations must be safe
-// for sequential use from a single goroutine; the join algorithms issue
-// strictly sequential round trips per server, as a single-threaded PDA
-// does.
+// for concurrent round trips from multiple goroutines; the concurrent
+// executor keeps several requests in flight per server. (The sequential
+// executor, Parallelism ≤ 1, still issues strictly one round trip at a
+// time per server, as a single-threaded PDA does.)
 type RoundTripper interface {
 	RoundTrip(req []byte) (resp []byte, err error)
 	Close() error
@@ -185,7 +217,8 @@ type RoundTripper interface {
 
 // Metered wraps a RoundTripper, charging every request and response to a
 // Meter. It is the only path by which algorithm traffic reaches a server,
-// so no transfer escapes accounting.
+// so no transfer escapes accounting. Metered is safe for concurrent use
+// when the wrapped transport is.
 type Metered struct {
 	rt RoundTripper
 	m  *Meter
@@ -202,6 +235,9 @@ func (c *Metered) Meter() *Meter { return c.m }
 // RoundTrip implements RoundTripper.
 func (c *Metered) RoundTrip(req []byte) ([]byte, error) {
 	c.m.Charge(len(req), Up)
+	if rtt := c.m.link.RTT; rtt > 0 {
+		time.Sleep(rtt)
+	}
 	resp, err := c.rt.RoundTrip(req)
 	if err != nil {
 		return nil, err

@@ -128,27 +128,134 @@ func (s *TCPServer) Close() error {
 	return err
 }
 
-// TCPTransport is a RoundTripper over a single TCP connection.
+// TCPTransport is a RoundTripper over a small pool of TCP connections to
+// one server. A single connection carries strictly alternating
+// request/response frames, so concurrent round trips each claim their own
+// connection: the pool starts with one and dials more on demand, up to
+// maxConns, beyond which round trips wait for a free connection. The
+// server side already serves every connection independently, so in-flight
+// frames on different connections never interleave.
+//
+// Connection count is transport plumbing: metering (Eq. 1) charges frames
+// identically whether they share one socket or use several.
 type TCPTransport struct {
-	conn net.Conn
+	addr  string
+	slots chan struct{} // capacity = max concurrent connections
+
+	mu     sync.Mutex
+	free   []net.Conn
+	conns  map[net.Conn]struct{}
+	closed bool
 }
 
-// DialTCP connects to a TCPServer at addr.
+// defaultMaxConns bounds the connections DialTCP may open on demand.
+const defaultMaxConns = 8
+
+// DialTCP connects to a TCPServer at addr with the default connection
+// bound (8), dialing the first connection eagerly so a bad address fails
+// fast.
 func DialTCP(addr string) (*TCPTransport, error) {
+	return DialTCPPool(addr, defaultMaxConns)
+}
+
+// DialTCPPool connects to a TCPServer at addr, allowing up to maxConns
+// concurrent in-flight round trips (maxConns < 1 is treated as 1).
+func DialTCPPool(addr string, maxConns int) (*TCPTransport, error) {
+	if maxConns < 1 {
+		maxConns = 1
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &TCPTransport{conn: conn}, nil
+	t := &TCPTransport{
+		addr:  addr,
+		slots: make(chan struct{}, maxConns),
+		free:  []net.Conn{conn},
+		conns: map[net.Conn]struct{}{conn: {}},
+	}
+	return t, nil
 }
 
-// RoundTrip implements RoundTripper.
-func (t *TCPTransport) RoundTrip(req []byte) ([]byte, error) {
-	if err := writeFrame(t.conn, req); err != nil {
+// acquire returns a free or freshly dialed connection, waiting when
+// maxConns are already in flight.
+func (t *TCPTransport) acquire() (net.Conn, error) {
+	t.slots <- struct{}{}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		<-t.slots
+		return nil, ErrClosed
+	}
+	if n := len(t.free); n > 0 {
+		conn := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.mu.Unlock()
+		return conn, nil
+	}
+	t.mu.Unlock()
+	conn, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		<-t.slots
 		return nil, err
 	}
-	return readFrame(t.conn)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		<-t.slots
+		return nil, ErrClosed
+	}
+	t.conns[conn] = struct{}{}
+	t.mu.Unlock()
+	return conn, nil
 }
 
-// Close implements RoundTripper.
-func (t *TCPTransport) Close() error { return t.conn.Close() }
+// release returns a healthy connection to the pool; broken connections
+// are discarded (the next acquire redials).
+func (t *TCPTransport) release(conn net.Conn, healthy bool) {
+	t.mu.Lock()
+	if !healthy || t.closed {
+		conn.Close()
+		delete(t.conns, conn)
+	} else {
+		t.free = append(t.free, conn)
+	}
+	t.mu.Unlock()
+	<-t.slots
+}
+
+// RoundTrip implements RoundTripper. It is safe for concurrent use.
+func (t *TCPTransport) RoundTrip(req []byte) ([]byte, error) {
+	conn, err := t.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, req); err != nil {
+		t.release(conn, false)
+		return nil, err
+	}
+	resp, err := readFrame(conn)
+	t.release(conn, err == nil)
+	return resp, err
+}
+
+// Close implements RoundTripper: it closes every pooled connection.
+// In-flight round trips fail as their connections close.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	var err error
+	for conn := range t.conns {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	t.conns = map[net.Conn]struct{}{}
+	t.free = nil
+	return err
+}

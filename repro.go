@@ -19,8 +19,14 @@
 //	res, _ := sess.Run(repro.UpJoin{}, repro.Spec{Kind: repro.Distance, Eps: 150})
 //	fmt.Println(len(res.Pairs), "pairs for", res.Stats.TotalBytes(), "bytes")
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// paper-vs-measured comparison of every figure.
+// Setting SessionConfig.Parallelism > 1 enables the concurrent execution
+// engine: independent requests to the two servers overlap, sibling
+// partitions run on a worker pool, and downloads pipeline with device-side
+// joins — with bit-identical results and byte accounting (see
+// docs/ARCHITECTURE.md).
+//
+// See README.md for a tour and docs/ARCHITECTURE.md for the layer stack
+// and the concurrency model.
 package repro
 
 import (
@@ -123,6 +129,15 @@ type SessionConfig struct {
 	PublishIndexes bool
 	// Seed drives algorithm-internal randomness.
 	Seed int64
+	// Parallelism bounds the number of concurrently in-flight operations
+	// per run. 0 or 1 reproduces the paper's single-threaded device;
+	// higher values enable the concurrent execution engine (parallel
+	// dual-server probing, a worker pool over sibling partitions, and
+	// download/join pipelining). Results and metered byte counts are
+	// identical to the sequential run; only wall-clock time changes. The
+	// in-process servers are given one worker goroutine per unit of
+	// parallelism.
+	Parallelism int
 }
 
 // Session is a ready-to-run device↔servers assembly using in-process
@@ -147,10 +162,14 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.PublishIndexes {
 		opts = append(opts, server.PublishIndex())
 	}
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
 	srvR := server.New("R", cfg.R, opts...)
 	srvS := server.New("S", cfg.S, opts...)
-	rtR := netsim.Serve(srvR)
-	rtS := netsim.Serve(srvS)
+	rtR := netsim.ServeParallel(srvR, workers)
+	rtS := netsim.ServeParallel(srvS, workers)
 	remR := client.NewRemote("R", rtR, netsim.DefaultLink(), cfg.PriceR)
 	remS := client.NewRemote("S", rtS, netsim.DefaultLink(), cfg.PriceS)
 	model := costmodel.Default()
@@ -158,6 +177,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	model.PriceR, model.PriceS = cfg.PriceR, cfg.PriceS
 	env := core.NewEnv(remR, remS, client.Device{BufferObjects: cfg.Buffer}, model, cfg.Window)
 	env.Seed = cfg.Seed
+	env.Parallelism = cfg.Parallelism
 	return &Session{env: env, rtR: rtR, rtS: rtS, remR: remR, remS: remS}, nil
 }
 

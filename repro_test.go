@@ -96,6 +96,36 @@ func TestSessionSemiJoinNeedsPublishedIndexes(t *testing.T) {
 	}
 }
 
+func TestSessionParallelismMatchesSequential(t *testing.T) {
+	r := GaussianClusters(400, 4, 250, World, 11)
+	s := GaussianClusters(400, 4, 250, World, 12)
+	spec := Spec{Kind: Distance, Eps: 120}
+	for _, alg := range []Algorithm{Naive{}, Grid{}, MobiJoin{}, UpJoin{}, SrJoin{}} {
+		seqSess := newTestSession(t, SessionConfig{R: r, S: s, Buffer: 300})
+		seq, err := seqSess.Run(alg, spec)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", alg.Name(), err)
+		}
+		parSess := newTestSession(t, SessionConfig{R: r, S: s, Buffer: 300, Parallelism: 4})
+		par, err := parSess.Run(alg, spec)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", alg.Name(), err)
+		}
+		if len(seq.Pairs) != len(par.Pairs) {
+			t.Fatalf("%s: parallel %d pairs, sequential %d", alg.Name(), len(par.Pairs), len(seq.Pairs))
+		}
+		for i := range seq.Pairs {
+			if seq.Pairs[i] != par.Pairs[i] {
+				t.Fatalf("%s: pair %d differs", alg.Name(), i)
+			}
+		}
+		if seq.Stats.TotalBytes() != par.Stats.TotalBytes() {
+			t.Fatalf("%s: parallel metered %d bytes, sequential %d",
+				alg.Name(), par.Stats.TotalBytes(), seq.Stats.TotalBytes())
+		}
+	}
+}
+
 func TestSessionNilAlgorithm(t *testing.T) {
 	sess := newTestSession(t, SessionConfig{R: nil, S: nil})
 	if _, err := sess.Run(nil, Spec{Kind: Distance, Eps: 1}); err == nil {
