@@ -1,0 +1,40 @@
+# Development entry points. CI runs the same commands (.github/workflows).
+
+GO ?= go
+DATE := $(shell date +%Y-%m-%d)
+
+.PHONY: all build test race bench bench-smoke fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the tracked hot-path benchmarks (bench/) with -benchmem and
+# records the medians as BENCH_<date>.json. Compare two runs with
+# benchstat, or diff the JSON against BENCH_baseline.json — see
+# docs/PERFORMANCE.md.
+# Two steps, not a pipeline: a failing benchmark run must fail make
+# instead of feeding partial output to benchjson.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 6 ./bench > bench.out.tmp
+	$(GO) run ./cmd/benchjson < bench.out.tmp > BENCH_$(DATE).json
+	@rm -f bench.out.tmp
+	@echo wrote BENCH_$(DATE).json
+
+# bench-smoke is the CI guard: every benchmark in the repository must at
+# least execute (one iteration), so bit-rotted benchmarks fail the build.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

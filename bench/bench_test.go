@@ -1,0 +1,121 @@
+// Package bench holds the repository's micro and macro benchmarks for the
+// request→index→reply hot path: the wire codec, the server's query
+// handlers, the device-side grid join, and a full UpJoin session. These
+// are the benchmarks tracked in BENCH_baseline.json (see make bench and
+// docs/PERFORMANCE.md); run them with
+//
+//	go test -run '^$' -bench . -benchmem ./bench
+//
+// and compare runs with benchstat.
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/bufpool"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/memjoin"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// sink defeats dead-code elimination across benchmark iterations.
+var sink int
+
+// BenchmarkWireRoundTrip measures one request/response codec cycle as the
+// transports execute it: encode a WINDOW request, decode it server-side,
+// encode a 64-object OBJECTS reply, decode it client-side. Since the
+// zero-allocation refactor, that path runs through the pooled append
+// codec and scratch-reusing decoders, exactly as Remote and the serving
+// loops drive it.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	w := geom.R(1000, 1000, 5000, 5000)
+	objs := dataset.GaussianClusters(64, 2, 300, dataset.World, 9)
+	var scratch []geom.Object
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := wire.AppendWindow(bufpool.Get(), w)
+		dw, err := wire.DecodeWindowLike(req, wire.MsgWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bufpool.Put(req)
+		resp := wire.AppendObjects(bufpool.Get(), objs)
+		scratch, err = wire.DecodeObjectsAppend(resp, scratch[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		bufpool.Put(resp)
+		sink += len(scratch) + int(dw.MinX)
+	}
+}
+
+// BenchmarkServerCount measures the server's aggregate-query handlers —
+// COUNT windows and RANGE-COUNT probes — end to end through Handle, the
+// entry point the transports drive. Aggregates are the paper's pruning
+// workhorse: a dense iceberg run issues thousands of them per join.
+func BenchmarkServerCount(b *testing.B) {
+	objs := dataset.GaussianClusters(20000, 8, 400, dataset.World, 11)
+	srv := server.New("R", objs)
+	bounds := srv.Tree().Bounds()
+	var reqs [][]byte
+	for _, q := range bounds.Grid(4) {
+		reqs = append(reqs, wire.EncodeCount(q))
+		reqs = append(reqs, wire.EncodeRangeCount(q.Center(), 300))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The serving-loop body both transports run for an AppendHandler:
+		// reply into a pooled buffer, recycle once delivered.
+		resp := srv.HandleAppend(reqs[i%len(reqs)], bufpool.Get())
+		sink += len(resp)
+		bufpool.Put(resp)
+	}
+}
+
+// BenchmarkGridJoin measures the device-side spatial-hash join that HBSJ
+// runs on every downloaded partition pair.
+func BenchmarkGridJoin(b *testing.B) {
+	r := dataset.GaussianClusters(2000, 4, 300, dataset.World, 21)
+	s := dataset.GaussianClusters(2000, 4, 300, dataset.World, 22)
+	pred := memjoin.WithinDist(75)
+	var dst []geom.Pair
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = memjoin.GridJoin(r, s, pred, memjoin.Options{}, dst[:0])
+		sink += len(dst)
+	}
+}
+
+// BenchmarkSessionUpJoin measures a full UpJoin execution — the paper's
+// headline algorithm — against in-process servers with no simulated
+// latency, so the measured time is pure compute: tree traversal, codec,
+// transport plumbing, and device-side joins.
+func BenchmarkSessionUpJoin(b *testing.B) {
+	robjs := dataset.GaussianClusters(1500, 6, 300, dataset.World, 31)
+	sobjs := dataset.GaussianClusters(1500, 6, 300, dataset.World, 32)
+	trR := netsim.Serve(server.New("R", robjs))
+	trS := netsim.Serve(server.New("S", sobjs))
+	defer trR.Close()
+	defer trS.Close()
+	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
+	s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	env := core.NewEnv(r, s, client.Device{BufferObjects: 500}, costmodel.Default(), dataset.World)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.UpJoin{}.Run(env, core.Spec{Kind: core.Distance, Eps: 75})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += len(res.Pairs)
+	}
+}

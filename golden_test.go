@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenBytes pins the exact metered wire bytes (Eq. 1 totals, per link)
+// of one fixed workload for every algorithm × join kind. The paper's
+// headline metric is transferred bytes, and PR invariants promise that
+// refactors of the codec, transports, or server internals never change
+// what crosses the wire — this test makes any drift fail loudly. If a
+// change is *supposed* to alter on-wire sizes (a protocol change), these
+// constants must be re-derived and the change called out in the PR.
+//
+// Values were recorded from the sequential (Parallelism 1) execution;
+// TestSessionParallelismMatchesSequential separately guarantees parallel
+// runs meter identically.
+var goldenBytes = map[string][2]int{
+	"naive/intersection":     {13948, 13948},
+	"naive/distance":         {14028, 14088},
+	"naive/iceberg":          {14028, 14088},
+	"grid/intersection":      {4182, 13434},
+	"grid/distance":          {4362, 13574},
+	"grid/iceberg":           {4362, 13574},
+	"mobiJoin/intersection":  {4308, 4944},
+	"mobiJoin/distance":      {4474, 5304},
+	"mobiJoin/iceberg":       {4474, 5356},
+	"upJoin/intersection":    {3566, 4622},
+	"upJoin/distance":        {3558, 5040},
+	"upJoin/iceberg":         {3558, 5040},
+	"upJoin/distance/bucket": {3490, 4404},
+	"upJoin/iceberg/bucket":  {3490, 4820},
+	"srJoin/intersection":    {2454, 2434},
+	"srJoin/distance":        {3472, 3428},
+	"srJoin/iceberg":         {3472, 3436},
+	"semiJoin/intersection":  {3190, 3280},
+	"semiJoin/distance":      {3190, 3280},
+}
+
+func TestGoldenByteAccounting(t *testing.T) {
+	robjs := GaussianClusters(600, 4, 250, World, 101)
+	sobjs := GaussianClusters(600, 4, 250, World, 102)
+
+	specs := map[string]Spec{
+		"intersection": {Kind: Intersection},
+		"distance":     {Kind: Distance, Eps: 75},
+		"iceberg":      {Kind: IcebergSemi, Eps: 75, MinMatches: 2},
+	}
+	algs := map[string]Algorithm{
+		"naive":    Naive{},
+		"grid":     Grid{},
+		"mobiJoin": MobiJoin{},
+		"upJoin":   UpJoin{},
+		"srJoin":   SrJoin{},
+		"semiJoin": SemiJoin{},
+	}
+
+	for name, want := range goldenBytes {
+		t.Run(name, func(t *testing.T) {
+			parts := strings.Split(name, "/") // alg/spec[/bucket]
+			algName, specName := parts[0], parts[1]
+			bucket := len(parts) == 3 && parts[2] == "bucket"
+			sess, err := NewSession(SessionConfig{
+				R: robjs, S: sobjs, Buffer: 500, Window: World,
+				Seed: 7, Bucket: bucket, PublishIndexes: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			res, err := sess.Run(algs[algName], specs[specName])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := [2]int{res.Stats.R.WireBytes, res.Stats.S.WireBytes}
+			if got != want {
+				t.Errorf("%s: metered bytes {R, S} = {%d, %d}, golden {%d, %d}",
+					name, got[0], got[1], want[0], want[1])
+			}
+		})
+	}
+}

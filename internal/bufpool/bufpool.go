@@ -1,0 +1,75 @@
+// Package bufpool is the byte-buffer free list shared by the wire codec,
+// the transports, and the server handlers. One pool serves all frame
+// sizes: buffers circulate from the encoder of one endpoint to the
+// decoder of the other and come back, so the steady state of a serving
+// loop performs no buffer allocation at all.
+//
+// Ownership convention (see docs/PERFORMANCE.md): whoever calls Get — or
+// receives a frame from a party that documents handing ownership over —
+// must either Put the buffer exactly once after its bytes are dead, or
+// drop it (dropping is always safe, it merely re-allocates later). A
+// buffer must never be Put while any decoded view of it is still in use,
+// and never Put twice.
+package bufpool
+
+import "sync"
+
+// maxPooled bounds the capacity of recycled buffers. Frames larger than
+// this (whole-dataset downloads in the hundreds of megabytes would need a
+// pathological workload) are left to the garbage collector rather than
+// pinned in the pool forever.
+const maxPooled = 8 << 20
+
+// entry boxes a slice so that Get/Put cycles allocate nothing: the boxes
+// themselves are recycled through entryPool when their payload moves out.
+type entry struct{ b []byte }
+
+var bufPool = sync.Pool{
+	New: func() any { return &entry{b: make([]byte, 0, 1024)} },
+}
+
+var entryPool = sync.Pool{
+	New: func() any { return new(entry) },
+}
+
+// Get returns an empty buffer (len 0) with whatever capacity the pool has
+// on hand. Append to it; hand it back with Put when its bytes are dead.
+func Get() []byte {
+	e := bufPool.Get().(*entry)
+	b := e.b
+	e.b = nil
+	entryPool.Put(e)
+	return b[:0]
+}
+
+// GetCap returns an empty buffer with capacity at least n. A pooled
+// buffer that is too small goes back to the pool (it keeps serving
+// smaller requests) rather than being dropped.
+func GetCap(n int) []byte {
+	b := Get()
+	if cap(b) < n {
+		Put(b)
+		b = make([]byte, 0, n)
+	}
+	return b
+}
+
+// SameBacking reports whether two slices share one allocation, by
+// comparing the address of the last element of each slice's capacity. It
+// catches any aliasing (including sub-slices at different offsets) —
+// exactly what a releaser must check before Putting both slices.
+func SameBacking(a, b []byte) bool {
+	return cap(a) > 0 && cap(b) > 0 && &a[:cap(a)][cap(a)-1] == &b[:cap(b)][cap(b)-1]
+}
+
+// Put recycles b. It is safe to Put buffers that did not come from Get
+// (they join the pool); it is never safe to Put the same buffer twice or
+// while its bytes are still referenced.
+func Put(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooled {
+		return
+	}
+	e := entryPool.Get().(*entry)
+	e.b = b[:0]
+	bufPool.Put(e)
+}

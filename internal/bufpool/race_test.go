@@ -1,0 +1,8 @@
+//go:build race
+
+package bufpool
+
+// raceEnabled gates allocation-count assertions: under -race, sync.Pool
+// randomly drops items and the instrumentation allocates, so
+// AllocsPerRun results are meaningless.
+const raceEnabled = true

@@ -7,6 +7,7 @@ package client
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/geom"
 	"repro/internal/netsim"
 	"repro/internal/wire"
@@ -32,6 +33,13 @@ func (d Device) CanHold(n int) bool {
 // for concurrent use: metering is atomic and both transports accept
 // concurrent in-flight round trips, so the concurrent executor may issue
 // several queries to the same server at once.
+//
+// Remote owns the frame buffers of its round trips: requests are encoded
+// into pooled buffers and recycled once the response arrives, and
+// response frames are recycled as soon as they are decoded (decoded
+// values never alias the frame). This assumes the server builds response
+// frames rather than echoing request bytes — true of the dataset server,
+// whose replies are always freshly encoded.
 type Remote struct {
 	name string
 	conn netsim.RoundTripper
@@ -57,118 +65,157 @@ func (r *Remote) Usage() netsim.Usage { return r.m.Usage() }
 // Close releases the underlying transport.
 func (r *Remote) Close() error { return r.conn.Close() }
 
+// roundTrip sends a pooled request frame and returns the response frame.
+// The request buffer is recycled on success (the transport no longer
+// references it once the response is in hand); on error it may still be
+// in flight, so it is left to the garbage collector. The caller owns the
+// returned response frame and must release it with putFrame after
+// decoding.
+//
+// The dataset server always encodes responses into fresh buffers, but a
+// custom in-process Handler could echo the request frame back; the
+// aliasing guard makes sure the shared backing is then released exactly
+// once (as the response), never double-Put.
 func (r *Remote) roundTrip(req []byte) ([]byte, error) {
 	resp, err := r.conn.RoundTrip(req)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", r.name, err)
 	}
+	if !bufpool.SameBacking(req, resp) {
+		bufpool.Put(req)
+	}
 	if wire.Type(resp) == wire.MsgError {
-		return nil, fmt.Errorf("%s: %w", r.name, wire.DecodeError(resp))
+		err := fmt.Errorf("%s: %w", r.name, wire.DecodeError(resp))
+		bufpool.Put(resp)
+		return nil, err
 	}
 	return resp, nil
 }
 
+// putFrame releases a decoded response frame back to the pool.
+func putFrame(resp []byte) { bufpool.Put(resp) }
+
 // Window returns all objects intersecting w.
 func (r *Remote) Window(w geom.Rect) ([]geom.Object, error) {
-	resp, err := r.roundTrip(wire.EncodeWindow(w))
+	resp, err := r.roundTrip(wire.AppendWindow(bufpool.Get(), w))
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeObjects(resp)
+	objs, err := wire.DecodeObjects(resp)
+	putFrame(resp)
+	return objs, err
 }
 
 // Count returns the number of objects intersecting w.
 func (r *Remote) Count(w geom.Rect) (int, error) {
-	resp, err := r.roundTrip(wire.EncodeCount(w))
+	resp, err := r.roundTrip(wire.AppendCount(bufpool.Get(), w))
 	if err != nil {
 		return 0, err
 	}
 	n, err := wire.DecodeCountReply(resp)
+	putFrame(resp)
 	return int(n), err
 }
 
 // AvgArea returns the mean MBR area of objects intersecting w.
 func (r *Remote) AvgArea(w geom.Rect) (float64, error) {
-	resp, err := r.roundTrip(wire.EncodeAvgArea(w))
+	resp, err := r.roundTrip(wire.AppendAvgArea(bufpool.Get(), w))
 	if err != nil {
 		return 0, err
 	}
-	return wire.DecodeFloatReply(resp)
+	f, err := wire.DecodeFloatReply(resp)
+	putFrame(resp)
+	return f, err
 }
 
 // Range returns the objects within distance eps of p.
 func (r *Remote) Range(p geom.Point, eps float64) ([]geom.Object, error) {
-	resp, err := r.roundTrip(wire.EncodeRange(p, eps))
+	resp, err := r.roundTrip(wire.AppendRange(bufpool.Get(), p, eps))
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeObjects(resp)
+	objs, err := wire.DecodeObjects(resp)
+	putFrame(resp)
+	return objs, err
 }
 
 // RangeCount returns the number of objects within distance eps of p.
 func (r *Remote) RangeCount(p geom.Point, eps float64) (int, error) {
-	resp, err := r.roundTrip(wire.EncodeRangeCount(p, eps))
+	resp, err := r.roundTrip(wire.AppendRangeCount(bufpool.Get(), p, eps))
 	if err != nil {
 		return 0, err
 	}
 	n, err := wire.DecodeCountReply(resp)
+	putFrame(resp)
 	return int(n), err
 }
 
 // BucketRange submits many ε-range probes at once and returns one result
 // group per probe, in probe order.
 func (r *Remote) BucketRange(pts []geom.Point, eps float64) ([][]geom.Object, error) {
-	resp, err := r.roundTrip(wire.EncodeBucketRange(pts, eps))
+	resp, err := r.roundTrip(wire.AppendBucketRange(bufpool.Get(), pts, eps))
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeBucketObjects(resp)
+	groups, err := wire.DecodeBucketObjects(resp)
+	putFrame(resp)
+	return groups, err
 }
 
 // BucketRangeCount submits many aggregate ε-range probes at once.
 func (r *Remote) BucketRangeCount(pts []geom.Point, eps float64) ([]int64, error) {
-	resp, err := r.roundTrip(wire.EncodeBucketRangeCount(pts, eps))
+	resp, err := r.roundTrip(wire.AppendBucketRangeCount(bufpool.Get(), pts, eps))
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeCountsReply(resp)
+	ns, err := wire.DecodeCountsReply(resp)
+	putFrame(resp)
+	return ns, err
 }
 
 // Info returns the server's advertised metadata.
 func (r *Remote) Info() (wire.Info, error) {
-	resp, err := r.roundTrip(wire.EncodeInfo())
+	resp, err := r.roundTrip(wire.AppendInfo(bufpool.Get()))
 	if err != nil {
 		return wire.Info{}, err
 	}
-	return wire.DecodeInfoReply(resp)
+	info, err := wire.DecodeInfoReply(resp)
+	putFrame(resp)
+	return info, err
 }
 
 // LevelMBRs returns the MBRs of one R-tree level (SemiJoin only; the
 // server refuses unless it publishes its index).
 func (r *Remote) LevelMBRs(level int) ([]geom.Rect, error) {
-	resp, err := r.roundTrip(wire.EncodeMBRLevel(level))
+	resp, err := r.roundTrip(wire.AppendMBRLevel(bufpool.Get(), level))
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeRects(resp)
+	rects, err := wire.DecodeRects(resp)
+	putFrame(resp)
+	return rects, err
 }
 
 // MBRMatch returns the distinct objects intersecting (within eps of) any
 // of the rects (SemiJoin only).
 func (r *Remote) MBRMatch(rects []geom.Rect, eps float64) ([]geom.Object, error) {
-	resp, err := r.roundTrip(wire.EncodeMBRMatch(rects, eps))
+	resp, err := r.roundTrip(wire.AppendMBRMatch(bufpool.Get(), rects, eps))
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeObjects(resp)
+	objs, err := wire.DecodeObjects(resp)
+	putFrame(resp)
+	return objs, err
 }
 
 // UploadJoin ships objects to the server, which joins them against its
 // dataset and returns pairs with the uploaded ID first (SemiJoin only).
 func (r *Remote) UploadJoin(objs []geom.Object, eps float64) ([]geom.Pair, error) {
-	resp, err := r.roundTrip(wire.EncodeUploadJoin(objs, eps))
+	resp, err := r.roundTrip(wire.AppendUploadJoin(bufpool.Get(), objs, eps))
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodePairs(resp)
+	pairs, err := wire.DecodePairs(resp)
+	putFrame(resp)
+	return pairs, err
 }

@@ -23,8 +23,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/geom"
 	"repro/internal/memjoin"
@@ -190,6 +191,6 @@ func icebergFilter(pairs []geom.Pair, robjs map[uint32]geom.Object, m int) []geo
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b geom.Object) int { return cmp.Compare(a.ID, b.ID) })
 	return out
 }

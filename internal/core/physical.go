@@ -2,10 +2,31 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/memjoin"
 )
+
+// joinScratch is the reusable device-side state of one local join or
+// probe collection: the pair buffer handed to the grid join and the
+// R-geometry map handed to the sink. Pooled because HBSJ partitions and
+// NLSJ probes run concurrently under a parallel environment.
+type joinScratch struct {
+	pairs []geom.Pair
+	rg    map[uint32]geom.Object
+}
+
+var joinScratchPool = sync.Pool{
+	New: func() any { return &joinScratch{rg: make(map[uint32]geom.Object)} },
+}
+
+func getJoinScratch() *joinScratch {
+	sc := joinScratchPool.Get().(*joinScratch)
+	sc.pairs = sc.pairs[:0]
+	clear(sc.rg)
+	return sc
+}
 
 // doHBSJ executes the hash-based spatial join on partition w: download
 // both windows and join on the device. When the buffer cannot hold both,
@@ -76,14 +97,17 @@ func (x *exec) doHBSJ(w geom.Rect, nr, ns cnt, depth int) error {
 
 // joinLocal joins two downloaded windows on the device and records the
 // pairs. Global dedup happens at result assembly, so the reference-point
-// rule is not needed here.
+// rule is not needed here. The pair buffer and geometry map come from the
+// pooled scratch; addPairs copies out of both, so they are safe to reuse
+// immediately.
 func (x *exec) joinLocal(robjs, sobjs []geom.Object) {
-	ps := memjoin.GridJoin(robjs, sobjs, x.pred, memjoin.Options{}, nil)
-	rg := make(map[uint32]geom.Object, len(robjs))
+	sc := getJoinScratch()
+	sc.pairs = memjoin.GridJoin(robjs, sobjs, x.pred, memjoin.Options{}, sc.pairs)
 	for _, o := range robjs {
-		rg[o.ID] = o
+		sc.rg[o.ID] = o
 	}
-	x.addPairs(ps, rg)
+	x.addPairs(sc.pairs, sc.rg)
+	joinScratchPool.Put(sc)
 }
 
 // doNLSJ executes the nested-loop spatial join on partition w with the
@@ -207,8 +231,7 @@ func (x *exec) bucketProbes(w geom.Rect, outer, inner side, outerObjs []geom.Obj
 // Matches are filtered by the predicate (window probes over-approximate
 // distance) and by the query-window semantics.
 func (x *exec) collectProbe(w geom.Rect, outer side, o geom.Object, matches []geom.Object) {
-	rg := make(map[uint32]geom.Object, 1)
-	var ps []geom.Pair
+	sc := getJoinScratch()
 	for _, m := range matches {
 		if !x.pred.Match(o.MBR, m.MBR) {
 			continue
@@ -224,10 +247,11 @@ func (x *exec) collectProbe(w geom.Rect, outer side, o geom.Object, matches []ge
 		if p, ok := geom.RefPointEps(r.MBR, s.MBR, x.spec.Eps); !ok || !x.window.ContainsPoint(p) {
 			continue
 		}
-		ps = append(ps, geom.Pair{RID: r.ID, SID: s.ID})
-		rg[r.ID] = r
+		sc.pairs = append(sc.pairs, geom.Pair{RID: r.ID, SID: s.ID})
+		sc.rg[r.ID] = r
 	}
-	x.addPairs(ps, rg)
+	x.addPairs(sc.pairs, sc.rg)
+	joinScratchPool.Put(sc)
 }
 
 // icebergCountable reports whether aggregate count-probes preserve the

@@ -161,6 +161,17 @@ func (r Rect) DistToPoint(p Point) float64 {
 	return math.Hypot(dx, dy)
 }
 
+// MaxDistToPoint returns the maximum Euclidean distance from p to any
+// point of r — the distance to the farthest corner. Together with
+// DistToPoint it brackets every point of r: if MaxDistToPoint(p) <= eps,
+// the whole rectangle (and any rectangle contained in it) lies within eps
+// of p.
+func (r Rect) MaxDistToPoint(p Point) float64 {
+	dx := math.Max(p.X-r.MinX, r.MaxX-p.X)
+	dy := math.Max(p.Y-r.MinY, r.MaxY-p.Y)
+	return math.Hypot(dx, dy)
+}
+
 // MinDist returns the minimum Euclidean distance between r and s.
 // It is zero when the rectangles intersect.
 func (r Rect) MinDist(s Rect) float64 {

@@ -143,6 +143,29 @@ func TestDistToPoint(t *testing.T) {
 	}
 }
 
+func TestMaxDistToPoint(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(0, 0), math.Hypot(10, 10)},   // corner: farthest is opposite corner
+		{Pt(5, 5), math.Hypot(5, 5)},     // center
+		{Pt(-10, 5), math.Hypot(20, 5)},  // outside left
+		{Pt(5, 25), math.Hypot(5, 25)},   // outside above
+		{Pt(10, 10), math.Hypot(10, 10)}, // corner
+	}
+	for _, tc := range cases {
+		if got := r.MaxDistToPoint(tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("MaxDistToPoint(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+		// Bracketing invariant with the minimum distance.
+		if r.DistToPoint(tc.p) > r.MaxDistToPoint(tc.p) {
+			t.Errorf("DistToPoint(%v) exceeds MaxDistToPoint", tc.p)
+		}
+	}
+}
+
 func TestMinDistAndWithinDist(t *testing.T) {
 	a := R(0, 0, 1, 1)
 	b := R(4, 5, 6, 7)

@@ -13,8 +13,10 @@
 package memjoin
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/geom"
 )
@@ -63,10 +65,51 @@ type Options struct {
 	Dedup bool
 }
 
+// Joiner is the reusable state of the spatial-hash join: the grid-cell
+// buckets (in compressed sparse row form), the per-candidate stamp array,
+// and nothing else. A Joiner amortizes all of its allocations across
+// invocations, so a session running HBSJ over many partitions joins each
+// one without touching the allocator. A Joiner is not safe for concurrent
+// use; concurrent callers take one each from the pool (see GridJoin) or
+// own one per worker.
+type Joiner struct {
+	cellStart []int32 // CSR offsets: cell c's build indices at items[cellStart[c]:cellStart[c+1]]
+	cellCur   []int32 // fill cursors (pass 2 scratch)
+	items     []int32 // build indices grouped by covered cell
+	stamp     []int32 // per-build-object stamp for per-probe candidate dedup
+}
+
+// NewJoiner returns an empty Joiner; its buffers grow to the workload's
+// high-water mark on first use and are reused afterwards.
+func NewJoiner() *Joiner { return &Joiner{} }
+
+// joinerPool backs the package-level GridJoin so that every caller —
+// including concurrent HBSJ workers — gets buffer reuse without owning a
+// Joiner explicitly.
+var joinerPool = sync.Pool{New: func() any { return NewJoiner() }}
+
 // GridJoin performs a spatial-hash join of r and s under pred, appending
 // qualifying pairs to dst. The grid resolution adapts to the input size.
-// This is the in-memory half of HBSJ.
+// This is the in-memory half of HBSJ. The call is backed by a pooled
+// Joiner, so its grid and stamp buffers are reused across invocations.
 func GridJoin(r, s []geom.Object, pred Pred, opt Options, dst []geom.Pair) []geom.Pair {
+	j := joinerPool.Get().(*Joiner)
+	dst = j.GridJoin(r, s, pred, opt, dst)
+	joinerPool.Put(j)
+	return dst
+}
+
+// grow32 resizes s to length n, reallocating only when capacity is short.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// GridJoin is the Joiner-owned form of the package-level GridJoin; it
+// emits exactly the same pairs in the same order.
+func (j *Joiner) GridJoin(r, s []geom.Object, pred Pred, opt Options, dst []geom.Pair) []geom.Pair {
 	if len(r) == 0 || len(s) == 0 {
 		return dst
 	}
@@ -115,23 +158,49 @@ func GridJoin(r, s []geom.Object, pred Pred, opt Options, dst []geom.Pair) []geo
 		return cx, cy
 	}
 
-	buckets := make(map[int][]int) // cell index -> build indices
+	// Bucket the build side in CSR form: count per cell, prefix-sum into
+	// offsets, then fill — two passes, zero per-cell allocations, and each
+	// cell's candidate list keeps build order (the same order the old
+	// map-of-slices produced, so pair emission order is unchanged).
+	cells := k * k
+	j.cellStart = grow32(j.cellStart, cells+1)
+	for i := range j.cellStart {
+		j.cellStart[i] = 0
+	}
+	total := 0
+	for _, o := range build {
+		x0, y0 := cellOf(o.MBR.MinX, o.MBR.MinY)
+		x1, y1 := cellOf(o.MBR.MaxX, o.MBR.MaxY)
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				j.cellStart[cy*k+cx+1]++
+				total++
+			}
+		}
+	}
+	for c := 0; c < cells; c++ {
+		j.cellStart[c+1] += j.cellStart[c]
+	}
+	j.cellCur = grow32(j.cellCur, cells)
+	copy(j.cellCur, j.cellStart[:cells])
+	j.items = grow32(j.items, total)
 	for i, o := range build {
 		x0, y0 := cellOf(o.MBR.MinX, o.MBR.MinY)
 		x1, y1 := cellOf(o.MBR.MaxX, o.MBR.MaxY)
 		for cy := y0; cy <= y1; cy++ {
 			for cx := x0; cx <= x1; cx++ {
-				idx := cy*k + cx
-				buckets[idx] = append(buckets[idx], i)
+				c := cy*k + cx
+				j.items[j.cellCur[c]] = int32(i)
+				j.cellCur[c]++
 			}
 		}
 	}
 
 	// To avoid emitting a pair once per shared cell, dedup candidates per
 	// probe with a stamp array.
-	stamp := make([]int, len(build))
-	for i := range stamp {
-		stamp[i] = -1
+	j.stamp = grow32(j.stamp, len(build))
+	for i := range j.stamp {
+		j.stamp[i] = -1
 	}
 	for pi, po := range probe {
 		q := po.MBR
@@ -142,11 +211,12 @@ func GridJoin(r, s []geom.Object, pred Pred, opt Options, dst []geom.Pair) []geo
 		x1, y1 := cellOf(q.MaxX, q.MaxY)
 		for cy := y0; cy <= y1; cy++ {
 			for cx := x0; cx <= x1; cx++ {
-				for _, bi := range buckets[cy*k+cx] {
-					if stamp[bi] == pi {
+				c := cy*k + cx
+				for _, bi := range j.items[j.cellStart[c]:j.cellStart[c+1]] {
+					if j.stamp[bi] == int32(pi) {
 						continue
 					}
-					stamp[bi] = pi
+					j.stamp[bi] = int32(pi)
 					var a, b geom.Object
 					if swapped {
 						a, b = po, build[bi]
@@ -174,8 +244,9 @@ func PlaneSweep(r, s []geom.Object, pred Pred, opt Options, dst []geom.Pair) []g
 	ss := make([]geom.Object, len(s))
 	copy(ss, s)
 	eps := pred.Eps
-	sort.Slice(rs, func(i, j int) bool { return rs[i].MBR.MinX < rs[j].MBR.MinX })
-	sort.Slice(ss, func(i, j int) bool { return ss[i].MBR.MinX < ss[j].MBR.MinX })
+	byMinX := func(a, b geom.Object) int { return cmp.Compare(a.MBR.MinX, b.MBR.MinX) }
+	slices.SortFunc(rs, byMinX)
+	slices.SortFunc(ss, byMinX)
 
 	i, j := 0, 0
 	for i < len(rs) && j < len(ss) {
@@ -217,12 +288,15 @@ func NestedLoop(r, s []geom.Object, pred Pred, opt Options, dst []geom.Pair) []g
 }
 
 // SortPairs orders pairs by (RID, SID); used to compare result sets.
+// slices.SortFunc avoids the reflection-based swapper of sort.Slice on
+// this extremely hot comparator (every partition's pairs pass through
+// DedupPairs).
 func SortPairs(ps []geom.Pair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].RID != ps[j].RID {
-			return ps[i].RID < ps[j].RID
+	slices.SortFunc(ps, func(a, b geom.Pair) int {
+		if c := cmp.Compare(a.RID, b.RID); c != 0 {
+			return c
 		}
-		return ps[i].SID < ps[j].SID
+		return cmp.Compare(a.SID, b.SID)
 	})
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package memjoin
+
+const raceEnabled = false

@@ -3,6 +3,8 @@ package netsim
 import (
 	"errors"
 	"sync"
+
+	"repro/internal/bufpool"
 )
 
 // Handler processes one request frame and produces one response frame.
@@ -12,11 +14,32 @@ type Handler interface {
 	Handle(req []byte) (resp []byte)
 }
 
+// AppendHandler is the zero-allocation variant of Handler: the response
+// frame is appended to a buffer the serving loop provides (and recycles
+// once the frame has been delivered). Both transports probe for it and
+// fall back to Handle, so implementing it is strictly an optimization —
+// the frames must be bit-identical either way.
+type AppendHandler interface {
+	Handler
+	HandleAppend(req, dst []byte) []byte
+}
+
 // HandlerFunc adapts a function to the Handler interface.
 type HandlerFunc func(req []byte) []byte
 
 // Handle implements Handler.
 func (f HandlerFunc) Handle(req []byte) []byte { return f(req) }
+
+// handleInto answers req with h, appending into a pooled buffer when h
+// supports it. Ownership of the returned frame passes to the consumer of
+// its bytes, which should bufpool.Put it once decoded (Putting a frame
+// that did not come from the pool is harmless).
+func handleInto(h Handler, req []byte) []byte {
+	if ah, ok := h.(AppendHandler); ok {
+		return ah.HandleAppend(req, bufpool.Get())
+	}
+	return h.Handle(req)
+}
 
 // ErrClosed is returned by transports after Close.
 var ErrClosed = errors.New("netsim: transport closed")
@@ -71,7 +94,7 @@ func ServeParallel(h Handler, workers int) *ChannelTransport {
 			for {
 				select {
 				case r := <-t.reqs:
-					r.reply <- h.Handle(r.frame)
+					r.reply <- handleInto(h, r.frame)
 				case <-t.closed:
 					return
 				}
@@ -85,18 +108,31 @@ func ServeParallel(h Handler, workers int) *ChannelTransport {
 	return t
 }
 
-// RoundTrip implements RoundTripper.
+// replyChanPool recycles the per-request reply channels, the last
+// per-round-trip allocation of the in-process transport.
+var replyChanPool = sync.Pool{
+	New: func() any { return make(chan []byte, 1) },
+}
+
+// RoundTrip implements RoundTripper. When the handler supports
+// AppendHandler, the returned frame is backed by the shared buffer pool;
+// the caller may bufpool.Put it after consuming its bytes.
 func (t *ChannelTransport) RoundTrip(req []byte) ([]byte, error) {
-	r := chanReq{frame: req, reply: make(chan []byte, 1)}
+	reply := replyChanPool.Get().(chan []byte)
+	r := chanReq{frame: req, reply: reply}
 	select {
 	case t.reqs <- r:
 	case <-t.closed:
+		replyChanPool.Put(reply)
 		return nil, ErrClosed
 	}
 	select {
 	case resp := <-r.reply:
+		replyChanPool.Put(reply)
 		return resp, nil
 	case <-t.closed:
+		// The request may still be in service; its late reply would land
+		// in this channel, so it cannot be reused.
 		return nil, ErrClosed
 	}
 }

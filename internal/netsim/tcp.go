@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"repro/internal/bufpool"
 )
 
 // TCP framing: each frame is preceded by a 4-byte little-endian length.
@@ -25,6 +27,9 @@ func writeFrame(w io.Writer, frame []byte) error {
 	return err
 }
 
+// readFrame reads one length-prefixed frame into a pooled buffer.
+// Ownership of the returned frame passes to the caller, which should
+// bufpool.Put it once its bytes are dead.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -34,8 +39,9 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("netsim: frame of %d bytes exceeds limit", n)
 	}
-	frame := make([]byte, n)
+	frame := bufpool.GetCap(int(n))[:n]
 	if _, err := io.ReadFull(r, frame); err != nil {
+		bufpool.Put(frame)
 		return nil, err
 	}
 	return frame, nil
@@ -98,12 +104,33 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	ah, appendable := s.h.(AppendHandler)
 	for {
 		req, err := readFrame(conn)
 		if err != nil {
 			return // client closed or broken frame
 		}
-		if err := writeFrame(conn, s.h.Handle(req)); err != nil {
+		if appendable {
+			// Zero-allocation steady state: request and response buffers
+			// cycle through the pool. HandleAppend's contract — the
+			// response is appended to our buffer and the request is not
+			// retained — makes both frames dead after the write. The
+			// aliasing guard protects the pool against a handler that
+			// breaks the contract by answering with the request's own
+			// bytes: the shared backing is then Put exactly once.
+			resp := ah.HandleAppend(req, bufpool.Get())
+			err = writeFrame(conn, resp)
+			if !bufpool.SameBacking(req, resp) {
+				bufpool.Put(req)
+			}
+			bufpool.Put(resp)
+		} else {
+			// A plain Handler may retain the request or answer with a
+			// frame aliasing it (an echo handler does), so neither buffer
+			// can be recycled safely.
+			err = writeFrame(conn, s.h.Handle(req))
+		}
+		if err != nil {
 			return
 		}
 	}

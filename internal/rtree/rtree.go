@@ -13,9 +13,11 @@
 package rtree
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/geom"
 )
@@ -70,15 +72,15 @@ func strLeaves(objs []geom.Object) []*node {
 	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
 	perSlice := sliceCount * MaxEntries
 
-	sort.Slice(sorted, func(i, j int) bool {
-		return sorted[i].MBR.Center().X < sorted[j].MBR.Center().X
+	slices.SortFunc(sorted, func(a, b geom.Object) int {
+		return cmp.Compare(a.MBR.Center().X, b.MBR.Center().X)
 	})
 	leaves := make([]*node, 0, leafCount)
 	for start := 0; start < n; start += perSlice {
 		end := min(start+perSlice, n)
 		slice := sorted[start:end]
-		sort.Slice(slice, func(i, j int) bool {
-			return slice[i].MBR.Center().Y < slice[j].MBR.Center().Y
+		slices.SortFunc(slice, func(a, b geom.Object) int {
+			return cmp.Compare(a.MBR.Center().Y, b.MBR.Center().Y)
 		})
 		for s := 0; s < len(slice); s += MaxEntries {
 			e := min(s+MaxEntries, len(slice))
@@ -97,15 +99,15 @@ func strPack(level []*node) []*node {
 	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
 	perSlice := sliceCount * MaxEntries
 
-	sort.Slice(level, func(i, j int) bool {
-		return level[i].mbr.Center().X < level[j].mbr.Center().X
+	slices.SortFunc(level, func(a, b *node) int {
+		return cmp.Compare(a.mbr.Center().X, b.mbr.Center().X)
 	})
 	parents := make([]*node, 0, parentCount)
 	for start := 0; start < n; start += perSlice {
 		end := min(start+perSlice, n)
 		slice := level[start:end]
-		sort.Slice(slice, func(i, j int) bool {
-			return slice[i].mbr.Center().Y < slice[j].mbr.Center().Y
+		slices.SortFunc(slice, func(a, b *node) int {
+			return cmp.Compare(a.mbr.Center().Y, b.mbr.Center().Y)
 		})
 		for s := 0; s < len(slice); s += MaxEntries {
 			e := min(s+MaxEntries, len(slice))
@@ -165,30 +167,65 @@ func (t *Tree) Bounds() geom.Rect {
 	return t.root.mbr
 }
 
+// stackPool recycles the explicit traversal stacks of the visitor
+// methods, so a query allocates nothing however deep the tree.
+var stackPool = sync.Pool{
+	New: func() any { s := make([]*node, 0, 64); return &s },
+}
+
+func getStack() *[]*node  { return stackPool.Get().(*[]*node) }
+func putStack(s *[]*node) { *s = (*s)[:0]; stackPool.Put(s) }
+
+// push appends the children of nd in reverse, so that popping from the
+// stack's tail visits them in their stored order — the visitor methods
+// therefore yield objects in exactly the order of the old recursive
+// traversal, which keeps response frames bit-identical.
+func push(s []*node, children []*node) []*node {
+	for i := len(children) - 1; i >= 0; i-- {
+		s = append(s, children[i])
+	}
+	return s
+}
+
+// SearchFunc calls visit for every object whose MBR intersects w, in the
+// tree's traversal order, stopping early when visit returns false. It
+// reports whether the traversal ran to completion. The traversal uses an
+// explicit, pooled stack and allocates nothing.
+func (t *Tree) SearchFunc(w geom.Rect, visit func(o geom.Object) bool) bool {
+	if t.root == nil {
+		return true
+	}
+	sp := getStack()
+	defer putStack(sp)
+	stack := append(*sp, t.root)
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !nd.mbr.Intersects(w) {
+			continue
+		}
+		if nd.leaf {
+			for _, o := range nd.objects {
+				if o.MBR.Intersects(w) && !visit(o) {
+					*sp = stack
+					return false
+				}
+			}
+			continue
+		}
+		stack = push(stack, nd.children)
+	}
+	*sp = stack
+	return true
+}
+
 // Search appends to dst all objects whose MBR intersects w and returns
 // the extended slice.
 func (t *Tree) Search(w geom.Rect, dst []geom.Object) []geom.Object {
-	if t.root == nil {
-		return dst
-	}
-	return searchNode(t.root, w, dst)
-}
-
-func searchNode(nd *node, w geom.Rect, dst []geom.Object) []geom.Object {
-	if !nd.mbr.Intersects(w) {
-		return dst
-	}
-	if nd.leaf {
-		for _, o := range nd.objects {
-			if o.MBR.Intersects(w) {
-				dst = append(dst, o)
-			}
-		}
-		return dst
-	}
-	for _, c := range nd.children {
-		dst = searchNode(c, w, dst)
-	}
+	t.SearchFunc(w, func(o geom.Object) bool {
+		dst = append(dst, o)
+		return true
+	})
 	return dst
 }
 
@@ -225,48 +262,97 @@ func countNode(nd *node, w geom.Rect) int {
 	return n
 }
 
+// SearchDistFunc calls visit for every object whose MBR lies within
+// Euclidean distance eps of point p, in the tree's traversal order,
+// stopping early when visit returns false. It reports whether the
+// traversal ran to completion. Like SearchFunc it allocates nothing.
+func (t *Tree) SearchDistFunc(p geom.Point, eps float64, visit func(o geom.Object) bool) bool {
+	if t.root == nil {
+		return true
+	}
+	sp := getStack()
+	defer putStack(sp)
+	stack := append(*sp, t.root)
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if nd.mbr.DistToPoint(p) > eps {
+			continue
+		}
+		if nd.leaf {
+			for _, o := range nd.objects {
+				if o.MBR.DistToPoint(p) <= eps && !visit(o) {
+					*sp = stack
+					return false
+				}
+			}
+			continue
+		}
+		stack = push(stack, nd.children)
+	}
+	*sp = stack
+	return true
+}
+
 // SearchDist appends to dst all objects whose MBR lies within Euclidean
 // distance eps of point p and returns the extended slice.
 func (t *Tree) SearchDist(p geom.Point, eps float64, dst []geom.Object) []geom.Object {
-	if t.root == nil {
-		return dst
-	}
-	return distNode(t.root, p, eps, dst)
-}
-
-func distNode(nd *node, p geom.Point, eps float64, dst []geom.Object) []geom.Object {
-	if nd.mbr.DistToPoint(p) > eps {
-		return dst
-	}
-	if nd.leaf {
-		for _, o := range nd.objects {
-			if o.MBR.DistToPoint(p) <= eps {
-				dst = append(dst, o)
-			}
-		}
-		return dst
-	}
-	for _, c := range nd.children {
-		dst = distNode(c, p, eps, dst)
-	}
+	t.SearchDistFunc(p, eps, func(o geom.Object) bool {
+		dst = append(dst, o)
+		return true
+	})
 	return dst
 }
 
 // CountDist returns the number of objects within distance eps of p.
+// Like Count, it is a pure aggregate traversal: a subtree whose MBR lies
+// entirely within eps of p contributes its stored count without descent
+// (every object MBR inside such a node is itself within eps), and no
+// result objects are ever materialized.
 func (t *Tree) CountDist(p geom.Point, eps float64) int {
-	return len(t.SearchDist(p, eps, nil))
+	if t.root == nil {
+		return 0
+	}
+	n := 0
+	sp := getStack()
+	defer putStack(sp)
+	stack := append(*sp, t.root)
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if nd.mbr.DistToPoint(p) > eps {
+			continue
+		}
+		if nd.mbr.MaxDistToPoint(p) <= eps {
+			n += nd.count
+			continue
+		}
+		if nd.leaf {
+			for _, o := range nd.objects {
+				if o.MBR.DistToPoint(p) <= eps {
+					n++
+				}
+			}
+			continue
+		}
+		stack = push(stack, nd.children)
+	}
+	*sp = stack
+	return n
 }
 
 // AvgArea returns the average MBR area of the objects intersecting w,
 // and 0 when no object intersects. It backs the AVG-AREA aggregate the
-// paper adds for polygon datasets (§3.1).
+// paper adds for polygon datasets (§3.1). The fold runs over the visitor,
+// so no result slice is materialized.
 func (t *Tree) AvgArea(w geom.Rect) float64 {
 	var sum float64
 	var n int
-	for _, o := range t.Search(w, nil) {
+	t.SearchFunc(w, func(o geom.Object) bool {
 		sum += o.MBR.Area()
 		n++
-	}
+		return true
+	})
 	if n == 0 {
 		return 0
 	}
@@ -316,11 +402,4 @@ func (t *Tree) All(dst []geom.Object) []geom.Object {
 	}
 	walk(t.root)
 	return dst
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

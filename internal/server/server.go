@@ -9,10 +9,18 @@
 // those message types are answered only when the server is constructed
 // with PublishIndex, mirroring the paper's observation that "in practice,
 // SemiJoin cannot be applied in our problem".
+//
+// The handlers are allocation-free in steady state: requests decode into
+// pooled per-handler scratch buffers, index queries run through the
+// aR-tree's visitor traversals, and replies are appended into the
+// caller-provided buffer (HandleAppend), so a serving loop that recycles
+// its frame buffers (as both netsim transports do) stays off the
+// allocator entirely.
 package server
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/memjoin"
@@ -21,13 +29,44 @@ import (
 )
 
 // Server answers wire-protocol requests for one spatial dataset.
-// It implements netsim.Handler and is safe for concurrent requests
-// (the tree is immutable after construction).
+// It implements netsim.Handler and netsim.AppendHandler and is safe for
+// concurrent requests (the tree is immutable after construction; mutable
+// per-request state lives in pooled scratch).
 type Server struct {
 	name         string
 	tree         *rtree.Tree
 	publishIndex bool
 	pointData    bool
+
+	// all is the dataset in tree order, precomputed once so UPLOAD-JOIN
+	// never re-materializes it per request. Only publishing servers can
+	// receive UPLOAD-JOIN, so it is built only under PublishIndex.
+	all []geom.Object
+	// maxID sizes the scratch bitset used for MBR-MATCH deduplication
+	// when denseIDs holds; dataset ids are dense in practice (datagen
+	// numbers them 0..n-1), but nothing enforces that, so sparse id
+	// spaces fall back to map-based dedup instead of a maxID-sized
+	// bitset.
+	maxID    uint32
+	denseIDs bool
+
+	scratch sync.Pool
+}
+
+// handlerScratch is the reusable per-request state of one in-flight
+// Handle call. Every slice is truncated, never freed, so each field
+// converges to its workload high-water mark.
+type handlerScratch struct {
+	objs    []geom.Object   // query results, flat across bucket groups
+	lens    []int           // bucket reply group lengths
+	pts     []geom.Point    // decoded bucket probe points
+	rects   []geom.Rect     // decoded MBR-MATCH rectangles
+	up      []geom.Object   // decoded UPLOAD-JOIN objects
+	counts  []int64         // bucket aggregate answers
+	pairs   []geom.Pair     // UPLOAD-JOIN results
+	seen    []uint64        // MBR-MATCH dedup bitset (dense id spaces)
+	seenMap map[uint32]bool // MBR-MATCH dedup fallback (sparse id spaces)
+	joiner  *memjoin.Joiner
 }
 
 // Option configures a Server.
@@ -46,11 +85,24 @@ func New(name string, objs []geom.Object, opts ...Option) *Server {
 	for _, o := range objs {
 		if !o.IsPoint() {
 			s.pointData = false
-			break
 		}
+		if o.ID > s.maxID {
+			s.maxID = o.ID
+		}
+	}
+	// The bitset costs maxID/64 words per scratch, which is only a win
+	// while ids stay within a small multiple of the cardinality.
+	s.denseIDs = int64(s.maxID) <= 4*int64(len(objs))+1024
+	s.scratch.New = func() any {
+		return &handlerScratch{joiner: memjoin.NewJoiner()}
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.publishIndex {
+		// Only publishing servers answer UPLOAD-JOIN, the one consumer of
+		// the materialized dataset snapshot.
+		s.all = s.tree.All(nil)
 	}
 	return s
 }
@@ -65,67 +117,88 @@ func (s *Server) Len() int { return s.tree.Len() }
 func (s *Server) Tree() *rtree.Tree { return s.tree }
 
 // Handle implements netsim.Handler: decode one request frame, answer one
-// response frame. Malformed or unsupported requests produce MsgError
-// frames rather than panics, so a misbehaving client cannot crash the
-// server.
+// freshly allocated response frame. Transports that recycle buffers use
+// HandleAppend instead; both produce bit-identical frames.
 func (s *Server) Handle(req []byte) []byte {
+	return s.HandleAppend(req, nil)
+}
+
+// HandleAppend implements netsim.AppendHandler: decode one request frame
+// and append exactly one response frame to dst, returning the extended
+// slice. Malformed or unsupported requests produce MsgError frames rather
+// than panics, so a misbehaving client cannot crash the server. The
+// request frame is not retained, and with a capacious dst the call does
+// not allocate.
+func (s *Server) HandleAppend(req, dst []byte) []byte {
+	sc := s.scratch.Get().(*handlerScratch)
+	defer s.scratch.Put(sc)
+
 	switch wire.Type(req) {
 	case wire.MsgWindow:
 		w, err := wire.DecodeWindowLike(req, wire.MsgWindow)
 		if err != nil {
-			return wire.EncodeError(err.Error())
+			return wire.AppendError(dst, err.Error())
 		}
-		return wire.EncodeObjects(s.tree.Search(w, nil))
+		sc.objs = s.tree.Search(w, sc.objs[:0])
+		return wire.AppendObjects(dst, sc.objs)
 
 	case wire.MsgCount:
 		w, err := wire.DecodeWindowLike(req, wire.MsgCount)
 		if err != nil {
-			return wire.EncodeError(err.Error())
+			return wire.AppendError(dst, err.Error())
 		}
-		return wire.EncodeCountReply(int64(s.tree.Count(w)))
+		return wire.AppendCountReply(dst, int64(s.tree.Count(w)))
 
 	case wire.MsgAvgArea:
 		w, err := wire.DecodeWindowLike(req, wire.MsgAvgArea)
 		if err != nil {
-			return wire.EncodeError(err.Error())
+			return wire.AppendError(dst, err.Error())
 		}
-		return wire.EncodeFloatReply(s.tree.AvgArea(w))
+		return wire.AppendFloatReply(dst, s.tree.AvgArea(w))
 
 	case wire.MsgRange:
 		p, eps, err := wire.DecodeRangeLike(req, wire.MsgRange)
 		if err != nil {
-			return wire.EncodeError(err.Error())
+			return wire.AppendError(dst, err.Error())
 		}
-		return wire.EncodeObjects(s.tree.SearchDist(p, eps, nil))
+		sc.objs = s.tree.SearchDist(p, eps, sc.objs[:0])
+		return wire.AppendObjects(dst, sc.objs)
 
 	case wire.MsgRangeCount:
 		p, eps, err := wire.DecodeRangeLike(req, wire.MsgRangeCount)
 		if err != nil {
-			return wire.EncodeError(err.Error())
+			return wire.AppendError(dst, err.Error())
 		}
-		return wire.EncodeCountReply(int64(s.tree.CountDist(p, eps)))
+		return wire.AppendCountReply(dst, int64(s.tree.CountDist(p, eps)))
 
 	case wire.MsgBucketRange:
-		pts, eps, err := wire.DecodeBucketRangeLike(req, wire.MsgBucketRange)
+		var eps float64
+		var err error
+		sc.pts, eps, err = wire.DecodeBucketRangeLikeAppend(req, wire.MsgBucketRange, sc.pts[:0])
 		if err != nil {
-			return wire.EncodeError(err.Error())
+			return wire.AppendError(dst, err.Error())
 		}
-		groups := make([][]geom.Object, len(pts))
-		for i, p := range pts {
-			groups[i] = s.tree.SearchDist(p, eps, nil)
+		sc.objs = sc.objs[:0]
+		sc.lens = sc.lens[:0]
+		for _, p := range sc.pts {
+			before := len(sc.objs)
+			sc.objs = s.tree.SearchDist(p, eps, sc.objs)
+			sc.lens = append(sc.lens, len(sc.objs)-before)
 		}
-		return wire.EncodeBucketObjects(groups)
+		return wire.AppendBucketObjectsFlat(dst, sc.lens, sc.objs)
 
 	case wire.MsgBucketRangeCount:
-		pts, eps, err := wire.DecodeBucketRangeLike(req, wire.MsgBucketRangeCount)
+		var eps float64
+		var err error
+		sc.pts, eps, err = wire.DecodeBucketRangeLikeAppend(req, wire.MsgBucketRangeCount, sc.pts[:0])
 		if err != nil {
-			return wire.EncodeError(err.Error())
+			return wire.AppendError(dst, err.Error())
 		}
-		ns := make([]int64, len(pts))
-		for i, p := range pts {
-			ns[i] = int64(s.tree.CountDist(p, eps))
+		sc.counts = sc.counts[:0]
+		for _, p := range sc.pts {
+			sc.counts = append(sc.counts, int64(s.tree.CountDist(p, eps)))
 		}
-		return wire.EncodeCountsReply(ns)
+		return wire.AppendCountsReply(dst, sc.counts)
 
 	case wire.MsgInfo:
 		info := wire.Info{
@@ -136,78 +209,121 @@ func (s *Server) Handle(req []byte) []byte {
 		if s.publishIndex {
 			info.TreeHeight = int32(s.tree.Height())
 		}
-		return wire.EncodeInfoReply(info)
+		return wire.AppendInfoReply(dst, info)
 
 	case wire.MsgMBRLevel:
 		if !s.publishIndex {
-			return wire.EncodeError(s.name + " does not publish its index")
+			return wire.AppendError(dst, s.name+" does not publish its index")
 		}
 		level, err := wire.DecodeMBRLevel(req)
 		if err != nil {
-			return wire.EncodeError(err.Error())
+			return wire.AppendError(dst, err.Error())
 		}
 		mbrs, err := s.tree.LevelMBRs(level)
 		if err != nil {
-			return wire.EncodeError(err.Error())
+			return wire.AppendError(dst, err.Error())
 		}
-		return wire.EncodeRects(mbrs)
+		return wire.AppendRects(dst, mbrs)
 
 	case wire.MsgMBRMatch:
 		if !s.publishIndex {
-			return wire.EncodeError(s.name + " does not publish its index")
+			return wire.AppendError(dst, s.name+" does not publish its index")
 		}
-		rects, eps, err := wire.DecodeMBRMatch(req)
+		var eps float64
+		var err error
+		sc.rects, eps, err = wire.DecodeMBRMatchAppend(req, sc.rects[:0])
 		if err != nil {
-			return wire.EncodeError(err.Error())
+			return wire.AppendError(dst, err.Error())
 		}
-		return wire.EncodeObjects(s.matchMBRs(rects, eps))
+		sc.objs = s.matchMBRs(sc, sc.rects, eps)
+		return wire.AppendObjects(dst, sc.objs)
 
 	case wire.MsgUploadJoin:
 		if !s.publishIndex {
-			return wire.EncodeError(s.name + " does not accept uploads")
+			return wire.AppendError(dst, s.name+" does not accept uploads")
 		}
-		objs, eps, err := wire.DecodeUploadJoin(req)
+		var eps float64
+		var err error
+		sc.up, eps, err = wire.DecodeUploadJoinAppend(req, sc.up[:0])
 		if err != nil {
-			return wire.EncodeError(err.Error())
+			return wire.AppendError(dst, err.Error())
 		}
-		return wire.EncodePairs(s.uploadJoin(objs, eps))
+		return wire.AppendPairs(dst, s.uploadJoin(sc, sc.up, eps))
 
 	default:
-		return wire.EncodeError(fmt.Sprintf("%s: unsupported request %v", s.name, wire.Type(req)))
+		return wire.AppendError(dst, fmt.Sprintf("%s: unsupported request %v", s.name, wire.Type(req)))
 	}
 }
 
-// matchMBRs returns the distinct objects intersecting (within eps of) any
-// of the rects.
-func (s *Server) matchMBRs(rects []geom.Rect, eps float64) []geom.Object {
-	seen := make(map[uint32]bool)
-	var out []geom.Object
+// matchMBRs collects into sc.objs the distinct objects intersecting
+// (within eps of) any of the rects, in first-seen traversal order —
+// identical to the historical map-based implementation. Dense id spaces
+// dedup through the scratch bitset; sparse ones (where a maxID-sized
+// bitset would dwarf the dataset) fall back to the scratch map, which
+// scales with the result instead.
+func (s *Server) matchMBRs(sc *handlerScratch, rects []geom.Rect, eps float64) []geom.Object {
+	var dedup func(id uint32) bool // reports first sighting
+	if s.denseIDs {
+		words := int(s.maxID/64) + 1
+		if cap(sc.seen) < words {
+			sc.seen = make([]uint64, words)
+		} else {
+			sc.seen = sc.seen[:words]
+			for i := range sc.seen {
+				sc.seen[i] = 0
+			}
+		}
+		dedup = func(id uint32) bool {
+			if sc.seen[id/64]&(1<<(id%64)) != 0 {
+				return false
+			}
+			sc.seen[id/64] |= 1 << (id % 64)
+			return true
+		}
+	} else {
+		if sc.seenMap == nil {
+			sc.seenMap = make(map[uint32]bool)
+		} else {
+			clear(sc.seenMap)
+		}
+		dedup = func(id uint32) bool {
+			if sc.seenMap[id] {
+				return false
+			}
+			sc.seenMap[id] = true
+			return true
+		}
+	}
+	out := sc.objs[:0]
 	for _, r := range rects {
 		q := r
 		if eps > 0 {
 			q = r.Expand(eps)
 		}
-		for _, o := range s.tree.Search(q, nil) {
+		r := r
+		s.tree.SearchFunc(q, func(o geom.Object) bool {
 			if eps > 0 && !o.MBR.WithinDist(r, eps) {
-				continue
+				return true
 			}
-			if !seen[o.ID] {
-				seen[o.ID] = true
+			if dedup(o.ID) {
 				out = append(out, o)
 			}
-		}
+			return true
+		})
 	}
+	sc.objs = out
 	return out
 }
 
 // uploadJoin joins uploaded objects against the local dataset and returns
-// pairs (uploaded ID first). It reuses the device-side grid join.
-func (s *Server) uploadJoin(objs []geom.Object, eps float64) []geom.Pair {
-	local := s.tree.All(nil)
+// pairs (uploaded ID first). It reuses the device-side grid join through
+// the scratch's Joiner and pair buffer.
+func (s *Server) uploadJoin(sc *handlerScratch, objs []geom.Object, eps float64) []geom.Pair {
 	pred := memjoin.Intersection()
 	if eps > 0 {
 		pred = memjoin.WithinDist(eps)
 	}
-	pairs := memjoin.GridJoin(objs, local, pred, memjoin.Options{}, nil)
-	return memjoin.DedupPairs(pairs)
+	sc.pairs = sc.joiner.GridJoin(objs, s.all, pred, memjoin.Options{}, sc.pairs[:0])
+	sc.pairs = memjoin.DedupPairs(sc.pairs)
+	return sc.pairs
 }

@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestAppendEncodersMatchEncode pins the core invariant of the pooled
+// codec: every Append* form produces bytes identical to its Encode*
+// form, with or without a pre-existing prefix in the destination buffer.
+// Metered byte counts therefore cannot depend on which form a caller
+// uses.
+func TestAppendEncodersMatchEncode(t *testing.T) {
+	w := geom.R(1, 2, 300, 400)
+	p := geom.Pt(7, 9)
+	pts := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}, {X: 5, Y: 6}}
+	rects := []geom.Rect{geom.R(0, 0, 1, 1), geom.R(2, 2, 5, 9)}
+	objs := []geom.Object{
+		{ID: 1, MBR: geom.R(0, 0, 2, 2)},
+		{ID: 9, MBR: geom.R(5, 5, 6, 8)},
+	}
+	groups := [][]geom.Object{objs, nil, {objs[1]}}
+	pairs := []geom.Pair{{RID: 1, SID: 2}, {RID: 3, SID: 4}}
+	ns := []int64{0, -5, 1 << 40}
+	info := Info{Count: 42, Bounds: w, TreeHeight: 3, PointData: true}
+
+	cases := []struct {
+		name   string
+		enc    []byte
+		append func(dst []byte) []byte
+	}{
+		{"window", EncodeWindow(w), func(d []byte) []byte { return AppendWindow(d, w) }},
+		{"count", EncodeCount(w), func(d []byte) []byte { return AppendCount(d, w) }},
+		{"avgarea", EncodeAvgArea(w), func(d []byte) []byte { return AppendAvgArea(d, w) }},
+		{"range", EncodeRange(p, 2.5), func(d []byte) []byte { return AppendRange(d, p, 2.5) }},
+		{"rangecount", EncodeRangeCount(p, 2.5), func(d []byte) []byte { return AppendRangeCount(d, p, 2.5) }},
+		{"bucketrange", EncodeBucketRange(pts, 3), func(d []byte) []byte { return AppendBucketRange(d, pts, 3) }},
+		{"bucketrangecount", EncodeBucketRangeCount(pts, 3), func(d []byte) []byte { return AppendBucketRangeCount(d, pts, 3) }},
+		{"info", EncodeInfo(), AppendInfo},
+		{"mbrlevel", EncodeMBRLevel(2), func(d []byte) []byte { return AppendMBRLevel(d, 2) }},
+		{"mbrmatch", EncodeMBRMatch(rects, 1.5), func(d []byte) []byte { return AppendMBRMatch(d, rects, 1.5) }},
+		{"uploadjoin", EncodeUploadJoin(objs, 1.5), func(d []byte) []byte { return AppendUploadJoin(d, objs, 1.5) }},
+		{"objects", EncodeObjects(objs), func(d []byte) []byte { return AppendObjects(d, objs) }},
+		{"countreply", EncodeCountReply(-7), func(d []byte) []byte { return AppendCountReply(d, -7) }},
+		{"countsreply", EncodeCountsReply(ns), func(d []byte) []byte { return AppendCountsReply(d, ns) }},
+		{"floatreply", EncodeFloatReply(3.25), func(d []byte) []byte { return AppendFloatReply(d, 3.25) }},
+		{"bucketobjects", EncodeBucketObjects(groups), func(d []byte) []byte { return AppendBucketObjects(d, groups) }},
+		{"inforeply", EncodeInfoReply(info), func(d []byte) []byte { return AppendInfoReply(d, info) }},
+		{"rects", EncodeRects(rects), func(d []byte) []byte { return AppendRects(d, rects) }},
+		{"pairs", EncodePairs(pairs), func(d []byte) []byte { return AppendPairs(d, pairs) }},
+		{"error", EncodeError("boom"), func(d []byte) []byte { return AppendError(d, "boom") }},
+	}
+	for _, tc := range cases {
+		if got := tc.append(nil); !bytes.Equal(got, tc.enc) {
+			t.Errorf("%s: Append(nil) = %x, Encode = %x", tc.name, got, tc.enc)
+		}
+		prefix := []byte{0xAA, 0xBB}
+		got := tc.append(append([]byte(nil), prefix...))
+		if !bytes.Equal(got[:2], prefix) {
+			t.Errorf("%s: prefix clobbered", tc.name)
+		}
+		if !bytes.Equal(got[2:], tc.enc) {
+			t.Errorf("%s: Append(prefix) payload = %x, Encode = %x", tc.name, got[2:], tc.enc)
+		}
+	}
+}
+
+// TestAppendBucketObjectsFlatMatchesNested checks the flat (scratch-
+// friendly) bucket encoder against the nested one, including empty
+// groups.
+func TestAppendBucketObjectsFlatMatchesNested(t *testing.T) {
+	groups := [][]geom.Object{
+		{{ID: 1, MBR: geom.R(0, 0, 1, 1)}, {ID: 2, MBR: geom.R(1, 1, 2, 2)}},
+		nil,
+		{{ID: 3, MBR: geom.R(4, 4, 5, 5)}},
+	}
+	var lens []int
+	var flat []geom.Object
+	for _, g := range groups {
+		lens = append(lens, len(g))
+		flat = append(flat, g...)
+	}
+	want := EncodeBucketObjects(groups)
+	got := AppendBucketObjectsFlat(nil, lens, flat)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("flat = %x, nested = %x", got, want)
+	}
+}
+
+// TestScratchDecodersMatchPlain checks every DecodeXAppend variant
+// against its allocating form, both from empty and from non-empty
+// scratch (the appended records must land after the existing ones).
+func TestScratchDecodersMatchPlain(t *testing.T) {
+	objs := []geom.Object{
+		{ID: 1, MBR: geom.R(0, 0, 2, 2)},
+		{ID: 9, MBR: geom.R(5, 5, 6, 8)},
+	}
+	rects := []geom.Rect{geom.R(0, 0, 1, 1), geom.R(2, 2, 5, 9)}
+	pts := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	pairs := []geom.Pair{{RID: 1, SID: 2}, {RID: 3, SID: 4}}
+	ns := []int64{5, -2}
+
+	scratch := make([]geom.Object, 1, 8)
+	scratch[0] = geom.Object{ID: 77}
+	got, err := DecodeObjectsAppend(EncodeObjects(objs), scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].ID != 77 || got[1] != objs[0] || got[2] != objs[1] {
+		t.Fatalf("DecodeObjectsAppend = %+v", got)
+	}
+
+	rs, err := DecodeRectsAppend(EncodeRects(rects), nil)
+	if err != nil || len(rs) != 2 || rs[0] != rects[0] || rs[1] != rects[1] {
+		t.Fatalf("DecodeRectsAppend = %+v, %v", rs, err)
+	}
+
+	ps, err := DecodePairsAppend(EncodePairs(pairs), nil)
+	if err != nil || len(ps) != 2 || ps[0] != pairs[0] || ps[1] != pairs[1] {
+		t.Fatalf("DecodePairsAppend = %+v, %v", ps, err)
+	}
+
+	cs, err := DecodeCountsReplyAppend(EncodeCountsReply(ns), nil)
+	if err != nil || len(cs) != 2 || cs[0] != 5 || cs[1] != -2 {
+		t.Fatalf("DecodeCountsReplyAppend = %+v, %v", cs, err)
+	}
+
+	dp, eps, err := DecodeBucketRangeLikeAppend(EncodeBucketRange(pts, 3), MsgBucketRange, nil)
+	if err != nil || eps != 3 || len(dp) != 2 {
+		t.Fatalf("DecodeBucketRangeLikeAppend = %+v, %v, %v", dp, eps, err)
+	}
+
+	dr, eps, err := DecodeMBRMatchAppend(EncodeMBRMatch(rects, 1.5), nil)
+	if err != nil || eps != 1.5 || len(dr) != 2 {
+		t.Fatalf("DecodeMBRMatchAppend = %+v, %v, %v", dr, eps, err)
+	}
+
+	du, eps, err := DecodeUploadJoinAppend(EncodeUploadJoin(objs, 0), nil)
+	if err != nil || eps != 0 || len(du) != 2 {
+		t.Fatalf("DecodeUploadJoinAppend = %+v, %v, %v", du, eps, err)
+	}
+}

@@ -3,8 +3,41 @@ package wire
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/geom"
+)
+
+// Decoders for repeated payloads come in two forms: DecodeXAppend appends
+// the decoded records to a caller-provided slice (typically a per-handler
+// scratch buffer) and allocates nothing when capacity suffices; DecodeX is
+// the convenience form returning a fresh exact-length slice. Decoded
+// records never alias the frame, so the frame's buffer may be recycled
+// (bufpool.Put) as soon as decoding returns.
+
+// repeatedPayload validates the shared shape of every repeated-payload
+// frame — a hdr-byte header whose last four bytes are the record count,
+// followed by exactly n records of rec bytes — and returns n. what is
+// the ErrShortFrame detail format (must contain one %d for the count).
+// The per-record copy loops stay monomorphic at each call site: routing
+// them through a func parameter costs an indirect call per record, which
+// is measurable on the wire benchmark.
+func repeatedPayload(frame []byte, want MsgType, hdr, rec int, what string) (int, error) {
+	if err := check(frame, want, hdr); err != nil {
+		return 0, err
+	}
+	n := int(le.Uint32(frame[hdr-4:]))
+	if len(frame) != hdr+rec*n {
+		return 0, fmt.Errorf("%w: "+what, ErrShortFrame, n)
+	}
+	return n, nil
+}
+
+// Header sizes of the two repeated-payload layouts: responses are
+// [type][n:4]; eps-carrying requests are [type][eps:4][n:4].
+const (
+	replyHdr = 1 + 4
+	epsHdr   = 1 + 4 + 4
 )
 
 // Type returns the message type of a frame without decoding the payload.
@@ -60,21 +93,21 @@ func f32(b []byte) float32 {
 // DecodeBucketRangeLike decodes BUCKET-RANGE and BUCKET-RANGE-COUNT
 // requests.
 func DecodeBucketRangeLike(frame []byte, want MsgType) ([]geom.Point, float64, error) {
-	if err := check(frame, want, 1+4+4); err != nil {
-		return nil, 0, err
+	return DecodeBucketRangeLikeAppend(frame, want, nil)
+}
+
+// DecodeBucketRangeLikeAppend is DecodeBucketRangeLike appending the probe
+// points to dst.
+func DecodeBucketRangeLikeAppend(frame []byte, want MsgType, dst []geom.Point) ([]geom.Point, float64, error) {
+	n, err := repeatedPayload(frame, want, epsHdr, PointSize, "bucket of %d points")
+	if err != nil {
+		return dst, 0, err
 	}
-	eps := float64(f32(frame[1:]))
-	n := int(le.Uint32(frame[5:]))
-	if len(frame) != 9+PointSize*n {
-		return nil, 0, fmt.Errorf("%w: bucket of %d points", ErrShortFrame, n)
+	dst = slices.Grow(dst, n)
+	for off := epsHdr; n > 0; n, off = n-1, off+PointSize {
+		dst = append(dst, getPoint(frame[off:]))
 	}
-	pts := make([]geom.Point, n)
-	off := 9
-	for i := range pts {
-		pts[i] = getPoint(frame[off:])
-		off += PointSize
-	}
-	return pts, eps, nil
+	return dst, float64(f32(frame[1:])), nil
 }
 
 // DecodeMBRLevel decodes an MBR-LEVEL request.
@@ -87,58 +120,56 @@ func DecodeMBRLevel(frame []byte) (int, error) {
 
 // DecodeMBRMatch decodes an MBR-MATCH request.
 func DecodeMBRMatch(frame []byte) ([]geom.Rect, float64, error) {
-	if err := check(frame, MsgMBRMatch, 1+4+4); err != nil {
-		return nil, 0, err
+	return DecodeMBRMatchAppend(frame, nil)
+}
+
+// DecodeMBRMatchAppend is DecodeMBRMatch appending the rectangles to dst.
+func DecodeMBRMatchAppend(frame []byte, dst []geom.Rect) ([]geom.Rect, float64, error) {
+	n, err := repeatedPayload(frame, MsgMBRMatch, epsHdr, RectSize, "batch of %d rects")
+	if err != nil {
+		return dst, 0, err
 	}
-	eps := float64(f32(frame[1:]))
-	n := int(le.Uint32(frame[5:]))
-	if len(frame) != 9+RectSize*n {
-		return nil, 0, fmt.Errorf("%w: batch of %d rects", ErrShortFrame, n)
+	dst = slices.Grow(dst, n)
+	for off := epsHdr; n > 0; n, off = n-1, off+RectSize {
+		dst = append(dst, getRect(frame[off:]))
 	}
-	rects := make([]geom.Rect, n)
-	off := 9
-	for i := range rects {
-		rects[i] = getRect(frame[off:])
-		off += RectSize
-	}
-	return rects, eps, nil
+	return dst, float64(f32(frame[1:])), nil
 }
 
 // DecodeUploadJoin decodes an UPLOAD-JOIN request.
 func DecodeUploadJoin(frame []byte) ([]geom.Object, float64, error) {
-	if err := check(frame, MsgUploadJoin, 1+4+4); err != nil {
-		return nil, 0, err
+	return DecodeUploadJoinAppend(frame, nil)
+}
+
+// DecodeUploadJoinAppend is DecodeUploadJoin appending the objects to dst.
+func DecodeUploadJoinAppend(frame []byte, dst []geom.Object) ([]geom.Object, float64, error) {
+	n, err := repeatedPayload(frame, MsgUploadJoin, epsHdr, ObjectSize, "upload of %d objects")
+	if err != nil {
+		return dst, 0, err
 	}
-	eps := float64(f32(frame[1:]))
-	n := int(le.Uint32(frame[5:]))
-	if len(frame) != 9+ObjectSize*n {
-		return nil, 0, fmt.Errorf("%w: upload of %d objects", ErrShortFrame, n)
+	dst = slices.Grow(dst, n)
+	for off := epsHdr; n > 0; n, off = n-1, off+ObjectSize {
+		dst = append(dst, getObject(frame[off:]))
 	}
-	objs := make([]geom.Object, n)
-	off := 9
-	for i := range objs {
-		objs[i] = getObject(frame[off:])
-		off += ObjectSize
-	}
-	return objs, eps, nil
+	return dst, float64(f32(frame[1:])), nil
 }
 
 // DecodeObjects decodes an OBJECTS response.
 func DecodeObjects(frame []byte) ([]geom.Object, error) {
-	if err := check(frame, MsgObjects, 1+4); err != nil {
-		return nil, err
+	return DecodeObjectsAppend(frame, nil)
+}
+
+// DecodeObjectsAppend is DecodeObjects appending the objects to dst.
+func DecodeObjectsAppend(frame []byte, dst []geom.Object) ([]geom.Object, error) {
+	n, err := repeatedPayload(frame, MsgObjects, replyHdr, ObjectSize, "objects response of %d")
+	if err != nil {
+		return dst, err
 	}
-	n := int(le.Uint32(frame[1:]))
-	if len(frame) != 5+ObjectSize*n {
-		return nil, fmt.Errorf("%w: objects response of %d", ErrShortFrame, n)
+	dst = slices.Grow(dst, n)
+	for off := replyHdr; n > 0; n, off = n-1, off+ObjectSize {
+		dst = append(dst, getObject(frame[off:]))
 	}
-	objs := make([]geom.Object, n)
-	off := 5
-	for i := range objs {
-		objs[i] = getObject(frame[off:])
-		off += ObjectSize
-	}
-	return objs, nil
+	return dst, nil
 }
 
 // DecodeCountReply decodes a COUNT-REPLY response.
@@ -151,20 +182,20 @@ func DecodeCountReply(frame []byte) (int64, error) {
 
 // DecodeCountsReply decodes a COUNTS-REPLY response.
 func DecodeCountsReply(frame []byte) ([]int64, error) {
-	if err := check(frame, MsgCountsReply, 1+4); err != nil {
-		return nil, err
+	return DecodeCountsReplyAppend(frame, nil)
+}
+
+// DecodeCountsReplyAppend is DecodeCountsReply appending the counts to dst.
+func DecodeCountsReplyAppend(frame []byte, dst []int64) ([]int64, error) {
+	n, err := repeatedPayload(frame, MsgCountsReply, replyHdr, CountSize, "counts response of %d")
+	if err != nil {
+		return dst, err
 	}
-	n := int(le.Uint32(frame[1:]))
-	if len(frame) != 5+CountSize*n {
-		return nil, fmt.Errorf("%w: counts response of %d", ErrShortFrame, n)
+	dst = slices.Grow(dst, n)
+	for off := replyHdr; n > 0; n, off = n-1, off+CountSize {
+		dst = append(dst, int64(le.Uint64(frame[off:])))
 	}
-	ns := make([]int64, n)
-	off := 5
-	for i := range ns {
-		ns[i] = int64(le.Uint64(frame[off:]))
-		off += CountSize
-	}
-	return ns, nil
+	return dst, nil
 }
 
 // DecodeFloatReply decodes a FLOAT-REPLY response.
@@ -220,38 +251,38 @@ func DecodeInfoReply(frame []byte) (Info, error) {
 
 // DecodeRects decodes a RECTS response.
 func DecodeRects(frame []byte) ([]geom.Rect, error) {
-	if err := check(frame, MsgRects, 1+4); err != nil {
-		return nil, err
+	return DecodeRectsAppend(frame, nil)
+}
+
+// DecodeRectsAppend is DecodeRects appending the rectangles to dst.
+func DecodeRectsAppend(frame []byte, dst []geom.Rect) ([]geom.Rect, error) {
+	n, err := repeatedPayload(frame, MsgRects, replyHdr, RectSize, "rects response of %d")
+	if err != nil {
+		return dst, err
 	}
-	n := int(le.Uint32(frame[1:]))
-	if len(frame) != 5+RectSize*n {
-		return nil, fmt.Errorf("%w: rects response of %d", ErrShortFrame, n)
+	dst = slices.Grow(dst, n)
+	for off := replyHdr; n > 0; n, off = n-1, off+RectSize {
+		dst = append(dst, getRect(frame[off:]))
 	}
-	rects := make([]geom.Rect, n)
-	off := 5
-	for i := range rects {
-		rects[i] = getRect(frame[off:])
-		off += RectSize
-	}
-	return rects, nil
+	return dst, nil
 }
 
 // DecodePairs decodes a PAIRS response.
 func DecodePairs(frame []byte) ([]geom.Pair, error) {
-	if err := check(frame, MsgPairs, 1+4); err != nil {
-		return nil, err
+	return DecodePairsAppend(frame, nil)
+}
+
+// DecodePairsAppend is DecodePairs appending the pairs to dst.
+func DecodePairsAppend(frame []byte, dst []geom.Pair) ([]geom.Pair, error) {
+	n, err := repeatedPayload(frame, MsgPairs, replyHdr, PairSize, "pairs response of %d")
+	if err != nil {
+		return dst, err
 	}
-	n := int(le.Uint32(frame[1:]))
-	if len(frame) != 5+PairSize*n {
-		return nil, fmt.Errorf("%w: pairs response of %d", ErrShortFrame, n)
+	dst = slices.Grow(dst, n)
+	for off := replyHdr; n > 0; n, off = n-1, off+PairSize {
+		dst = append(dst, geom.Pair{RID: le.Uint32(frame[off:]), SID: le.Uint32(frame[off+4:])})
 	}
-	pairs := make([]geom.Pair, n)
-	off := 5
-	for i := range pairs {
-		pairs[i] = geom.Pair{RID: le.Uint32(frame[off:]), SID: le.Uint32(frame[off+4:])}
-		off += PairSize
-	}
-	return pairs, nil
+	return dst, nil
 }
 
 // DecodeError decodes an ERROR response into a Go error.

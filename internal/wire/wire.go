@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/geom"
 )
@@ -177,55 +178,69 @@ func getObject(b []byte) geom.Object {
 func putFloat64(b []byte, f float64) { le.PutUint64(b, math.Float64bits(f)) }
 func getFloat64(b []byte) float64    { return math.Float64frombits(le.Uint64(b)) }
 
-// --- request frames -----------------------------------------------------
+// --- append-style encoding ------------------------------------------------
 
-// EncodeWindow encodes a WINDOW query for window w.
+// All frame encoders come in two forms: AppendX appends the frame to a
+// caller-provided buffer (typically obtained from package bufpool) and
+// returns the extended slice, allocating nothing when capacity suffices;
+// EncodeX is the convenience form allocating a fresh exact-length frame.
+// Both produce bit-identical bytes, so metering never depends on which
+// form a caller uses.
+
+// grow extends dst by n bytes and returns the extended slice plus the
+// n-byte window to fill.
+func grow(dst []byte, n int) ([]byte, []byte) {
+	l := len(dst)
+	dst = slices.Grow(dst, n)[:l+n]
+	return dst, dst[l:]
+}
+
+// appendRectFrame appends a [type + rect] frame (WINDOW, COUNT, AVG-AREA).
+func appendRectFrame(dst []byte, t MsgType, w geom.Rect) []byte {
+	dst, b := grow(dst, 1+RectSize)
+	b[0] = byte(t)
+	putRect(b[1:], w)
+	return dst
+}
+
+// AppendWindow appends a WINDOW query frame for window w.
 // Frame: type + rect = 17 bytes.
-func EncodeWindow(w geom.Rect) []byte {
-	b := make([]byte, 1+RectSize)
-	b[0] = byte(MsgWindow)
-	putRect(b[1:], w)
-	return b
+func AppendWindow(dst []byte, w geom.Rect) []byte {
+	return appendRectFrame(dst, MsgWindow, w)
 }
 
-// EncodeCount encodes a COUNT query for window w.
-func EncodeCount(w geom.Rect) []byte {
-	b := make([]byte, 1+RectSize)
-	b[0] = byte(MsgCount)
-	putRect(b[1:], w)
-	return b
+// AppendCount appends a COUNT query frame for window w.
+func AppendCount(dst []byte, w geom.Rect) []byte {
+	return appendRectFrame(dst, MsgCount, w)
 }
 
-// EncodeAvgArea encodes an AVG-AREA aggregate query for window w.
-func EncodeAvgArea(w geom.Rect) []byte {
-	b := make([]byte, 1+RectSize)
-	b[0] = byte(MsgAvgArea)
-	putRect(b[1:], w)
-	return b
+// AppendAvgArea appends an AVG-AREA aggregate query frame for window w.
+func AppendAvgArea(dst []byte, w geom.Rect) []byte {
+	return appendRectFrame(dst, MsgAvgArea, w)
 }
 
-// EncodeRange encodes an ε-RANGE query around point p.
-// Frame: type + point + eps(float32) = 13 bytes.
-func EncodeRange(p geom.Point, eps float64) []byte {
-	b := make([]byte, 1+PointSize+4)
-	b[0] = byte(MsgRange)
+func appendRangeFrame(dst []byte, t MsgType, p geom.Point, eps float64) []byte {
+	dst, b := grow(dst, 1+PointSize+4)
+	b[0] = byte(t)
 	putPoint(b[1:], p)
 	le.PutUint32(b[1+PointSize:], math.Float32bits(float32(eps)))
-	return b
+	return dst
 }
 
-// EncodeRangeCount encodes a COUNT-over-ε-range aggregate query.
-func EncodeRangeCount(p geom.Point, eps float64) []byte {
-	b := EncodeRange(p, eps)
-	b[0] = byte(MsgRangeCount)
-	return b
+// AppendRange appends an ε-RANGE query frame around point p.
+// Frame: type + point + eps(float32) = 13 bytes.
+func AppendRange(dst []byte, p geom.Point, eps float64) []byte {
+	return appendRangeFrame(dst, MsgRange, p, eps)
 }
 
-// EncodeBucketRange encodes a bucket of ε-RANGE queries submitted at once
-// (§3.1, "bucket queries"). Frame: type + eps + n + n points.
-func EncodeBucketRange(pts []geom.Point, eps float64) []byte {
-	b := make([]byte, 1+4+4+PointSize*len(pts))
-	b[0] = byte(MsgBucketRange)
+// AppendRangeCount appends a COUNT-over-ε-range aggregate query frame.
+func AppendRangeCount(dst []byte, p geom.Point, eps float64) []byte {
+	return appendRangeFrame(dst, MsgRangeCount, p, eps)
+}
+
+func appendBucketRangeFrame(dst []byte, t MsgType, pts []geom.Point, eps float64) []byte {
+	dst, b := grow(dst, 1+4+4+PointSize*len(pts))
+	b[0] = byte(t)
 	le.PutUint32(b[1:], math.Float32bits(float32(eps)))
 	le.PutUint32(b[5:], uint32(len(pts)))
 	off := 9
@@ -233,35 +248,37 @@ func EncodeBucketRange(pts []geom.Point, eps float64) []byte {
 		putPoint(b[off:], p)
 		off += PointSize
 	}
-	return b
+	return dst
 }
 
-// EncodeBucketRangeCount is the aggregate variant of EncodeBucketRange:
+// AppendBucketRange appends a bucket of ε-RANGE queries submitted at once
+// (§3.1, "bucket queries"). Frame: type + eps + n + n points.
+func AppendBucketRange(dst []byte, pts []geom.Point, eps float64) []byte {
+	return appendBucketRangeFrame(dst, MsgBucketRange, pts, eps)
+}
+
+// AppendBucketRangeCount is the aggregate variant of AppendBucketRange:
 // the server answers with one count per probe point instead of objects.
-func EncodeBucketRangeCount(pts []geom.Point, eps float64) []byte {
-	b := EncodeBucketRange(pts, eps)
-	b[0] = byte(MsgBucketRangeCount)
-	return b
+func AppendBucketRangeCount(dst []byte, pts []geom.Point, eps float64) []byte {
+	return appendBucketRangeFrame(dst, MsgBucketRangeCount, pts, eps)
 }
 
-// EncodeInfo encodes a dataset-info request (cardinality and bounds).
-// Servers routinely advertise this much (it is the acknowledgment
-// metadata the paper assumes available).
-func EncodeInfo() []byte { return []byte{byte(MsgInfo)} }
+// AppendInfo appends a dataset-info request frame.
+func AppendInfo(dst []byte) []byte { return append(dst, byte(MsgInfo)) }
 
-// EncodeMBRLevel encodes a SemiJoin-only request for the MBRs of one
-// R-tree level. Level 0 is the leaf level.
-func EncodeMBRLevel(level int) []byte {
-	b := make([]byte, 1+4)
+// AppendMBRLevel appends a SemiJoin-only request frame for the MBRs of
+// one R-tree level. Level 0 is the leaf level.
+func AppendMBRLevel(dst []byte, level int) []byte {
+	dst, b := grow(dst, 1+4)
 	b[0] = byte(MsgMBRLevel)
 	le.PutUint32(b[1:], uint32(level))
-	return b
+	return dst
 }
 
-// EncodeMBRMatch encodes a SemiJoin-only batch request: return all objects
-// intersecting (or within eps of) any of the given rectangles.
-func EncodeMBRMatch(rects []geom.Rect, eps float64) []byte {
-	b := make([]byte, 1+4+4+RectSize*len(rects))
+// AppendMBRMatch appends a SemiJoin-only batch request frame: return all
+// objects intersecting (or within eps of) any of the given rectangles.
+func AppendMBRMatch(dst []byte, rects []geom.Rect, eps float64) []byte {
+	dst, b := grow(dst, 1+4+4+RectSize*len(rects))
 	b[0] = byte(MsgMBRMatch)
 	le.PutUint32(b[1:], math.Float32bits(float32(eps)))
 	le.PutUint32(b[5:], uint32(len(rects)))
@@ -270,15 +287,15 @@ func EncodeMBRMatch(rects []geom.Rect, eps float64) []byte {
 		putRect(b[off:], r)
 		off += RectSize
 	}
-	return b
+	return dst
 }
 
-// EncodeUploadJoin encodes a SemiJoin-only request: join the uploaded
-// objects against the server's dataset with predicate distance ≤ eps
-// (eps = 0 means MBR intersection) and return the qualifying pairs with
-// the uploaded object's ID first.
-func EncodeUploadJoin(objs []geom.Object, eps float64) []byte {
-	b := make([]byte, 1+4+4+ObjectSize*len(objs))
+// AppendUploadJoin appends a SemiJoin-only request frame: join the
+// uploaded objects against the server's dataset with predicate distance
+// ≤ eps (eps = 0 means MBR intersection) and return the qualifying pairs
+// with the uploaded object's ID first.
+func AppendUploadJoin(dst []byte, objs []geom.Object, eps float64) []byte {
+	dst, b := grow(dst, 1+4+4+ObjectSize*len(objs))
 	b[0] = byte(MsgUploadJoin)
 	le.PutUint32(b[1:], math.Float32bits(float32(eps)))
 	le.PutUint32(b[5:], uint32(len(objs)))
@@ -287,14 +304,12 @@ func EncodeUploadJoin(objs []geom.Object, eps float64) []byte {
 		putObject(b[off:], o)
 		off += ObjectSize
 	}
-	return b
+	return dst
 }
 
-// --- response frames ----------------------------------------------------
-
-// EncodeObjects encodes an OBJECTS response.
-func EncodeObjects(objs []geom.Object) []byte {
-	b := make([]byte, 1+4+ObjectSize*len(objs))
+// AppendObjects appends an OBJECTS response frame.
+func AppendObjects(dst []byte, objs []geom.Object) []byte {
+	dst, b := grow(dst, 1+4+ObjectSize*len(objs))
 	b[0] = byte(MsgObjects)
 	le.PutUint32(b[1:], uint32(len(objs)))
 	off := 5
@@ -302,21 +317,21 @@ func EncodeObjects(objs []geom.Object) []byte {
 		putObject(b[off:], o)
 		off += ObjectSize
 	}
-	return b
+	return dst
 }
 
-// EncodeCountReply encodes a single aggregate answer.
-func EncodeCountReply(n int64) []byte {
-	b := make([]byte, 1+CountSize)
+// AppendCountReply appends a single aggregate answer frame.
+func AppendCountReply(dst []byte, n int64) []byte {
+	dst, b := grow(dst, 1+CountSize)
 	b[0] = byte(MsgCountReply)
 	le.PutUint64(b[1:], uint64(n))
-	return b
+	return dst
 }
 
-// EncodeCountsReply encodes one aggregate answer per probe of a bucket
+// AppendCountsReply appends one aggregate answer per probe of a bucket
 // aggregate request.
-func EncodeCountsReply(ns []int64) []byte {
-	b := make([]byte, 1+4+CountSize*len(ns))
+func AppendCountsReply(dst []byte, ns []int64) []byte {
+	dst, b := grow(dst, 1+4+CountSize*len(ns))
 	b[0] = byte(MsgCountsReply)
 	le.PutUint32(b[1:], uint32(len(ns)))
 	off := 5
@@ -324,27 +339,27 @@ func EncodeCountsReply(ns []int64) []byte {
 		le.PutUint64(b[off:], uint64(n))
 		off += CountSize
 	}
-	return b
+	return dst
 }
 
-// EncodeFloatReply encodes a floating-point aggregate answer (AVG-AREA).
-func EncodeFloatReply(f float64) []byte {
-	b := make([]byte, 1+8)
+// AppendFloatReply appends a floating-point aggregate answer (AVG-AREA).
+func AppendFloatReply(dst []byte, f float64) []byte {
+	dst, b := grow(dst, 1+8)
 	b[0] = byte(MsgFloatReply)
 	putFloat64(b[1:], f)
-	return b
+	return dst
 }
 
-// EncodeBucketObjects encodes the response to a bucket ε-RANGE request:
-// for each probe, the number of result objects followed by the objects,
-// concatenated in probe order. This matches Eq. (5): each probe's answer
-// carries an extra per-probe record (the count header).
-func EncodeBucketObjects(groups [][]geom.Object) []byte {
+// AppendBucketObjects appends the response frame to a bucket ε-RANGE
+// request: for each probe, the number of result objects followed by the
+// objects, concatenated in probe order. This matches Eq. (5): each
+// probe's answer carries an extra per-probe record (the count header).
+func AppendBucketObjects(dst []byte, groups [][]geom.Object) []byte {
 	size := 1 + 4
 	for _, g := range groups {
 		size += 4 + ObjectSize*len(g)
 	}
-	b := make([]byte, size)
+	dst, b := grow(dst, size)
 	b[0] = byte(MsgBucketObjects)
 	le.PutUint32(b[1:], uint32(len(groups)))
 	off := 5
@@ -356,7 +371,161 @@ func EncodeBucketObjects(groups [][]geom.Object) []byte {
 			off += ObjectSize
 		}
 	}
-	return b
+	return dst
+}
+
+// AppendBucketObjectsFlat is AppendBucketObjects for a flattened group
+// representation: lens[i] objects of the i-th probe, stored consecutively
+// in objs. It lets a server build bucket replies from reusable scratch
+// slices instead of materializing a [][]Object; the produced bytes are
+// identical to AppendBucketObjects on the equivalent nested slices.
+func AppendBucketObjectsFlat(dst []byte, lens []int, objs []geom.Object) []byte {
+	size := 1 + 4 + 4*len(lens) + ObjectSize*len(objs)
+	dst, b := grow(dst, size)
+	b[0] = byte(MsgBucketObjects)
+	le.PutUint32(b[1:], uint32(len(lens)))
+	off := 5
+	next := 0
+	for _, n := range lens {
+		le.PutUint32(b[off:], uint32(n))
+		off += 4
+		for _, o := range objs[next : next+n] {
+			putObject(b[off:], o)
+			off += ObjectSize
+		}
+		next += n
+	}
+	return dst
+}
+
+// AppendRects appends a RECTS response frame (R-tree level MBRs).
+func AppendRects(dst []byte, rects []geom.Rect) []byte {
+	dst, b := grow(dst, 1+4+RectSize*len(rects))
+	b[0] = byte(MsgRects)
+	le.PutUint32(b[1:], uint32(len(rects)))
+	off := 5
+	for _, r := range rects {
+		putRect(b[off:], r)
+		off += RectSize
+	}
+	return dst
+}
+
+// AppendPairs appends a PAIRS response frame (UPLOAD-JOIN results).
+func AppendPairs(dst []byte, pairs []geom.Pair) []byte {
+	dst, b := grow(dst, 1+4+PairSize*len(pairs))
+	b[0] = byte(MsgPairs)
+	le.PutUint32(b[1:], uint32(len(pairs)))
+	off := 5
+	for _, p := range pairs {
+		le.PutUint32(b[off:], p.RID)
+		le.PutUint32(b[off+4:], p.SID)
+		off += PairSize
+	}
+	return dst
+}
+
+// AppendInfoReply appends a dataset-metadata response frame.
+func AppendInfoReply(dst []byte, info Info) []byte {
+	dst, b := grow(dst, 1+8+RectSize+4+1)
+	b[0] = byte(MsgInfoReply)
+	le.PutUint64(b[1:], uint64(info.Count))
+	putRect(b[9:], info.Bounds)
+	le.PutUint32(b[9+RectSize:], uint32(info.TreeHeight))
+	if info.PointData {
+		b[9+RectSize+4] = 1
+	} else {
+		b[9+RectSize+4] = 0
+	}
+	return dst
+}
+
+// AppendError appends a server-side error frame.
+func AppendError(dst []byte, msg string) []byte {
+	dst, b := grow(dst, 1+4+len(msg))
+	b[0] = byte(MsgError)
+	le.PutUint32(b[1:], uint32(len(msg)))
+	copy(b[5:], msg)
+	return dst
+}
+
+// --- request frames -----------------------------------------------------
+
+// EncodeWindow encodes a WINDOW query for window w.
+// Frame: type + rect = 17 bytes.
+func EncodeWindow(w geom.Rect) []byte { return AppendWindow(nil, w) }
+
+// EncodeCount encodes a COUNT query for window w.
+func EncodeCount(w geom.Rect) []byte { return AppendCount(nil, w) }
+
+// EncodeAvgArea encodes an AVG-AREA aggregate query for window w.
+func EncodeAvgArea(w geom.Rect) []byte { return AppendAvgArea(nil, w) }
+
+// EncodeRange encodes an ε-RANGE query around point p.
+// Frame: type + point + eps(float32) = 13 bytes.
+func EncodeRange(p geom.Point, eps float64) []byte { return AppendRange(nil, p, eps) }
+
+// EncodeRangeCount encodes a COUNT-over-ε-range aggregate query.
+func EncodeRangeCount(p geom.Point, eps float64) []byte {
+	return AppendRangeCount(nil, p, eps)
+}
+
+// EncodeBucketRange encodes a bucket of ε-RANGE queries submitted at once
+// (§3.1, "bucket queries"). Frame: type + eps + n + n points.
+func EncodeBucketRange(pts []geom.Point, eps float64) []byte {
+	return AppendBucketRange(nil, pts, eps)
+}
+
+// EncodeBucketRangeCount is the aggregate variant of EncodeBucketRange:
+// the server answers with one count per probe point instead of objects.
+func EncodeBucketRangeCount(pts []geom.Point, eps float64) []byte {
+	return AppendBucketRangeCount(nil, pts, eps)
+}
+
+// EncodeInfo encodes a dataset-info request (cardinality and bounds).
+// Servers routinely advertise this much (it is the acknowledgment
+// metadata the paper assumes available).
+func EncodeInfo() []byte { return AppendInfo(nil) }
+
+// EncodeMBRLevel encodes a SemiJoin-only request for the MBRs of one
+// R-tree level. Level 0 is the leaf level.
+func EncodeMBRLevel(level int) []byte { return AppendMBRLevel(nil, level) }
+
+// EncodeMBRMatch encodes a SemiJoin-only batch request: return all objects
+// intersecting (or within eps of) any of the given rectangles.
+func EncodeMBRMatch(rects []geom.Rect, eps float64) []byte {
+	return AppendMBRMatch(nil, rects, eps)
+}
+
+// EncodeUploadJoin encodes a SemiJoin-only request: join the uploaded
+// objects against the server's dataset with predicate distance ≤ eps
+// (eps = 0 means MBR intersection) and return the qualifying pairs with
+// the uploaded object's ID first.
+func EncodeUploadJoin(objs []geom.Object, eps float64) []byte {
+	return AppendUploadJoin(nil, objs, eps)
+}
+
+// --- response frames ----------------------------------------------------
+
+// EncodeObjects encodes an OBJECTS response.
+func EncodeObjects(objs []geom.Object) []byte { return AppendObjects(nil, objs) }
+
+// EncodeCountReply encodes a single aggregate answer.
+func EncodeCountReply(n int64) []byte { return AppendCountReply(nil, n) }
+
+// EncodeCountsReply encodes one aggregate answer per probe of a bucket
+// aggregate request.
+func EncodeCountsReply(ns []int64) []byte { return AppendCountsReply(nil, ns) }
+
+// EncodeFloatReply encodes a floating-point aggregate answer (AVG-AREA).
+func EncodeFloatReply(f float64) []byte { return AppendFloatReply(nil, f) }
+
+// EncodeBucketObjects encodes the response to a bucket ε-RANGE request:
+// for each probe, the number of result objects followed by the objects,
+// concatenated in probe order. This matches Eq. (5): each probe's answer
+// carries an extra per-probe record (the count header).
+func EncodeBucketObjects(groups [][]geom.Object) []byte {
+	return AppendBucketObjects(nil, groups)
 }
 
 // Info is the public dataset metadata a server advertises.
@@ -368,50 +537,13 @@ type Info struct {
 }
 
 // EncodeInfoReply encodes dataset metadata.
-func EncodeInfoReply(info Info) []byte {
-	b := make([]byte, 1+8+RectSize+4+1)
-	b[0] = byte(MsgInfoReply)
-	le.PutUint64(b[1:], uint64(info.Count))
-	putRect(b[9:], info.Bounds)
-	le.PutUint32(b[9+RectSize:], uint32(info.TreeHeight))
-	if info.PointData {
-		b[9+RectSize+4] = 1
-	}
-	return b
-}
+func EncodeInfoReply(info Info) []byte { return AppendInfoReply(nil, info) }
 
 // EncodeRects encodes a RECTS response (R-tree level MBRs).
-func EncodeRects(rects []geom.Rect) []byte {
-	b := make([]byte, 1+4+RectSize*len(rects))
-	b[0] = byte(MsgRects)
-	le.PutUint32(b[1:], uint32(len(rects)))
-	off := 5
-	for _, r := range rects {
-		putRect(b[off:], r)
-		off += RectSize
-	}
-	return b
-}
+func EncodeRects(rects []geom.Rect) []byte { return AppendRects(nil, rects) }
 
 // EncodePairs encodes a PAIRS response (UPLOAD-JOIN results).
-func EncodePairs(pairs []geom.Pair) []byte {
-	b := make([]byte, 1+4+PairSize*len(pairs))
-	b[0] = byte(MsgPairs)
-	le.PutUint32(b[1:], uint32(len(pairs)))
-	off := 5
-	for _, p := range pairs {
-		le.PutUint32(b[off:], p.RID)
-		le.PutUint32(b[off+4:], p.SID)
-		off += PairSize
-	}
-	return b
-}
+func EncodePairs(pairs []geom.Pair) []byte { return AppendPairs(nil, pairs) }
 
 // EncodeError encodes a server-side error message.
-func EncodeError(msg string) []byte {
-	b := make([]byte, 1+4+len(msg))
-	b[0] = byte(MsgError)
-	le.PutUint32(b[1:], uint32(len(msg)))
-	copy(b[5:], msg)
-	return b
-}
+func EncodeError(msg string) []byte { return AppendError(nil, msg) }
