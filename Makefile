@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race bench bench-smoke fmt vet
+.PHONY: all build test race bench bench-smoke smoke fmt vet
 
 all: build test
 
@@ -32,6 +32,11 @@ bench:
 # least execute (one iteration), so bit-rotted benchmarks fail the build.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# smoke is the end-to-end check CI runs: real binaries, real TCP, real
+# signals (boot two spatialserve, join, SIGTERM drain).
+smoke:
+	./scripts/smoke.sh
 
 fmt:
 	gofmt -l .

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bufpool"
@@ -23,6 +24,16 @@ import (
 	"repro/internal/server"
 	"repro/internal/wire"
 )
+
+// mustRemote wraps client.NewRemote for benchmarks over known-valid links.
+func mustRemote(tb testing.TB, name string, rt netsim.RoundTripper, link netsim.LinkConfig, price float64) *client.Remote {
+	tb.Helper()
+	r, err := client.NewRemote(name, rt, link, price)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
 
 // sink defeats dead-code elimination across benchmark iterations.
 var sink int
@@ -106,13 +117,13 @@ func BenchmarkSessionUpJoin(b *testing.B) {
 	trS := netsim.Serve(server.New("S", sobjs))
 	defer trR.Close()
 	defer trS.Close()
-	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
-	s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	r := mustRemote(b, "R", trR, netsim.DefaultLink(), 1)
+	s := mustRemote(b, "S", trS, netsim.DefaultLink(), 1)
 	env := core.NewEnv(r, s, client.Device{BufferObjects: 500}, costmodel.Default(), dataset.World)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.UpJoin{}.Run(env, core.Spec{Kind: core.Distance, Eps: 75})
+		res, err := core.UpJoin{}.Run(context.Background(), env, core.Spec{Kind: core.Distance, Eps: 75})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -14,6 +15,16 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/server"
 )
+
+// mustRemote wraps client.NewRemote for benchmarks over known-valid links.
+func mustRemote(tb testing.TB, name string, rt netsim.RoundTripper, link netsim.LinkConfig, price float64) *client.Remote {
+	tb.Helper()
+	r, err := client.NewRemote(name, rt, link, price)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
 
 // The benchmarks below regenerate the paper's figures (DESIGN.md §6).
 // Each iteration executes the full experiment once with a reduced run
@@ -231,15 +242,15 @@ func BenchmarkAblationMTU(b *testing.B) {
 		trS := netsim.Serve(srvS)
 		defer trR.Close()
 		defer trS.Close()
-		r := client.NewRemote("R", trR, link, 1)
-		s := client.NewRemote("S", trS, link, 1)
+		r := mustRemote(b, "R", trR, link, 1)
+		s := mustRemote(b, "S", trS, link, 1)
 		model := costmodel.Default()
 		model.Link = link
 		env := core.NewEnv(r, s, client.Device{BufferObjects: 800}, model, World)
 		// Naive moves whole datasets in large frames, where the MTU
 		// difference is visible; adaptive algorithms mostly move frames
 		// below both MTUs on this workload.
-		res, err := core.Naive{}.Run(env, Spec{Kind: Distance, Eps: 75})
+		res, err := core.Naive{}.Run(context.Background(), env, Spec{Kind: Distance, Eps: 75})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -283,11 +294,11 @@ func benchParallel(b *testing.B, alg core.Algorithm, spec core.Spec, parallelism
 	for i := 0; i < b.N; i++ {
 		trR := netsim.ServeParallel(srvR, workers)
 		trS := netsim.ServeParallel(srvS, workers)
-		r := client.NewRemote("R", trR, link, 1)
-		s := client.NewRemote("S", trS, link, 1)
+		r := mustRemote(b, "R", trR, link, 1)
+		s := mustRemote(b, "S", trS, link, 1)
 		env := core.NewEnv(r, s, client.Device{BufferObjects: 400}, costmodel.Default(), World)
 		env.Parallelism = parallelism
-		res, err := alg.Run(env, spec)
+		res, err := alg.Run(context.Background(), env, spec)
 		r.Close()
 		s.Close()
 		if err != nil {
@@ -345,9 +356,9 @@ func BenchmarkMultiwayChain(b *testing.B) {
 		remotes := make([]*client.Remote, len(sets))
 		for j, objs := range sets {
 			tr := netsim.Serve(server.New("D", objs))
-			remotes[j] = client.NewRemote("D", tr, netsim.DefaultLink(), 1)
+			remotes[j] = mustRemote(b, "D", tr, netsim.DefaultLink(), 1)
 		}
-		res, err := core.Multiway{}.RunChain(remotes, client.Device{BufferObjects: 800},
+		res, err := core.Multiway{}.RunChain(context.Background(), remotes, client.Device{BufferObjects: 800},
 			costmodel.Default(), World, []float64{200, 400})
 		for _, r := range remotes {
 			r.Close()

@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -75,11 +79,24 @@ func main() {
 		window   = flag.String("window", "", "query window minx,miny,maxx,maxy (default: whole space)")
 		pairs    = flag.Bool("pairs", false, "print the result pairs/objects")
 		parallel = flag.Int("parallel", 1, "max in-flight requests (1 = the paper's sequential device)")
+		timeout  = flag.Duration("timeout", 0, "overall join deadline (0 = none)")
+		tryTO    = flag.Duration("try-timeout", 0, "per-query attempt deadline (0 = none)")
+		retries  = flag.Int("retries", 4, "max attempts per query over the real, lossy link (1 = fail fast)")
 	)
 	flag.Parse()
 	if *rAddr == "" || *sAddr == "" {
 		fmt.Fprintln(os.Stderr, "spatialjoin: -r and -s are required")
 		os.Exit(2)
+	}
+
+	// ^C / SIGTERM cancels the join mid-flight instead of leaving the
+	// servers with half-written frames.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	a, err := algorithm(*alg)
@@ -103,12 +120,19 @@ func main() {
 	if conns < 1 {
 		conns = 1
 	}
+	policy := client.RetryPolicy{
+		MaxAttempts:   *retries,
+		Backoff:       5 * time.Millisecond,
+		PerTryTimeout: *tryTO,
+	}
 	trR, err := netsim.DialTCPPool(*rAddr, conns)
 	fatal(err)
 	trS, err := netsim.DialTCPPool(*sAddr, conns)
 	fatal(err)
-	remR := client.NewRemote("R("+*rAddr+")", trR, netsim.DefaultLink(), *priceR)
-	remS := client.NewRemote("S("+*sAddr+")", trS, netsim.DefaultLink(), *priceS)
+	remR, err := client.NewRemote("R("+*rAddr+")", trR, netsim.DefaultLink(), *priceR, client.WithRetry(policy))
+	fatal(err)
+	remS, err := client.NewRemote("S("+*sAddr+")", trS, netsim.DefaultLink(), *priceS, client.WithRetry(policy))
+	fatal(err)
 	defer remR.Close()
 	defer remS.Close()
 
@@ -118,7 +142,7 @@ func main() {
 	env := core.NewEnv(remR, remS, client.Device{BufferObjects: *buffer}, model, win)
 	env.Parallelism = *parallel
 
-	res, err := a.Run(env, spec)
+	res, err := a.Run(ctx, env, spec)
 	fatal(err)
 
 	st := res.Stats
@@ -142,6 +166,9 @@ func main() {
 	fmt.Printf("decisions: HBSJ %d, NLSJ %d, repartitions %d, pruned %d\n",
 		st.HBSJ, st.NLSJ, st.Repartitions, st.Pruned)
 	fmt.Printf("monetary cost: %.6f\n", st.MoneyCost)
+	if n := remR.Retries() + remS.Retries(); n > 0 {
+		fmt.Printf("retries: %d re-issued requests (retransmissions metered)\n", n)
+	}
 }
 
 func fatal(err error) {

@@ -8,13 +8,21 @@
 //
 // -publish-index enables the cooperative SemiJoin message types; leave it
 // off to model the paper's default non-cooperative server.
+//
+// On SIGINT or SIGTERM the server drains: it stops accepting connections,
+// finishes the requests already read off the sockets, and exits 0 once
+// everything is flushed (or exits 1 when -drain-timeout passes first). A
+// second signal forces an immediate exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/netsim"
@@ -27,6 +35,7 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
 		publish = flag.Bool("publish-index", false, "expose R-tree internals (SemiJoin support)")
 		name    = flag.String("name", "", "server name (defaults to the data file)")
+		drain   = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on shutdown")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -53,9 +62,23 @@ func main() {
 	fmt.Printf("serving %d objects from %s on %s (publish-index=%v)\n",
 		len(objs), *data, srv.Addr(), *publish)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("\nshutting down")
-	srv.Close()
+	// SIGINT covers ^C; SIGTERM is what container runtimes and process
+	// managers send first — both must drain, not kill.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	first := <-sig
+	fmt.Printf("received %v; draining (send again to force exit)\n", first)
+	go func() {
+		second := <-sig
+		fmt.Fprintf(os.Stderr, "spatialserve: received %v during drain; forcing exit\n", second)
+		os.Exit(1)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "spatialserve: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("drained cleanly")
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,11 @@ func main() {
 	remotes := make([]*client.Remote, len(sets))
 	for i, objs := range sets {
 		tr := netsim.Serve(server.New(names[i], objs))
-		remotes[i] = client.NewRemote(names[i], tr, netsim.DefaultLink(), 1)
+		rem, err := client.NewRemote(names[i], tr, netsim.DefaultLink(), 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		remotes[i] = rem
 	}
 	defer func() {
 		for _, r := range remotes {
@@ -38,7 +43,7 @@ func main() {
 	}()
 
 	eps := []float64{200, 400} // hotel↔restaurant 200 m, restaurant↔station 400 m
-	res, err := core.Multiway{Inner: core.UpJoin{}}.RunChain(
+	res, err := core.Multiway{Inner: core.UpJoin{}}.RunChain(context.Background(),
 		remotes, client.Device{BufferObjects: 800}, costmodel.Default(), dataset.World, eps)
 	if err != nil {
 		log.Fatal(err)

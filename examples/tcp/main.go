@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,14 +45,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	remR := client.NewRemote("maps.example", trR, netsim.DefaultLink(), 1)
-	remS := client.NewRemote("guide.example", trS, netsim.DefaultLink(), 1)
+	// Real links lose frames; the retry policy re-dials and re-issues the
+	// idempotent query (retransmissions are metered like any frame).
+	remR, err := client.NewRemote("maps.example", trR, netsim.DefaultLink(), 1,
+		client.WithRetry(client.DefaultRetry()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	remS, err := client.NewRemote("guide.example", trS, netsim.DefaultLink(), 1,
+		client.WithRetry(client.DefaultRetry()))
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer remR.Close()
 	defer remS.Close()
 
 	env := core.NewEnv(remR, remS, client.Device{BufferObjects: 800},
 		costmodel.Default(), geom.Rect{})
-	res, err := core.SrJoin{}.Run(env, core.Spec{Kind: core.Distance, Eps: 150})
+	res, err := core.SrJoin{}.Run(context.Background(), env, core.Spec{Kind: core.Distance, Eps: 150})
 	if err != nil {
 		log.Fatal(err)
 	}

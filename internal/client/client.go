@@ -5,7 +5,11 @@
 package client
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bufpool"
 	"repro/internal/geom"
@@ -28,11 +32,50 @@ func (d Device) CanHold(n int) bool {
 	return d.BufferObjects <= 0 || n <= d.BufferObjects
 }
 
+// RetryPolicy governs how a Remote re-issues queries after transient
+// transport failures. Every protocol message is a pure, idempotent query
+// (nothing on the server changes state), so re-issuing a request whose
+// frame — or whose response — was lost is always semantically safe. Each
+// attempt crosses the Metered wrapper, so retransmissions are charged to
+// the meter exactly like first transmissions (Eq. 1).
+//
+// The zero value disables retries, reproducing the fail-fast behaviour of
+// the original stack.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of times one query may be issued;
+	// values below 1 mean 1 (no retries).
+	MaxAttempts int
+	// Backoff is the wait before the first retry, doubling with every
+	// further retry. Zero retries immediately.
+	Backoff time.Duration
+	// PerTryTimeout bounds each individual attempt; an attempt that
+	// exceeds it is abandoned and retried (the run context's deadline
+	// still bounds the query as a whole). Zero applies no per-attempt
+	// deadline.
+	PerTryTimeout time.Duration
+}
+
+// DefaultRetry is a sane policy for real, lossy links: four attempts with
+// a short doubling backoff.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, Backoff: 2 * time.Millisecond}
+}
+
+// Option configures a Remote at construction.
+type Option func(*Remote)
+
+// WithRetry sets the remote's retry policy.
+func WithRetry(p RetryPolicy) Option {
+	return func(r *Remote) { r.retry = p }
+}
+
 // Remote is the client-side proxy to one dataset server over a metered
-// transport. All methods are strictly request/response. A Remote is safe
-// for concurrent use: metering is atomic and both transports accept
-// concurrent in-flight round trips, so the concurrent executor may issue
-// several queries to the same server at once.
+// transport. All methods are strictly request/response and carry a
+// context: cancellation or an expired deadline abandons the round trip
+// promptly, even against a hung server. A Remote is safe for concurrent
+// use: metering is atomic and both transports accept concurrent in-flight
+// round trips, so the concurrent executor may issue several queries to
+// the same server at once.
 //
 // Remote owns the frame buffers of its round trips: requests are encoded
 // into pooled buffers and recycled once the response arrives, and
@@ -41,16 +84,26 @@ func (d Device) CanHold(n int) bool {
 // frames rather than echoing request bytes — true of the dataset server,
 // whose replies are always freshly encoded.
 type Remote struct {
-	name string
-	conn netsim.RoundTripper
-	m    *netsim.Meter
+	name    string
+	conn    netsim.RoundTripper
+	m       *netsim.Meter
+	retry   RetryPolicy
+	retries atomic.Int64
 }
 
 // NewRemote wraps a transport to server name, metering all traffic with
-// link and tariff pricePerByte.
-func NewRemote(name string, rt netsim.RoundTripper, link netsim.LinkConfig, pricePerByte float64) *Remote {
-	m := netsim.NewMeter(link, pricePerByte)
-	return &Remote{name: name, conn: netsim.NewMetered(rt, m), m: m}
+// link and tariff pricePerByte. An invalid link configuration is reported
+// here — the configuration boundary — instead of crashing the process.
+func NewRemote(name string, rt netsim.RoundTripper, link netsim.LinkConfig, pricePerByte float64, opts ...Option) (*Remote, error) {
+	m, err := netsim.NewMeter(link, pricePerByte)
+	if err != nil {
+		return nil, fmt.Errorf("client: remote %s: %w", name, err)
+	}
+	r := &Remote{name: name, conn: netsim.NewMetered(rt, m), m: m}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
 }
 
 // Name returns the remote's diagnostic name.
@@ -62,42 +115,91 @@ func (r *Remote) Meter() *netsim.Meter { return r.m }
 // Usage returns the accumulated traffic snapshot.
 func (r *Remote) Usage() netsim.Usage { return r.m.Usage() }
 
+// Retries returns how many re-issued attempts this remote has made (0 on
+// a failure-free run).
+func (r *Remote) Retries() int64 { return r.retries.Load() }
+
 // Close releases the underlying transport.
 func (r *Remote) Close() error { return r.conn.Close() }
 
-// roundTrip sends a pooled request frame and returns the response frame.
-// The request buffer is recycled on success (the transport no longer
-// references it once the response is in hand); on error it may still be
-// in flight, so it is left to the garbage collector. The caller owns the
-// returned response frame and must release it with putFrame after
-// decoding.
+// retryable reports whether a failed attempt may be re-issued: transient
+// transport faults (drops, severed connections, socket errors, per-try
+// timeouts) are; a transport we closed ourselves is not, and a canceled
+// or expired parent context stops the loop before this check.
+func retryable(err error) bool {
+	return !errors.Is(err, netsim.ErrClosed)
+}
+
+// roundTrip sends a pooled request frame and returns the response frame,
+// re-issuing the request per the retry policy on transient transport
+// failures. The request buffer is recycled only when every attempt ran
+// to completion: an abandoned attempt (per-try timeout, cancellation,
+// transport fault) may leave the frame referenced by an in-flight server
+// worker that is still decoding it, so after any failed attempt the
+// buffer is left to the garbage collector even if a later retry
+// succeeds — recycling it would hand a buffer that is still being read
+// to the next encoder. Retries themselves are safe: both the retry and
+// the abandoned worker only read the frame. The caller owns the returned
+// response frame and must release it with putFrame after decoding.
 //
 // The dataset server always encodes responses into fresh buffers, but a
 // custom in-process Handler could echo the request frame back; the
 // aliasing guard makes sure the shared backing is then released exactly
 // once (as the response), never double-Put.
-func (r *Remote) roundTrip(req []byte) ([]byte, error) {
-	resp, err := r.conn.RoundTrip(req)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", r.name, err)
+func (r *Remote) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
+	attempts := r.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	if !bufpool.SameBacking(req, resp) {
-		bufpool.Put(req)
+	var last error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			r.retries.Add(1)
+			shift := try - 1
+			if shift > 10 {
+				shift = 10 // cap the doubling; avoids overflow on long loops
+			}
+			if backoff := r.retry.Backoff << shift; backoff > 0 {
+				t := time.NewTimer(backoff)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return nil, fmt.Errorf("%s: %w", r.name, ctx.Err())
+				}
+			}
+		}
+		tryCtx, cancel := ctx, context.CancelFunc(func() {})
+		if r.retry.PerTryTimeout > 0 {
+			tryCtx, cancel = context.WithTimeout(ctx, r.retry.PerTryTimeout)
+		}
+		resp, err := r.conn.RoundTrip(tryCtx, req)
+		cancel()
+		if err == nil {
+			if try == 0 && !bufpool.SameBacking(req, resp) {
+				bufpool.Put(req)
+			}
+			if wire.Type(resp) == wire.MsgError {
+				serr := fmt.Errorf("%s: %w", r.name, wire.DecodeError(resp))
+				bufpool.Put(resp)
+				return nil, serr
+			}
+			return resp, nil
+		}
+		last = err
+		if ctx.Err() != nil || !retryable(err) {
+			break
+		}
 	}
-	if wire.Type(resp) == wire.MsgError {
-		err := fmt.Errorf("%s: %w", r.name, wire.DecodeError(resp))
-		bufpool.Put(resp)
-		return nil, err
-	}
-	return resp, nil
+	return nil, fmt.Errorf("%s: %w", r.name, last)
 }
 
 // putFrame releases a decoded response frame back to the pool.
 func putFrame(resp []byte) { bufpool.Put(resp) }
 
 // Window returns all objects intersecting w.
-func (r *Remote) Window(w geom.Rect) ([]geom.Object, error) {
-	resp, err := r.roundTrip(wire.AppendWindow(bufpool.Get(), w))
+func (r *Remote) Window(ctx context.Context, w geom.Rect) ([]geom.Object, error) {
+	resp, err := r.roundTrip(ctx, wire.AppendWindow(bufpool.Get(), w))
 	if err != nil {
 		return nil, err
 	}
@@ -107,8 +209,8 @@ func (r *Remote) Window(w geom.Rect) ([]geom.Object, error) {
 }
 
 // Count returns the number of objects intersecting w.
-func (r *Remote) Count(w geom.Rect) (int, error) {
-	resp, err := r.roundTrip(wire.AppendCount(bufpool.Get(), w))
+func (r *Remote) Count(ctx context.Context, w geom.Rect) (int, error) {
+	resp, err := r.roundTrip(ctx, wire.AppendCount(bufpool.Get(), w))
 	if err != nil {
 		return 0, err
 	}
@@ -118,8 +220,8 @@ func (r *Remote) Count(w geom.Rect) (int, error) {
 }
 
 // AvgArea returns the mean MBR area of objects intersecting w.
-func (r *Remote) AvgArea(w geom.Rect) (float64, error) {
-	resp, err := r.roundTrip(wire.AppendAvgArea(bufpool.Get(), w))
+func (r *Remote) AvgArea(ctx context.Context, w geom.Rect) (float64, error) {
+	resp, err := r.roundTrip(ctx, wire.AppendAvgArea(bufpool.Get(), w))
 	if err != nil {
 		return 0, err
 	}
@@ -129,8 +231,8 @@ func (r *Remote) AvgArea(w geom.Rect) (float64, error) {
 }
 
 // Range returns the objects within distance eps of p.
-func (r *Remote) Range(p geom.Point, eps float64) ([]geom.Object, error) {
-	resp, err := r.roundTrip(wire.AppendRange(bufpool.Get(), p, eps))
+func (r *Remote) Range(ctx context.Context, p geom.Point, eps float64) ([]geom.Object, error) {
+	resp, err := r.roundTrip(ctx, wire.AppendRange(bufpool.Get(), p, eps))
 	if err != nil {
 		return nil, err
 	}
@@ -140,8 +242,8 @@ func (r *Remote) Range(p geom.Point, eps float64) ([]geom.Object, error) {
 }
 
 // RangeCount returns the number of objects within distance eps of p.
-func (r *Remote) RangeCount(p geom.Point, eps float64) (int, error) {
-	resp, err := r.roundTrip(wire.AppendRangeCount(bufpool.Get(), p, eps))
+func (r *Remote) RangeCount(ctx context.Context, p geom.Point, eps float64) (int, error) {
+	resp, err := r.roundTrip(ctx, wire.AppendRangeCount(bufpool.Get(), p, eps))
 	if err != nil {
 		return 0, err
 	}
@@ -152,8 +254,8 @@ func (r *Remote) RangeCount(p geom.Point, eps float64) (int, error) {
 
 // BucketRange submits many ε-range probes at once and returns one result
 // group per probe, in probe order.
-func (r *Remote) BucketRange(pts []geom.Point, eps float64) ([][]geom.Object, error) {
-	resp, err := r.roundTrip(wire.AppendBucketRange(bufpool.Get(), pts, eps))
+func (r *Remote) BucketRange(ctx context.Context, pts []geom.Point, eps float64) ([][]geom.Object, error) {
+	resp, err := r.roundTrip(ctx, wire.AppendBucketRange(bufpool.Get(), pts, eps))
 	if err != nil {
 		return nil, err
 	}
@@ -163,8 +265,8 @@ func (r *Remote) BucketRange(pts []geom.Point, eps float64) ([][]geom.Object, er
 }
 
 // BucketRangeCount submits many aggregate ε-range probes at once.
-func (r *Remote) BucketRangeCount(pts []geom.Point, eps float64) ([]int64, error) {
-	resp, err := r.roundTrip(wire.AppendBucketRangeCount(bufpool.Get(), pts, eps))
+func (r *Remote) BucketRangeCount(ctx context.Context, pts []geom.Point, eps float64) ([]int64, error) {
+	resp, err := r.roundTrip(ctx, wire.AppendBucketRangeCount(bufpool.Get(), pts, eps))
 	if err != nil {
 		return nil, err
 	}
@@ -174,8 +276,8 @@ func (r *Remote) BucketRangeCount(pts []geom.Point, eps float64) ([]int64, error
 }
 
 // Info returns the server's advertised metadata.
-func (r *Remote) Info() (wire.Info, error) {
-	resp, err := r.roundTrip(wire.AppendInfo(bufpool.Get()))
+func (r *Remote) Info(ctx context.Context) (wire.Info, error) {
+	resp, err := r.roundTrip(ctx, wire.AppendInfo(bufpool.Get()))
 	if err != nil {
 		return wire.Info{}, err
 	}
@@ -186,8 +288,8 @@ func (r *Remote) Info() (wire.Info, error) {
 
 // LevelMBRs returns the MBRs of one R-tree level (SemiJoin only; the
 // server refuses unless it publishes its index).
-func (r *Remote) LevelMBRs(level int) ([]geom.Rect, error) {
-	resp, err := r.roundTrip(wire.AppendMBRLevel(bufpool.Get(), level))
+func (r *Remote) LevelMBRs(ctx context.Context, level int) ([]geom.Rect, error) {
+	resp, err := r.roundTrip(ctx, wire.AppendMBRLevel(bufpool.Get(), level))
 	if err != nil {
 		return nil, err
 	}
@@ -198,8 +300,8 @@ func (r *Remote) LevelMBRs(level int) ([]geom.Rect, error) {
 
 // MBRMatch returns the distinct objects intersecting (within eps of) any
 // of the rects (SemiJoin only).
-func (r *Remote) MBRMatch(rects []geom.Rect, eps float64) ([]geom.Object, error) {
-	resp, err := r.roundTrip(wire.AppendMBRMatch(bufpool.Get(), rects, eps))
+func (r *Remote) MBRMatch(ctx context.Context, rects []geom.Rect, eps float64) ([]geom.Object, error) {
+	resp, err := r.roundTrip(ctx, wire.AppendMBRMatch(bufpool.Get(), rects, eps))
 	if err != nil {
 		return nil, err
 	}
@@ -210,8 +312,8 @@ func (r *Remote) MBRMatch(rects []geom.Rect, eps float64) ([]geom.Object, error)
 
 // UploadJoin ships objects to the server, which joins them against its
 // dataset and returns pairs with the uploaded ID first (SemiJoin only).
-func (r *Remote) UploadJoin(objs []geom.Object, eps float64) ([]geom.Pair, error) {
-	resp, err := r.roundTrip(wire.AppendUploadJoin(bufpool.Get(), objs, eps))
+func (r *Remote) UploadJoin(ctx context.Context, objs []geom.Object, eps float64) ([]geom.Pair, error) {
+	resp, err := r.roundTrip(ctx, wire.AppendUploadJoin(bufpool.Get(), objs, eps))
 	if err != nil {
 		return nil, err
 	}

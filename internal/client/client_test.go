@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -20,14 +21,17 @@ func (h scriptedHandler) Handle(req []byte) []byte { return h.resp }
 func newScripted(t *testing.T, resp []byte) *Remote {
 	t.Helper()
 	tr := netsim.Serve(scriptedHandler{resp: resp})
-	r := NewRemote("scripted", tr, netsim.DefaultLink(), 1)
+	r, err := NewRemote("scripted", tr, netsim.DefaultLink(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() { r.Close() })
 	return r
 }
 
 func TestRemoteWrapsServerErrors(t *testing.T) {
 	r := newScripted(t, wire.EncodeError("nope"))
-	_, err := r.Count(geom.R(0, 0, 1, 1))
+	_, err := r.Count(context.Background(), geom.R(0, 0, 1, 1))
 	if err == nil || !strings.Contains(err.Error(), "scripted") || !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("err = %v, want wrapped server error", err)
 	}
@@ -40,28 +44,33 @@ func TestRemoteWrapsServerErrors(t *testing.T) {
 func TestRemoteRejectsWrongReplyType(t *testing.T) {
 	// Server answers a COUNT with an OBJECTS frame: decode must fail.
 	r := newScripted(t, wire.EncodeObjects(nil))
-	if _, err := r.Count(geom.R(0, 0, 1, 1)); err == nil {
+	if _, err := r.Count(context.Background(), geom.R(0, 0, 1, 1)); err == nil {
 		t.Fatal("type-mismatched reply should fail")
 	}
 }
 
 func TestRemoteClosedTransport(t *testing.T) {
 	tr := netsim.Serve(scriptedHandler{resp: wire.EncodeCountReply(1)})
-	r := NewRemote("gone", tr, netsim.DefaultLink(), 1)
+	r, err := NewRemote("gone", tr, netsim.DefaultLink(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_, err := r.Count(geom.R(0, 0, 1, 1))
-	if err == nil || !errors.Is(err, netsim.ErrClosed) {
+	if _, err := r.Count(context.Background(), geom.R(0, 0, 1, 1)); err == nil || !errors.Is(err, netsim.ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed in chain", err)
 	}
 }
 
 func TestRemoteMetersFailedCallsUplinkOnly(t *testing.T) {
 	tr := netsim.Serve(scriptedHandler{resp: wire.EncodeError("x")})
-	r := NewRemote("err", tr, netsim.DefaultLink(), 1)
+	r, err := NewRemote("err", tr, netsim.DefaultLink(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer r.Close()
-	_, _ = r.Count(geom.R(0, 0, 1, 1))
+	_, _ = r.Count(context.Background(), geom.R(0, 0, 1, 1))
 	u := r.Usage()
 	// Both the query and the error reply cross the link and are charged.
 	if u.Queries != 1 || u.Messages != 2 {

@@ -24,6 +24,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"slices"
 
@@ -133,7 +134,13 @@ type Algorithm interface {
 	Name() string
 	// Run evaluates spec in env and returns the result. Implementations
 	// must leave meters un-reset; the caller snapshots usage around Run.
-	Run(env *Env, spec Spec) (*Result, error)
+	//
+	// Run honors ctx: cancellation or an expired deadline aborts the
+	// execution promptly — every in-flight round trip is interrupted, all
+	// worker goroutines of the concurrent engine are joined before Run
+	// returns, and the context's error is reported. A nil ctx is treated
+	// as context.Background().
+	Run(ctx context.Context, env *Env, spec Spec) (*Result, error)
 }
 
 // Oracle computes the reference result locally from raw object slices,

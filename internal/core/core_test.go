@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/client"
@@ -11,6 +12,16 @@ import (
 	"repro/internal/server"
 )
 
+// mustRemote wraps client.NewRemote for links known valid at test time.
+func mustRemote(t testing.TB, name string, rt netsim.RoundTripper, link netsim.LinkConfig, price float64, opts ...client.Option) *client.Remote {
+	t.Helper()
+	r, err := client.NewRemote(name, rt, link, price, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 // testEnv spins up two in-process servers over the given objects and
 // returns an environment with the requested buffer size.
 func testEnv(t *testing.T, robjs, sobjs []geom.Object, buffer int, opts ...server.Option) *Env {
@@ -19,8 +30,8 @@ func testEnv(t *testing.T, robjs, sobjs []geom.Object, buffer int, opts ...serve
 	srvS := server.New("S", sobjs, opts...)
 	trR := netsim.Serve(srvR)
 	trS := netsim.Serve(srvS)
-	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
-	s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	r := mustRemote(t, "R", trR, netsim.DefaultLink(), 1)
+	s := mustRemote(t, "S", trS, netsim.DefaultLink(), 1)
 	t.Cleanup(func() { r.Close(); s.Close() })
 	dev := client.Device{BufferObjects: buffer}
 	return NewEnv(r, s, dev, costmodel.Default(), geom.Rect{})
@@ -53,7 +64,7 @@ func TestAllAlgorithmsMatchOracleDistanceJoin(t *testing.T) {
 			totalPairs += len(want.Pairs)
 			for _, alg := range allAlgorithms() {
 				env := testEnv(t, robjs, sobjs, buffer)
-				got, err := alg.Run(env, spec)
+				got, err := alg.Run(context.Background(), env, spec)
 				if err != nil {
 					t.Fatalf("k=%d buffer=%d %s: %v", k, buffer, alg.Name(), err)
 				}
@@ -85,7 +96,7 @@ func TestAllAlgorithmsMatchOracleIntersectionJoin(t *testing.T) {
 	}
 	for _, alg := range allAlgorithms() {
 		env := testEnv(t, robjs, sobjs, 400)
-		got, err := alg.Run(env, spec)
+		got, err := alg.Run(context.Background(), env, spec)
 		if err != nil {
 			t.Fatalf("%s: %v", alg.Name(), err)
 		}
@@ -103,7 +114,7 @@ func TestAlgorithmsWithBucketSubmission(t *testing.T) {
 	for _, alg := range allAlgorithms() {
 		env := testEnv(t, robjs, sobjs, 300)
 		env.Model.Bucket = true
-		got, err := alg.Run(env, spec)
+		got, err := alg.Run(context.Background(), env, spec)
 		if err != nil {
 			t.Fatalf("%s bucket: %v", alg.Name(), err)
 		}
@@ -124,7 +135,7 @@ func TestSemiJoinMatchesOracle(t *testing.T) {
 	}
 	env := testEnv(t, robjs, sobjs, 800, server.PublishIndex())
 	env.Window = dataset.World
-	got, err := SemiJoin{}.Run(env, spec)
+	got, err := SemiJoin{}.Run(context.Background(), env, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +148,7 @@ func TestSemiJoinRequiresPublishedIndex(t *testing.T) {
 	robjs := dataset.Uniform(100, dataset.World, 61)
 	sobjs := dataset.Uniform(100, dataset.World, 62)
 	env := testEnv(t, robjs, sobjs, 800) // no PublishIndex
-	if _, err := (SemiJoin{}).Run(env, Spec{Kind: Distance, Eps: 100}); err == nil {
+	if _, err := (SemiJoin{}).Run(context.Background(), env, Spec{Kind: Distance, Eps: 100}); err == nil {
 		t.Fatal("semiJoin without published indexes should fail")
 	}
 }
@@ -150,7 +161,7 @@ func TestIcebergSemiJoin(t *testing.T) {
 		want := Oracle(robjs, sobjs, spec, dataset.Bounds(robjs).Union(dataset.Bounds(sobjs)))
 		for _, alg := range allAlgorithms() {
 			env := testEnv(t, robjs, sobjs, 400)
-			got, err := alg.Run(env, spec)
+			got, err := alg.Run(context.Background(), env, spec)
 			if err != nil {
 				t.Fatalf("%s m=%d: %v", alg.Name(), m, err)
 			}
@@ -173,7 +184,7 @@ func TestEmptyDatasetsPruneEverything(t *testing.T) {
 	for _, alg := range allAlgorithms() {
 		env := testEnv(t, nil, sobjs, 800)
 		env.Window = dataset.World
-		got, err := alg.Run(env, Spec{Kind: Distance, Eps: 100})
+		got, err := alg.Run(context.Background(), env, Spec{Kind: Distance, Eps: 100})
 		if err != nil {
 			t.Fatalf("%s: %v", alg.Name(), err)
 		}
@@ -196,7 +207,7 @@ func TestWindowedJoinRestrictsResults(t *testing.T) {
 	for _, alg := range allAlgorithms() {
 		env := testEnv(t, robjs, sobjs, 800)
 		env.Window = window
-		got, err := alg.Run(env, spec)
+		got, err := alg.Run(context.Background(), env, spec)
 		if err != nil {
 			t.Fatalf("%s: %v", alg.Name(), err)
 		}
@@ -219,7 +230,7 @@ func TestCoincidentPointsOverflowingBufferTerminate(t *testing.T) {
 	for _, alg := range []Algorithm{MobiJoin{}, UpJoin{}, SrJoin{}} {
 		env := testEnv(t, robjs, sobjs, 10)
 		env.Window = dataset.World
-		got, err := alg.Run(env, spec)
+		got, err := alg.Run(context.Background(), env, spec)
 		if err != nil {
 			// An explicit depth-guard error is acceptable; a hang is not.
 			t.Logf("%s: %v", alg.Name(), err)
@@ -262,7 +273,7 @@ func TestStatsAccounting(t *testing.T) {
 	robjs := dataset.GaussianClusters(300, 2, 200, dataset.World, 101)
 	sobjs := dataset.GaussianClusters(300, 2, 200, dataset.World, 101)
 	env := testEnv(t, robjs, sobjs, 200)
-	got, err := UpJoin{}.Run(env, Spec{Kind: Distance, Eps: 100})
+	got, err := UpJoin{}.Run(context.Background(), env, Spec{Kind: Distance, Eps: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +309,7 @@ func TestPrunedCounterOnSkewedData(t *testing.T) {
 	}
 	env := testEnv(t, robjs, sobjs, 800)
 	env.Window = dataset.World
-	got, err := UpJoin{}.Run(env, Spec{Kind: Distance, Eps: 50})
+	got, err := UpJoin{}.Run(context.Background(), env, Spec{Kind: Distance, Eps: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +322,7 @@ func TestPrunedCounterOnSkewedData(t *testing.T) {
 	// UpJoin must beat Naive by a wide margin here.
 	envN := testEnv(t, robjs, sobjs, 800)
 	envN.Window = dataset.World
-	naive, err := Naive{}.Run(envN, Spec{Kind: Distance, Eps: 50})
+	naive, err := Naive{}.Run(context.Background(), envN, Spec{Kind: Distance, Eps: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,12 +356,12 @@ func TestAlgorithmsOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
-	s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	r := mustRemote(t, "R", trR, netsim.DefaultLink(), 1)
+	s := mustRemote(t, "S", trS, netsim.DefaultLink(), 1)
 	defer r.Close()
 	defer s.Close()
 	env := NewEnv(r, s, client.Device{BufferObjects: 300}, costmodel.Default(), geom.Rect{})
-	got, err := UpJoin{}.Run(env, spec)
+	got, err := UpJoin{}.Run(context.Background(), env, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +377,7 @@ func TestChannelAndTCPSameByteCounts(t *testing.T) {
 
 	envCh := testEnv(t, robjs, sobjs, 200)
 	envCh.Seed = 7
-	a, err := UpJoin{}.Run(envCh, spec)
+	a, err := UpJoin{}.Run(context.Background(), envCh, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,13 +388,13 @@ func TestChannelAndTCPSameByteCounts(t *testing.T) {
 	defer srvS.Close()
 	trR, _ := netsim.DialTCP(srvR.Addr())
 	trS, _ := netsim.DialTCP(srvS.Addr())
-	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
-	s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	r := mustRemote(t, "R", trR, netsim.DefaultLink(), 1)
+	s := mustRemote(t, "S", trS, netsim.DefaultLink(), 1)
 	defer r.Close()
 	defer s.Close()
 	envTCP := NewEnv(r, s, client.Device{BufferObjects: 200}, costmodel.Default(), geom.Rect{})
 	envTCP.Seed = 7
-	b, err := UpJoin{}.Run(envTCP, spec)
+	b, err := UpJoin{}.Run(context.Background(), envTCP, spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -57,21 +59,23 @@ func NewEnv(r, s *client.Remote, device client.Device, model costmodel.Params, w
 
 // prepare fetches dataset metadata once per environment (two INFO round
 // trips, metered like everything else — and overlapped when the
-// environment is parallel) and resolves the query window.
-func (e *Env) prepare() error {
+// environment is parallel) and resolves the query window. When one side's
+// INFO fails under a parallel environment, the other side's in-flight
+// request is canceled rather than awaited.
+func (e *Env) prepare(ctx context.Context) error {
 	if e.prepared {
 		return nil
 	}
-	fetchR := func() error {
-		info, err := e.R.Info()
+	fetchR := func(ctx context.Context) error {
+		info, err := e.R.Info(ctx)
 		if err != nil {
 			return fmt.Errorf("core: info from R: %w", err)
 		}
 		e.infoR = info
 		return nil
 	}
-	fetchS := func() error {
-		info, err := e.S.Info()
+	fetchS := func(ctx context.Context) error {
+		info, err := e.S.Info(ctx)
 		if err != nil {
 			return fmt.Errorf("core: info from S: %w", err)
 		}
@@ -79,20 +83,30 @@ func (e *Env) prepare() error {
 		return nil
 	}
 	if e.Parallelism > 1 {
+		fctx, cancel := context.WithCancel(ctx)
+		defer cancel()
 		errc := make(chan error, 1)
-		go func() { errc <- fetchR() }()
-		errS := fetchS()
-		if errR := <-errc; errR != nil {
+		go func() { errc <- fetchR(fctx) }()
+		errS := fetchS(fctx)
+		if errS != nil {
+			cancel() // interrupt the R-side INFO instead of waiting it out
+		}
+		errR := <-errc
+		// Prefer a real failure over the secondary cancellation it caused.
+		if errR != nil && !errors.Is(errR, context.Canceled) {
 			return errR
 		}
 		if errS != nil {
 			return errS
 		}
+		if errR != nil {
+			return errR
+		}
 	} else {
-		if err := fetchR(); err != nil {
+		if err := fetchR(ctx); err != nil {
 			return err
 		}
-		if err := fetchS(); err != nil {
+		if err := fetchS(ctx); err != nil {
 			return err
 		}
 	}

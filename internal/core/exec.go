@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/client"
@@ -33,11 +35,23 @@ type exec struct {
 	pred memjoin.Pred
 	dec  decisions
 	par  *gate // nil = sequential execution
+	// ctx is the run's context: a cancellable child of the caller's
+	// context. The first error anywhere in the run cancels it, so every
+	// sibling probe or download in flight is interrupted instead of
+	// running to completion against a failed execution.
+	ctx       context.Context
+	cancelRun context.CancelFunc
 	// window is the effective query window of this run: env.Window
 	// expanded by ε/2 (the root is a partition cell like any other), so
 	// that reference points on the window hull are not lost. Oracle
 	// applies the same expansion.
 	window geom.Rect
+
+	// failMu guards failErr, the first non-cancellation error of the run
+	// (the root cause reported by Run when secondary workers fail with
+	// context.Canceled after the run context was torn down).
+	failMu  sync.Mutex
+	failErr error
 
 	// sink (all fields below are guarded by mu)
 	mu     sync.Mutex
@@ -47,11 +61,14 @@ type exec struct {
 	probed map[uint32]bool        // iceberg: R ids already count-probed
 }
 
-func newExec(env *Env, spec Spec) (*exec, error) {
+func newExec(ctx context.Context, env *Env, spec Spec) (*exec, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if err := env.prepare(); err != nil {
+	if err := env.prepare(ctx); err != nil {
 		return nil, err
 	}
 	x := &exec{
@@ -61,6 +78,7 @@ func newExec(env *Env, spec Spec) (*exec, error) {
 		par:   newGate(env.Parallelism),
 		robjs: make(map[uint32]geom.Object),
 	}
+	x.ctx, x.cancelRun = context.WithCancel(ctx)
 	x.window = env.Window
 	if spec.Eps > 0 {
 		x.window = env.Window.Expand(spec.Eps / 2)
@@ -70,6 +88,40 @@ func newExec(env *Env, spec Spec) (*exec, error) {
 		x.probed = make(map[uint32]bool)
 	}
 	return x, nil
+}
+
+// close releases the run context. Algorithms defer it so an aborted run
+// does not leak its context's resources.
+func (x *exec) close() { x.cancelRun() }
+
+// fail records err as the run's root failure — unless it is a secondary
+// cancellation triggered by an earlier failure — and cancels the run
+// context, interrupting every sibling operation still in flight.
+func (x *exec) fail(err error) {
+	if err == nil {
+		return
+	}
+	x.failMu.Lock()
+	if x.failErr == nil && !errors.Is(err, context.Canceled) {
+		x.failErr = err
+	}
+	x.failMu.Unlock()
+	x.cancelRun()
+}
+
+// cause maps a phase error to the run's root failure: once fail has
+// recorded a real error, sibling workers observe context.Canceled, and
+// reporting that instead of the root cause would hide the actual fault.
+func (x *exec) cause(err error) error {
+	if err == nil {
+		return nil
+	}
+	x.failMu.Lock()
+	defer x.failMu.Unlock()
+	if x.failErr != nil {
+		return x.failErr
+	}
+	return err
 }
 
 // trace emits a decision-log line when the environment requests it.
@@ -129,7 +181,7 @@ func (x *exec) splittable(w geom.Rect, depth int) bool {
 // count issues one COUNT aggregate query for side d on partition w.
 func (x *exec) count(d side, w geom.Rect) (int, error) {
 	x.dec.agg.Add(1)
-	return x.remote(d).Count(x.fetchWindow(d, w))
+	return x.remote(d).Count(x.ctx, x.fetchWindow(d, w))
 }
 
 // cnt is a partition-count annotated with whether it was measured (true)

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/geom"
+import (
+	"context"
+
+	"repro/internal/geom"
+)
 
 // Grid is the partition-and-prune baseline of §3: the space is divided
 // into a regular K×K grid; for every cell a COUNT query is posted to both
@@ -16,15 +20,16 @@ type Grid struct {
 func (g Grid) Name() string { return "grid" }
 
 // Run implements Algorithm.
-func (g Grid) Run(env *Env, spec Spec) (*Result, error) {
+func (g Grid) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
 	k := g.K
 	if k <= 0 {
 		k = 4
 	}
-	x, err := newExec(env, spec)
+	x, err := newExec(ctx, env, spec)
 	if err != nil {
 		return nil, err
 	}
+	defer x.close()
 	r0, s0 := env.Usage()
 	cells := x.window.Grid(k)
 	// Grid cells are independent subproblems: the worker pool processes

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ import (
 func upStateForTest(t *testing.T, alpha float64) *upState {
 	t.Helper()
 	env := testEnv(t, dataset.Uniform(10, dataset.World, 1), dataset.Uniform(10, dataset.World, 2), 100)
-	x, err := newExec(env, Spec{Kind: Distance, Eps: 10})
+	x, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestRandomQuadrantWindowInsideParent(t *testing.T) {
 
 func TestSrJoinBitmap(t *testing.T) {
 	env := testEnv(t, dataset.Uniform(10, dataset.World, 1), dataset.Uniform(10, dataset.World, 2), 100)
-	x, err := newExec(env, Spec{Kind: Distance, Eps: 10})
+	x, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSrJoinBitmap(t *testing.T) {
 
 func TestSplittableStopsAtEpsScale(t *testing.T) {
 	env := testEnv(t, dataset.Uniform(10, dataset.World, 1), dataset.Uniform(10, dataset.World, 2), 100)
-	x, err := newExec(env, Spec{Kind: Distance, Eps: 100})
+	x, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestSplittableStopsAtEpsScale(t *testing.T) {
 		t.Fatal("depth bound must stop splitting")
 	}
 	// ε = 0: only the depth bound applies.
-	x0, err := newExec(env, Spec{Kind: Intersection})
+	x0, err := newExec(context.Background(), env, Spec{Kind: Intersection})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestQuadrantCountDerivation(t *testing.T) {
 	objs := dataset.Uniform(400, dataset.World, 31)
 	env := testEnv(t, objs, objs, 100)
 	// ε = 0: derivation is exact and costs 3 queries per side.
-	x, err := newExec(env, Spec{Kind: Intersection})
+	x, err := newExec(context.Background(), env, Spec{Kind: Intersection})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestQuadrantCountDerivation(t *testing.T) {
 	}
 
 	// ε > 0: the derived fourth count is approximate.
-	xd, err := newExec(env, Spec{Kind: Distance, Eps: 50})
+	xd, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,10 +209,10 @@ func TestAlgorithmsSurfaceMidJoinFailures(t *testing.T) {
 		srvS := server.New("S", sobjs)
 		trR := netsim.Serve(&faultyHandler{inner: srvR, okUntil: 5})
 		trS := netsim.Serve(srvS)
-		r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
-		s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+		r := mustRemote(t, "R", trR, netsim.DefaultLink(), 1)
+		s := mustRemote(t, "S", trS, netsim.DefaultLink(), 1)
 		env := NewEnv(r, s, client.Device{BufferObjects: 400}, costmodel.Default(), dataset.World)
-		_, err := alg.Run(env, Spec{Kind: Distance, Eps: 100})
+		_, err := alg.Run(context.Background(), env, Spec{Kind: Distance, Eps: 100})
 		r.Close()
 		s.Close()
 		if err == nil {
@@ -230,12 +231,12 @@ func (refusingHandler) Handle(req []byte) []byte {
 func TestAlgorithmsSurfaceServerRefusal(t *testing.T) {
 	trR := netsim.Serve(refusingHandler{})
 	trS := netsim.Serve(refusingHandler{})
-	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
-	s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	r := mustRemote(t, "R", trR, netsim.DefaultLink(), 1)
+	s := mustRemote(t, "S", trS, netsim.DefaultLink(), 1)
 	defer r.Close()
 	defer s.Close()
 	env := NewEnv(r, s, client.Device{BufferObjects: 400}, costmodel.Default(), dataset.World)
-	_, err := UpJoin{}.Run(env, Spec{Kind: Distance, Eps: 100})
+	_, err := UpJoin{}.Run(context.Background(), env, Spec{Kind: Distance, Eps: 100})
 	if err == nil || !strings.Contains(err.Error(), "service unavailable") {
 		t.Fatalf("err = %v, want surfaced refusal", err)
 	}
@@ -247,7 +248,7 @@ func TestTraceHookReceivesDecisions(t *testing.T) {
 	env := testEnv(t, robjs, sobjs, 300)
 	lines := 0
 	env.Trace = func(format string, args ...any) { lines++ }
-	if _, err := (UpJoin{}).Run(env, Spec{Kind: Distance, Eps: 100}); err != nil {
+	if _, err := (UpJoin{}).Run(context.Background(), env, Spec{Kind: Distance, Eps: 100}); err != nil {
 		t.Fatal(err)
 	}
 	if lines == 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/geom"
@@ -23,11 +24,12 @@ type MobiJoin struct{}
 func (MobiJoin) Name() string { return "mobiJoin" }
 
 // Run implements Algorithm.
-func (MobiJoin) Run(env *Env, spec Spec) (*Result, error) {
-	x, err := newExec(env, spec)
+func (MobiJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
+	x, err := newExec(ctx, env, spec)
 	if err != nil {
 		return nil, err
 	}
+	defer x.close()
 	r0, s0 := env.Usage()
 	nr, ns, err := x.countBoth(x.window)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -57,7 +58,11 @@ func (r *MultiwayResult) TotalBytes() int {
 // RunChain evaluates the chain over the given remotes with per-link
 // distance thresholds: eps[i] constrains the join between datasets i and
 // i+1 (len(eps) = len(remotes)-1; a 0 threshold means MBR intersection).
-func (m Multiway) RunChain(remotes []*client.Remote, device client.Device, model ModelParams, window geom.Rect, eps []float64) (*MultiwayResult, error) {
+// Canceling ctx aborts the chain between and within links.
+func (m Multiway) RunChain(ctx context.Context, remotes []*client.Remote, device client.Device, model ModelParams, window geom.Rect, eps []float64) (*MultiwayResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(remotes) < 2 {
 		return nil, fmt.Errorf("core: multiway needs at least two datasets")
 	}
@@ -75,7 +80,7 @@ func (m Multiway) RunChain(remotes []*client.Remote, device client.Device, model
 		env := NewEnv(remotes[step], remotes[step+1], device, model, window)
 		env.Seed = int64(step + 1)
 		env.Parallelism = m.Parallelism
-		link, err := inner.Run(env, stepSpec(eps[step]))
+		link, err := inner.Run(ctx, env, stepSpec(eps[step]))
 		if err != nil {
 			return nil, fmt.Errorf("core: multiway link %d: %w", step, err)
 		}

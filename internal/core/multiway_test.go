@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/client"
@@ -16,7 +17,7 @@ func chainRemotes(t *testing.T, datasets [][]geom.Object) []*client.Remote {
 	remotes := make([]*client.Remote, len(datasets))
 	for i, objs := range datasets {
 		tr := netsim.Serve(server.New("D", objs))
-		r := client.NewRemote("D", tr, netsim.DefaultLink(), 1)
+		r := mustRemote(t, "D", tr, netsim.DefaultLink(), 1)
 		t.Cleanup(func() { r.Close() })
 		remotes[i] = r
 	}
@@ -50,7 +51,7 @@ func TestMultiwayThreeDatasetsMatchesOracle(t *testing.T) {
 	}
 	eps := []float64{150, 150}
 	remotes := chainRemotes(t, datasets)
-	res, err := Multiway{}.RunChain(remotes, client.Device{BufferObjects: 500},
+	res, err := Multiway{}.RunChain(context.Background(), remotes, client.Device{BufferObjects: 500},
 		costmodel.Default(), dataset.World, eps)
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +89,7 @@ func TestMultiwayEmptyLinkShortCircuits(t *testing.T) {
 	}
 	datasets := [][]geom.Object{near, far, near}
 	remotes := chainRemotes(t, datasets)
-	res, err := Multiway{}.RunChain(remotes, client.Device{BufferObjects: 500},
+	res, err := Multiway{}.RunChain(context.Background(), remotes, client.Device{BufferObjects: 500},
 		costmodel.Default(), dataset.World, []float64{50, 50})
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +111,7 @@ func TestMultiwayFourDatasets(t *testing.T) {
 	}
 	eps := []float64{200, 200, 200}
 	remotes := chainRemotes(t, datasets)
-	res, err := Multiway{Inner: SrJoin{}}.RunChain(remotes, client.Device{BufferObjects: 500},
+	res, err := Multiway{Inner: SrJoin{}}.RunChain(context.Background(), remotes, client.Device{BufferObjects: 500},
 		costmodel.Default(), dataset.World, eps)
 	if err != nil {
 		t.Fatal(err)
@@ -130,10 +131,10 @@ func TestMultiwayValidation(t *testing.T) {
 		dataset.Uniform(10, dataset.World, 2),
 	}
 	remotes := chainRemotes(t, datasets)
-	if _, err := (Multiway{}).RunChain(remotes[:1], client.Device{}, costmodel.Default(), dataset.World, nil); err == nil {
+	if _, err := (Multiway{}).RunChain(context.Background(), remotes[:1], client.Device{}, costmodel.Default(), dataset.World, nil); err == nil {
 		t.Fatal("single dataset should be rejected")
 	}
-	if _, err := (Multiway{}).RunChain(remotes, client.Device{}, costmodel.Default(), dataset.World, []float64{1, 2}); err == nil {
+	if _, err := (Multiway{}).RunChain(context.Background(), remotes, client.Device{}, costmodel.Default(), dataset.World, []float64{1, 2}); err == nil {
 		t.Fatal("threshold count mismatch should be rejected")
 	}
 }

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/geom"
+import (
+	"context"
+
+	"repro/internal/geom"
+)
 
 // Naive downloads both datasets entirely and joins them on the device —
 // the strawman of §3. It respects the buffer by recursively splitting
@@ -13,11 +17,12 @@ type Naive struct{}
 func (Naive) Name() string { return "naive" }
 
 // Run implements Algorithm.
-func (Naive) Run(env *Env, spec Spec) (*Result, error) {
-	x, err := newExec(env, spec)
+func (Naive) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
+	x, err := newExec(ctx, env, spec)
 	if err != nil {
 		return nil, err
 	}
+	defer x.close()
 	r0, s0 := env.Usage()
 	if err := naiveWindow(x, x.window, 0); err != nil {
 		return nil, err
@@ -59,12 +64,12 @@ func naiveWindow(x *exec, w geom.Rect, depth int) error {
 	err = x.both(
 		func() error {
 			var err error
-			robjs, err = x.env.R.Window(x.fetchWindow(sideR, w))
+			robjs, err = x.env.R.Window(x.ctx, x.fetchWindow(sideR, w))
 			return err
 		},
 		func() error {
 			var err error
-			sobjs, err = x.env.S.Window(x.fetchWindow(sideS, w))
+			sobjs, err = x.env.S.Window(x.ctx, x.fetchWindow(sideS, w))
 			return err
 		},
 	)

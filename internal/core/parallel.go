@@ -61,7 +61,9 @@ func (x *exec) parallel() bool { return x.par != nil }
 // both runs two independent operations, overlapping them when the engine
 // is parallel and a pool slot is free; otherwise f then g sequentially.
 // It returns f's error first (matching the sequential call order), then
-// g's.
+// g's. The first failure cancels the run context, so the other operation
+// is interrupted mid-round-trip instead of running to completion; the
+// root-cause error is reported, not the secondary cancellation.
 func (x *exec) both(f, g func() error) error {
 	if x.par != nil {
 		select {
@@ -69,21 +71,30 @@ func (x *exec) both(f, g func() error) error {
 			errc := make(chan error, 1)
 			go func() {
 				defer func() { <-x.par.slots }()
-				errc <- f()
+				err := f()
+				x.fail(err)
+				errc <- err
 			}()
 			gerr := g()
-			if ferr := <-errc; ferr != nil {
-				return ferr
+			x.fail(gerr)
+			ferr := <-errc
+			if ferr != nil {
+				return x.cause(ferr)
 			}
-			return gerr
+			return x.cause(gerr)
 		default:
 			// Pool saturated: run inline rather than oversubscribe.
 		}
 	}
 	if err := f(); err != nil {
-		return err
+		x.fail(err)
+		return x.cause(err)
 	}
-	return g()
+	if err := g(); err != nil {
+		x.fail(err)
+		return x.cause(err)
+	}
+	return nil
 }
 
 // fanout runs n independent tasks f(0..n-1). Sequentially it stops at the
@@ -91,15 +102,20 @@ func (x *exec) both(f, g func() error) error {
 // schedules each task on the pool when a slot is free (running it inline
 // otherwise, so the caller's goroutine always contributes work and the
 // engine cannot deadlock however deep the recursion), waits for all
-// scheduled tasks, and returns the first error observed. Once an error is
-// recorded no further tasks start — already-running tasks finish, but
-// whole subtrees are not launched after a failure, preserving the
-// sequential path's cheap abort.
+// scheduled tasks, and returns the first error observed. The first error
+// — or a cancellation of the parent context — cancels the run context:
+// no further tasks start, and tasks already in flight are interrupted at
+// their next round trip instead of running to completion, so fanout
+// returns promptly and never leaks a worker.
 func (x *exec) fanout(n int, f func(i int) error) error {
 	if x.par == nil || n < 2 {
 		for i := 0; i < n; i++ {
+			if x.ctx.Err() != nil {
+				return x.cause(x.ctx.Err())
+			}
 			if err := f(i); err != nil {
-				return err
+				x.fail(err)
+				return x.cause(err)
 			}
 		}
 		return nil
@@ -110,6 +126,7 @@ func (x *exec) fanout(n int, f func(i int) error) error {
 		first error
 	)
 	record := func(err error) {
+		x.fail(err)
 		if err != nil {
 			mu.Lock()
 			if first == nil {
@@ -124,7 +141,7 @@ func (x *exec) fanout(n int, f func(i int) error) error {
 		return first != nil
 	}
 	for i := 0; i < n; i++ {
-		if failed() {
+		if failed() || x.ctx.Err() != nil {
 			break
 		}
 		i := i
@@ -145,7 +162,10 @@ func (x *exec) fanout(n int, f func(i int) error) error {
 		}
 	}
 	wg.Wait()
-	return first
+	if first == nil && x.ctx.Err() != nil {
+		return x.cause(x.ctx.Err())
+	}
+	return x.cause(first)
 }
 
 // fanoutSiblings is fanout for sibling partitions. It degrades to
@@ -158,8 +178,12 @@ func (x *exec) fanout(n int, f func(i int) error) error {
 func (x *exec) fanoutSiblings(n int, f func(i int) error) error {
 	if x.spec.Kind == IcebergSemi && x.env.Model.Bucket && x.icebergCountable() {
 		for i := 0; i < n; i++ {
+			if x.ctx.Err() != nil {
+				return x.cause(x.ctx.Err())
+			}
 			if err := f(i); err != nil {
-				return err
+				x.fail(err)
+				return x.cause(err)
 			}
 		}
 		return nil

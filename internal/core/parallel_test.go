@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,13 @@ import (
 	"repro/internal/server"
 )
 
+// newTestExec builds a bare exec (no environment) for engine-level tests.
+func newTestExec(par *gate) *exec {
+	x := &exec{par: par}
+	x.ctx, x.cancelRun = context.WithCancel(context.Background())
+	return x
+}
+
 // testEnvParallel is testEnv with the concurrent engine enabled: the
 // in-process servers get one worker per unit of parallelism and the
 // environment carries the knob.
@@ -26,8 +34,8 @@ func testEnvParallel(t *testing.T, robjs, sobjs []geom.Object, buffer, paralleli
 	}
 	trR := netsim.ServeParallel(server.New("R", robjs, opts...), workers)
 	trS := netsim.ServeParallel(server.New("S", sobjs, opts...), workers)
-	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
-	s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	r := mustRemote(t, "R", trR, netsim.DefaultLink(), 1)
+	s := mustRemote(t, "S", trS, netsim.DefaultLink(), 1)
 	t.Cleanup(func() { r.Close(); s.Close() })
 	env := NewEnv(r, s, client.Device{BufferObjects: buffer}, costmodel.Default(), geom.Rect{})
 	env.Parallelism = parallelism
@@ -41,14 +49,14 @@ func runBoth(t *testing.T, alg Algorithm, spec Spec, robjs, sobjs []geom.Object,
 	envSeq := testEnvParallel(t, robjs, sobjs, buffer, 1)
 	envSeq.Model.Bucket = bucket
 	envSeq.Seed = 3
-	seq, err := alg.Run(envSeq, spec)
+	seq, err := alg.Run(context.Background(), envSeq, spec)
 	if err != nil {
 		t.Fatalf("%s sequential: %v", alg.Name(), err)
 	}
 	envPar := testEnvParallel(t, robjs, sobjs, buffer, 4)
 	envPar.Model.Bucket = bucket
 	envPar.Seed = 3
-	par, err = alg.Run(envPar, spec)
+	par, err = alg.Run(context.Background(), envPar, spec)
 	if err != nil {
 		t.Fatalf("%s parallel: %v", alg.Name(), err)
 	}
@@ -121,7 +129,7 @@ func TestParallelMatchesOracle(t *testing.T) {
 	want := Oracle(robjs, sobjs, spec, dataset.Bounds(robjs).Union(dataset.Bounds(sobjs)))
 	for _, alg := range allAlgorithms() {
 		env := testEnvParallel(t, robjs, sobjs, 100, 8)
-		got, err := alg.Run(env, spec)
+		got, err := alg.Run(context.Background(), env, spec)
 		if err != nil {
 			t.Fatalf("%s: %v", alg.Name(), err)
 		}
@@ -141,7 +149,7 @@ func TestParallelSemiJoin(t *testing.T) {
 	want := Oracle(robjs, sobjs, spec, dataset.World)
 	env := testEnvParallel(t, robjs, sobjs, 800, 4, server.PublishIndex())
 	env.Window = dataset.World
-	got, err := SemiJoin{}.Run(env, spec)
+	got, err := SemiJoin{}.Run(context.Background(), env, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +167,7 @@ func TestParallelOverTCP(t *testing.T) {
 
 	envCh := testEnvParallel(t, robjs, sobjs, 300, 4)
 	envCh.Seed = 7
-	a, err := UpJoin{}.Run(envCh, spec)
+	a, err := UpJoin{}.Run(context.Background(), envCh, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,14 +190,14 @@ func TestParallelOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
-	s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	r := mustRemote(t, "R", trR, netsim.DefaultLink(), 1)
+	s := mustRemote(t, "S", trS, netsim.DefaultLink(), 1)
 	defer r.Close()
 	defer s.Close()
 	env := NewEnv(r, s, client.Device{BufferObjects: 300}, costmodel.Default(), geom.Rect{})
 	env.Seed = 7
 	env.Parallelism = 4
-	b, err := UpJoin{}.Run(env, spec)
+	b, err := UpJoin{}.Run(context.Background(), env, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +233,7 @@ func TestWindowRandDeterministic(t *testing.T) {
 // task dwells briefly so overlap actually occurs: the bound must be hit
 // (proving concurrency happens) but never exceeded.
 func TestFanoutBounded(t *testing.T) {
-	x := &exec{par: newGate(3)}
+	x := newTestExec(newGate(3))
 	var (
 		mu      sync.Mutex
 		active  int
@@ -255,7 +263,7 @@ func TestFanoutBounded(t *testing.T) {
 	}
 
 	var order []int
-	xs := &exec{} // sequential
+	xs := newTestExec(nil) // sequential
 	if err := xs.fanout(5, func(i int) error {
 		order = append(order, i)
 		return nil
@@ -277,7 +285,7 @@ func TestFanoutStopsLaunchingAfterError(t *testing.T) {
 
 	// Sequential: deterministic stop at the first failure.
 	var seqRuns int
-	xs := &exec{}
+	xs := newTestExec(nil)
 	if err := xs.fanout(10, func(i int) error {
 		seqRuns++
 		if i == 2 {
@@ -293,7 +301,7 @@ func TestFanoutStopsLaunchingAfterError(t *testing.T) {
 
 	// Parallel: every task fails instantly; after the first recorded
 	// failure the launch loop must break, so far fewer than n start.
-	x := &exec{par: newGate(3)}
+	x := newTestExec(newGate(3))
 	var launched atomic.Int64
 	err := x.fanout(1000, func(int) error {
 		launched.Add(1)

@@ -79,12 +79,12 @@ func (x *exec) doHBSJ(w geom.Rect, nr, ns cnt, depth int) error {
 	err = x.both(
 		func() error {
 			var err error
-			robjs, err = x.env.R.Window(x.fetchWindow(sideR, w))
+			robjs, err = x.env.R.Window(x.ctx, x.fetchWindow(sideR, w))
 			return err
 		},
 		func() error {
 			var err error
-			sobjs, err = x.env.S.Window(x.fetchWindow(sideS, w))
+			sobjs, err = x.env.S.Window(x.ctx, x.fetchWindow(sideS, w))
 			return err
 		},
 	)
@@ -136,7 +136,7 @@ func (x *exec) doNLSJ(w geom.Rect, outer side, nr, ns cnt) error {
 	if outer == sideS {
 		inner = sideR
 	}
-	outerObjs, err := x.remote(outer).Window(x.fetchWindow(outer, w))
+	outerObjs, err := x.remote(outer).Window(x.ctx, x.fetchWindow(outer, w))
 	if err != nil {
 		return err
 	}
@@ -169,13 +169,13 @@ func (x *exec) singleProbes(w geom.Rect, outer, inner side, outerObjs []geom.Obj
 		var matches []geom.Object
 		var err error
 		if o.IsPoint() && x.spec.Eps > 0 {
-			matches, err = rin.Range(o.Center(), x.spec.Eps)
+			matches, err = rin.Range(x.ctx, o.Center(), x.spec.Eps)
 		} else {
 			probe := o.MBR
 			if x.spec.Eps > 0 {
 				probe = probe.Expand(x.spec.Eps)
 			}
-			matches, err = rin.Window(probe)
+			matches, err = rin.Window(x.ctx, probe)
 		}
 		if err != nil {
 			return err
@@ -216,7 +216,7 @@ func (x *exec) bucketProbes(w geom.Rect, outer, inner side, outerObjs []geom.Obj
 		for i, o := range chunk {
 			pts[i] = o.Center()
 		}
-		groups, err := rin.BucketRange(pts, x.spec.Eps)
+		groups, err := rin.BucketRange(x.ctx, pts, x.spec.Eps)
 		if err != nil {
 			return err
 		}
@@ -289,7 +289,7 @@ func (x *exec) icebergCountProbes(outerObjs []geom.Object) error {
 			pts[i] = o.Center()
 		}
 		x.dec.agg.Add(int64(len(fresh)))
-		ns, err := x.env.S.BucketRangeCount(pts, x.spec.Eps)
+		ns, err := x.env.S.BucketRangeCount(x.ctx, pts, x.spec.Eps)
 		if err != nil {
 			return err
 		}
@@ -303,7 +303,7 @@ func (x *exec) icebergCountProbes(outerObjs []geom.Object) error {
 	return x.fanout(len(fresh), func(i int) error {
 		o := fresh[i]
 		x.dec.agg.Add(1)
-		n, err := x.env.S.RangeCount(o.Center(), x.spec.Eps)
+		n, err := x.env.S.RangeCount(x.ctx, o.Center(), x.spec.Eps)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -18,7 +19,7 @@ func TestProbeShapes(t *testing.T) {
 		for _, alg := range []Algorithm{MobiJoin{}, UpJoin{}, SrJoin{}} {
 			env := testEnv(t, robjs, sobjs, 800)
 			env.Window = dataset.World
-			res, err := alg.Run(env, Spec{Kind: Distance, Eps: 75})
+			res, err := alg.Run(context.Background(), env, Spec{Kind: Distance, Eps: 75})
 			if err != nil {
 				t.Fatal(err)
 			}

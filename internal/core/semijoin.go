@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/geom"
@@ -29,14 +30,15 @@ type SemiJoin struct{}
 func (SemiJoin) Name() string { return "semiJoin" }
 
 // Run implements Algorithm.
-func (SemiJoin) Run(env *Env, spec Spec) (*Result, error) {
+func (SemiJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
 	if spec.Kind == IcebergSemi {
 		return nil, fmt.Errorf("core: semiJoin does not support iceberg semantics")
 	}
-	x, err := newExec(env, spec)
+	x, err := newExec(ctx, env, spec)
 	if err != nil {
 		return nil, err
 	}
+	defer x.close()
 	r0, s0 := env.Usage()
 
 	infoR, infoS := env.infoR, env.infoS
@@ -67,20 +69,20 @@ func (SemiJoin) Run(env *Env, spec Spec) (*Result, error) {
 	if sourceInfo.TreeHeight < 2 {
 		level = 0
 	}
-	mbrs, err := x.remote(source).LevelMBRs(level)
+	mbrs, err := x.remote(source).LevelMBRs(x.ctx, level)
 	if err != nil {
 		return nil, err
 	}
 
 	// Relay the MBRs to the target: the upload is metered as part of the
 	// MBR-MATCH request, whose response is the qualifying target objects.
-	targetObjs, err := x.remote(target).MBRMatch(mbrs, spec.Eps)
+	targetObjs, err := x.remote(target).MBRMatch(x.ctx, mbrs, spec.Eps)
 	if err != nil {
 		return nil, err
 	}
 
 	// Relay the qualifying objects to the source for the final join.
-	pairs, err := x.remote(source).UploadJoin(targetObjs, spec.Eps)
+	pairs, err := x.remote(source).UploadJoin(x.ctx, targetObjs, spec.Eps)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/geom"
 )
 
@@ -31,11 +33,12 @@ func (s SrJoin) rho() float64 {
 }
 
 // Run implements Algorithm.
-func (s SrJoin) Run(env *Env, spec Spec) (*Result, error) {
-	x, err := newExec(env, spec)
+func (s SrJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
+	x, err := newExec(ctx, env, spec)
 	if err != nil {
 		return nil, err
 	}
+	defer x.close()
 	r0, s0 := env.Usage()
 	nr, ns, err := x.countBoth(x.window)
 	if err != nil {

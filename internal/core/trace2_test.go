@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -24,7 +25,7 @@ func TestTraceRailwayDebug(t *testing.T) {
 			fmt.Printf(f+"\n", a...)
 		}
 	}
-	res, err := UpJoin{}.Run(env, Spec{Kind: Distance, Eps: 25})
+	res, err := UpJoin{}.Run(context.Background(), env, Spec{Kind: Distance, Eps: 25})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -17,7 +18,7 @@ func TestTraceUpJoinDebug(t *testing.T) {
 	env := testEnv(t, robjs, sobjs, 800)
 	env.Window = dataset.World
 	env.Trace = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
-	res, err := UpJoin{}.Run(env, Spec{Kind: Distance, Eps: 75})
+	res, err := UpJoin{}.Run(context.Background(), env, Spec{Kind: Distance, Eps: 75})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,6 +27,6 @@ func TestTraceUpJoinDebug(t *testing.T) {
 		st.TotalBytes(), st.AggQueries, st.HBSJ, st.NLSJ, st.Repartitions, st.Pruned, len(res.Pairs))
 	env2 := testEnv(t, robjs, sobjs, 800)
 	env2.Window = dataset.World
-	res2, _ := SrJoin{}.Run(env2, Spec{Kind: Distance, Eps: 75})
+	res2, _ := SrJoin{}.Run(context.Background(), env2, Spec{Kind: Distance, Eps: 75})
 	fmt.Printf("SRJOIN bytes=%d agg=%d\n", res2.Stats.TotalBytes(), res2.Stats.AggQueries)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/geom"
@@ -34,11 +35,12 @@ func (u UpJoin) alpha() float64 {
 }
 
 // Run implements Algorithm.
-func (u UpJoin) Run(env *Env, spec Spec) (*Result, error) {
-	x, err := newExec(env, spec)
+func (u UpJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
+	x, err := newExec(ctx, env, spec)
 	if err != nil {
 		return nil, err
 	}
+	defer x.close()
 	r0, s0 := env.Usage()
 	nr, ns, err := x.countBoth(x.window)
 	if err != nil {
@@ -137,7 +139,7 @@ func (u *upState) inspect(d side, w geom.Rect, st dsState) (dsState, error) {
 	// — and its metered bytes — is the same under any scheduling.
 	probe := randomQuadrantWindow(windowRand(u.env.Seed, d, w), w)
 	u.dec.agg.Add(1)
-	pn, err := u.remote(d).Count(u.fetchWindow(d, probe))
+	pn, err := u.remote(d).Count(u.ctx, u.fetchWindow(d, probe))
 	if err != nil {
 		return st, err
 	}

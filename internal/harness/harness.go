@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -151,14 +152,20 @@ func runOnce(alg core.Algorithm, robjs, sobjs []geom.Object, cfg Config, spec co
 	trS := netsim.ServeParallel(srvS, workers)
 	defer trR.Close()
 	defer trS.Close()
-	r := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
-	s := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	r, err := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
+	if err != nil {
+		return core.Stats{}, 0, err
+	}
+	s, err := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	if err != nil {
+		return core.Stats{}, 0, err
+	}
 	model := costmodel.Default()
 	model.Bucket = cfg.Bucket
 	env := core.NewEnv(r, s, client.Device{BufferObjects: cfg.Buffer}, model, dataset.World)
 	env.Seed = seed
 	env.Parallelism = cfg.Parallelism
-	res, err := alg.Run(env, spec)
+	res, err := alg.Run(context.Background(), env, spec)
 	if err != nil {
 		return core.Stats{}, 0, fmt.Errorf("%s: %w", alg.Name(), err)
 	}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/bufpool"
@@ -31,7 +32,7 @@ func TestChannelTransportPrefersAppendHandler(t *testing.T) {
 	h := &appendEcho{}
 	tr := Serve(h)
 	defer tr.Close()
-	resp, err := tr.RoundTrip([]byte{1, 2, 3})
+	resp, err := tr.RoundTrip(context.Background(), []byte{1, 2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestTCPTransportAppendHandler(t *testing.T) {
 	defer tr.Close()
 	for i := 0; i < 50; i++ {
 		req := []byte{byte(i), byte(i + 1)}
-		resp, err := tr.RoundTrip(req)
+		resp, err := tr.RoundTrip(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func TestPlainHandlerFramesNotRecycled(t *testing.T) {
 	defer tr.Close()
 	for i := 0; i < 20; i++ {
 		payload := bytes.Repeat([]byte{byte(i)}, 64)
-		resp, err := tr.RoundTrip(payload)
+		resp, err := tr.RoundTrip(context.Background(), payload)
 		if err != nil {
 			t.Fatal(err)
 		}

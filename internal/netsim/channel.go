@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -116,8 +117,10 @@ var replyChanPool = sync.Pool{
 
 // RoundTrip implements RoundTripper. When the handler supports
 // AppendHandler, the returned frame is backed by the shared buffer pool;
-// the caller may bufpool.Put it after consuming its bytes.
-func (t *ChannelTransport) RoundTrip(req []byte) ([]byte, error) {
+// the caller may bufpool.Put it after consuming its bytes. A canceled
+// context abandons the round trip immediately, even when every server
+// worker is hung inside a handler.
+func (t *ChannelTransport) RoundTrip(ctx context.Context, req []byte) ([]byte, error) {
 	reply := replyChanPool.Get().(chan []byte)
 	r := chanReq{frame: req, reply: reply}
 	select {
@@ -125,6 +128,9 @@ func (t *ChannelTransport) RoundTrip(req []byte) ([]byte, error) {
 	case <-t.closed:
 		replyChanPool.Put(reply)
 		return nil, ErrClosed
+	case <-ctx.Done():
+		replyChanPool.Put(reply)
+		return nil, ctx.Err()
 	}
 	select {
 	case resp := <-r.reply:
@@ -134,6 +140,9 @@ func (t *ChannelTransport) RoundTrip(req []byte) ([]byte, error) {
 		// The request may still be in service; its late reply would land
 		// in this channel, so it cannot be reused.
 		return nil, ErrClosed
+	case <-ctx.Done():
+		// Same: the in-flight request's late reply may still land here.
+		return nil, ctx.Err()
 	}
 }
 

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/bufpool"
+)
+
+// Fault-injection errors. Both model transient link failures and are
+// retryable: the protocol consists exclusively of idempotent queries, so
+// a client may safely re-issue the request (the retransmission is charged
+// to the meter by the Metered wrapper above this one).
+var (
+	// ErrInjectedDrop reports a request frame lost before it reached the
+	// server.
+	ErrInjectedDrop = errors.New("netsim: request dropped (injected fault)")
+	// ErrInjectedSever reports a connection severed after the server
+	// processed the request: the response frame is lost in flight.
+	ErrInjectedSever = errors.New("netsim: connection severed (injected fault)")
+)
+
+// FaultConfig parameterizes a Faulty transport. All faults derive from a
+// seeded RNG, so a sequential run injects an identical fault schedule
+// every time; under concurrency the schedule depends on arrival order,
+// which is fine for chaos tests that assert result equivalence rather
+// than byte totals.
+type FaultConfig struct {
+	// Seed drives the fault schedule.
+	Seed int64
+	// DropProb is the probability that a request frame vanishes before
+	// reaching the server (the handler never runs).
+	DropProb float64
+	// SeverProb is the probability that the connection is severed after
+	// the server handled the request, losing the response in flight. The
+	// server-side work happens; the device never sees the answer.
+	SeverProb float64
+	// DelayProb and Delay inject wall-clock latency into a fraction of
+	// round trips. Latency never affects byte accounting.
+	DelayProb float64
+	Delay     time.Duration
+	// MaxConsecutive bounds how many drop/sever faults may occur in a row
+	// across the transport, so a client with bounded retries always makes
+	// progress. 0 means 3.
+	MaxConsecutive int
+}
+
+// FaultStats counts the faults a Faulty transport has injected.
+type FaultStats struct {
+	Drops, Severs, Delays int
+}
+
+// Faulty wraps a RoundTripper with deterministic, seeded fault injection
+// for tests: requests are dropped, responses severed, or round trips
+// delayed according to FaultConfig. It sits below the Metered wrapper, so
+// every attempt — including ones whose frames are then lost — is charged
+// exactly like a real transmission.
+type Faulty struct {
+	rt  RoundTripper
+	cfg FaultConfig
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	consecutive int
+	stats       FaultStats
+}
+
+// NewFaulty wraps rt with the given fault schedule.
+func NewFaulty(rt RoundTripper, cfg FaultConfig) *Faulty {
+	return &Faulty{rt: rt, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns the faults injected so far.
+func (f *Faulty) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// decide draws this round trip's faults from the seeded schedule.
+func (f *Faulty) decide() (drop, sever, delay bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	maxRun := f.cfg.MaxConsecutive
+	if maxRun <= 0 {
+		maxRun = 3
+	}
+	if f.consecutive < maxRun {
+		r := f.rng.Float64()
+		switch {
+		case r < f.cfg.DropProb:
+			drop = true
+			f.stats.Drops++
+		case r < f.cfg.DropProb+f.cfg.SeverProb:
+			sever = true
+			f.stats.Severs++
+		}
+	}
+	if drop || sever {
+		f.consecutive++
+	} else {
+		f.consecutive = 0
+	}
+	if f.cfg.DelayProb > 0 && f.rng.Float64() < f.cfg.DelayProb {
+		delay = true
+		f.stats.Delays++
+	}
+	return drop, sever, delay
+}
+
+// RoundTrip implements RoundTripper.
+func (f *Faulty) RoundTrip(ctx context.Context, req []byte) ([]byte, error) {
+	drop, sever, delay := f.decide()
+	if delay {
+		if err := sleepCtx(ctx, f.cfg.Delay); err != nil {
+			return nil, err
+		}
+	}
+	if drop {
+		return nil, ErrInjectedDrop
+	}
+	resp, err := f.rt.RoundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if sever {
+		// The response existed but never reached the device; its frame is
+		// dead here and goes back to the pool — unless it aliases the
+		// request (an echo handler does), which the caller may be about
+		// to retransmit.
+		if !bufpool.SameBacking(req, resp) {
+			bufpool.Put(resp)
+		}
+		return nil, ErrInjectedSever
+	}
+	return resp, nil
+}
+
+// Close implements RoundTripper.
+func (f *Faulty) Close() error { return f.rt.Close() }

@@ -25,6 +25,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -143,12 +144,14 @@ type Meter struct {
 	queries       atomic.Int64
 }
 
-// NewMeter returns a Meter for the given link and per-byte price.
-func NewMeter(link LinkConfig, pricePerByte float64) *Meter {
+// NewMeter returns a Meter for the given link and per-byte price. An
+// invalid link configuration is a configuration-boundary error, reported
+// to the caller rather than crashing the process.
+func NewMeter(link LinkConfig, pricePerByte float64) (*Meter, error) {
 	if err := link.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return &Meter{link: link, price: pricePerByte}
+	return &Meter{link: link, price: pricePerByte}, nil
 }
 
 // Link returns the link configuration the meter charges against.
@@ -210,9 +213,30 @@ func (m *Meter) Cost() float64 {
 // executor keeps several requests in flight per server. (The sequential
 // executor, Parallelism ≤ 1, still issues strictly one round trip at a
 // time per server, as a single-threaded PDA does.)
+//
+// RoundTrip must honor ctx: when the context is canceled or its deadline
+// passes mid-flight, the call returns promptly with the context's error
+// instead of blocking on a hung or slow peer. A round trip abandoned this
+// way may leave the underlying connection in an unusable state; transports
+// discard such connections rather than reuse them.
 type RoundTripper interface {
-	RoundTrip(req []byte) (resp []byte, err error)
+	RoundTrip(ctx context.Context, req []byte) (resp []byte, err error)
 	Close() error
+}
+
+// sleepCtx blocks for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Metered wraps a RoundTripper, charging every request and response to a
@@ -232,13 +256,19 @@ func NewMetered(rt RoundTripper, meter *Meter) *Metered {
 // Meter returns the meter charged by this connection.
 func (c *Metered) Meter() *Meter { return c.m }
 
-// RoundTrip implements RoundTripper.
-func (c *Metered) RoundTrip(req []byte) ([]byte, error) {
+// RoundTrip implements RoundTripper. Every attempt that reaches this
+// wrapper charges its request frame to the meter, so when a caller
+// re-issues a query after a fault, the retransmission is accounted like
+// any other uplink frame (Eq. 1). Responses are charged only when they
+// actually arrive.
+func (c *Metered) RoundTrip(ctx context.Context, req []byte) ([]byte, error) {
 	c.m.Charge(len(req), Up)
 	if rtt := c.m.link.RTT; rtt > 0 {
-		time.Sleep(rtt)
+		if err := sleepCtx(ctx, rtt); err != nil {
+			return nil, err
+		}
 	}
-	resp, err := c.rt.RoundTrip(req)
+	resp, err := c.rt.RoundTrip(ctx, req)
 	if err != nil {
 		return nil, err
 	}

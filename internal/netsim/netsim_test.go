@@ -2,10 +2,30 @@ package netsim
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 	"testing/quick"
 )
+
+// mustMeter builds a Meter or fails the test — for links known valid.
+func mustMeter(t testing.TB, link LinkConfig, price float64) *Meter {
+	t.Helper()
+	m, err := NewMeter(link, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMeterRejectsInvalidLink(t *testing.T) {
+	if _, err := NewMeter(LinkConfig{MTU: 40, HeaderBytes: 40}, 1); err == nil {
+		t.Fatal("invalid link must be rejected at the configuration boundary")
+	}
+	if _, err := NewMeter(LinkConfig{MTU: 1500, HeaderBytes: 40, RTT: -1}, 1); err == nil {
+		t.Fatal("negative RTT must be rejected")
+	}
+}
 
 func TestTBMatchesPaperEquation(t *testing.T) {
 	link := DefaultLink() // MTU 1500, BH 40 → 1460 payload bytes per packet
@@ -67,7 +87,7 @@ func TestQuickTBMonotoneAndSuperlinear(t *testing.T) {
 }
 
 func TestMeterAccumulates(t *testing.T) {
-	m := NewMeter(DefaultLink(), 2.0)
+	m := mustMeter(t, DefaultLink(), 2.0)
 	m.Charge(10, Up)
 	m.Charge(3000, Down)
 	u := m.Usage()
@@ -100,7 +120,7 @@ func TestMeterAccumulates(t *testing.T) {
 }
 
 func TestMeterConcurrentCharges(t *testing.T) {
-	m := NewMeter(DefaultLink(), 1)
+	m := mustMeter(t, DefaultLink(), 1)
 	var wg sync.WaitGroup
 	const goroutines, per = 8, 500
 	for g := 0; g < goroutines; g++ {
@@ -142,7 +162,7 @@ func (echoHandler) Handle(req []byte) []byte {
 func TestChannelTransportRoundTrip(t *testing.T) {
 	tr := Serve(echoHandler{})
 	defer tr.Close()
-	resp, err := tr.RoundTrip([]byte("hello"))
+	resp, err := tr.RoundTrip(context.Background(), []byte("hello"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +176,7 @@ func TestChannelTransportClose(t *testing.T) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.RoundTrip([]byte("x")); err != ErrClosed {
+	if _, err := tr.RoundTrip(context.Background(), []byte("x")); err != ErrClosed {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 	// Double close is safe.
@@ -168,10 +188,10 @@ func TestChannelTransportClose(t *testing.T) {
 func TestMeteredChargesBothDirections(t *testing.T) {
 	tr := Serve(echoHandler{})
 	defer tr.Close()
-	m := NewMeter(DefaultLink(), 1)
+	m := mustMeter(t, DefaultLink(), 1)
 	c := NewMetered(tr, m)
 	req := bytes.Repeat([]byte("q"), 100)
-	resp, err := c.RoundTrip(req)
+	resp, err := c.RoundTrip(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +227,7 @@ func TestTCPTransportRoundTrip(t *testing.T) {
 	}
 	defer tr.Close()
 	for i := 0; i < 10; i++ {
-		resp, err := tr.RoundTrip([]byte("ping"))
+		resp, err := tr.RoundTrip(context.Background(), []byte("ping"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -229,7 +249,7 @@ func TestTCPLargeFrame(t *testing.T) {
 	}
 	defer tr.Close()
 	big := bytes.Repeat([]byte{7}, 1<<20)
-	resp, err := tr.RoundTrip(big)
+	resp, err := tr.RoundTrip(context.Background(), big)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +276,7 @@ func TestTCPMultipleClients(t *testing.T) {
 			}
 			defer tr.Close()
 			for j := 0; j < 20; j++ {
-				if _, err := tr.RoundTrip([]byte("x")); err != nil {
+				if _, err := tr.RoundTrip(context.Background(), []byte("x")); err != nil {
 					t.Error(err)
 					return
 				}
@@ -276,13 +296,13 @@ func TestTCPServerCloseUnblocksClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Close()
-	if _, err := tr.RoundTrip([]byte("x")); err != nil {
+	if _, err := tr.RoundTrip(context.Background(), []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.RoundTrip([]byte("x")); err == nil {
+	if _, err := tr.RoundTrip(context.Background(), []byte("x")); err == nil {
 		t.Fatal("round trip after server close should fail")
 	}
 	// Idempotent close.
@@ -306,16 +326,16 @@ func TestChannelAndTCPAccountIdentically(t *testing.T) {
 	}
 	defer tt.Close()
 
-	m1 := NewMeter(DefaultLink(), 1)
-	m2 := NewMeter(DefaultLink(), 1)
+	m1 := mustMeter(t, DefaultLink(), 1)
+	m2 := mustMeter(t, DefaultLink(), 1)
 	c1 := NewMetered(ct, m1)
 	c2 := NewMetered(tt, m2)
 	payloads := [][]byte{[]byte("a"), bytes.Repeat([]byte("b"), 5000), []byte("ccc")}
 	for _, p := range payloads {
-		if _, err := c1.RoundTrip(p); err != nil {
+		if _, err := c1.RoundTrip(context.Background(), p); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c2.RoundTrip(p); err != nil {
+		if _, err := c2.RoundTrip(context.Background(), p); err != nil {
 			t.Fatal(err)
 		}
 	}

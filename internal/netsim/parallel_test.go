@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"sync"
 	"testing"
@@ -41,7 +42,7 @@ func TestChannelTransportConcurrentRoundTrips(t *testing.T) {
 			go func(i int) {
 				defer wg.Done()
 				req := frameFor(i)
-				resp, err := tr.RoundTrip(req)
+				resp, err := tr.RoundTrip(context.Background(), req)
 				if err != nil {
 					errs <- err
 					return
@@ -73,7 +74,7 @@ func TestChannelTransportParallelServiceOverlaps(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := tr.RoundTrip(frameFor(i)); err != nil {
+			if _, err := tr.RoundTrip(context.Background(), frameFor(i)); err != nil {
 				t.Error(err)
 			}
 		}(i)
@@ -104,7 +105,7 @@ func TestTCPTransportConcurrentRoundTrips(t *testing.T) {
 			go func(i int) {
 				defer wg.Done()
 				req := frameFor(i)
-				resp, err := tr.RoundTrip(req)
+				resp, err := tr.RoundTrip(context.Background(), req)
 				if err != nil {
 					t.Errorf("maxConns=%d: %v", maxConns, err)
 					return
@@ -133,7 +134,7 @@ func TestTCPTransportClosedReturnsErrClosed(t *testing.T) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.RoundTrip(frameFor(1)); err != ErrClosed {
+	if _, err := tr.RoundTrip(context.Background(), frameFor(1)); err != ErrClosed {
 		t.Fatalf("round trip after close: %v, want ErrClosed", err)
 	}
 }
@@ -141,7 +142,7 @@ func TestTCPTransportClosedReturnsErrClosed(t *testing.T) {
 // TestMeterConcurrentCharges checks the lock-free meter sums exactly
 // under concurrent charging from both directions.
 func TestMeterConcurrentChargesBothDirections(t *testing.T) {
-	m := NewMeter(DefaultLink(), 2)
+	m := mustMeter(t, DefaultLink(), 2)
 	const (
 		goroutines = 8
 		perG       = 500
@@ -192,12 +193,12 @@ func TestLinkRTTSimulatedLatency(t *testing.T) {
 	link.RTT = 5 * time.Millisecond
 	tr := Serve(mirrorHandler{})
 	defer tr.Close()
-	m := NewMeter(link, 1)
+	m := mustMeter(t, link, 1)
 	c := NewMetered(tr, m)
 	start := time.Now()
 	const trips = 4
 	for i := 0; i < trips; i++ {
-		if _, err := c.RoundTrip(frameFor(i)); err != nil {
+		if _, err := c.RoundTrip(context.Background(), frameFor(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -205,12 +206,12 @@ func TestLinkRTTSimulatedLatency(t *testing.T) {
 		t.Fatalf("%d round trips took %v, want >= %v", trips, elapsed, trips*link.RTT)
 	}
 
-	m0 := NewMeter(DefaultLink(), 1) // same link, no RTT
+	m0 := mustMeter(t, DefaultLink(), 1) // same link, no RTT
 	tr2 := Serve(mirrorHandler{})
 	defer tr2.Close()
 	c2 := NewMetered(tr2, m0)
 	for i := 0; i < trips; i++ {
-		if _, err := c2.RoundTrip(frameFor(i)); err != nil {
+		if _, err := c2.RoundTrip(context.Background(), frameFor(i)); err != nil {
 			t.Fatal(err)
 		}
 	}

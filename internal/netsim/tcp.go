@@ -1,11 +1,14 @@
 package netsim
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bufpool"
 )
@@ -48,10 +51,17 @@ func readFrame(r io.Reader) ([]byte, error) {
 }
 
 // TCPServer serves a Handler over a TCP listener, one goroutine per
-// connection, frames delimited by length prefixes.
+// connection, frames delimited by length prefixes. It supports two ways
+// down: Close (abrupt: every connection is cut, in-flight requests are
+// lost) and Shutdown (drain: in-flight requests complete and their
+// responses are written before the connections close).
 type TCPServer struct {
 	ln net.Listener
 	h  Handler
+
+	// draining is read on the per-request serving path, so it is atomic
+	// rather than guarded by mu: the hot path takes no server-wide lock.
+	draining atomic.Bool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -108,7 +118,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	for {
 		req, err := readFrame(conn)
 		if err != nil {
-			return // client closed or broken frame
+			return // client closed, broken frame, or drain poisoned the read
 		}
 		if appendable {
 			// Zero-allocation steady state: request and response buffers
@@ -130,14 +140,17 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			// can be recycled safely.
 			err = writeFrame(conn, s.h.Handle(req))
 		}
-		if err != nil {
+		if err != nil || s.draining.Load() {
+			// Under drain the current request's response has just been
+			// written; the connection closes before accepting another.
 			return
 		}
 	}
 }
 
 // Close stops the listener and all open connections, waiting for the
-// connection goroutines to exit.
+// connection goroutines to exit. Requests in flight are lost; use
+// Shutdown to drain them first.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -153,6 +166,55 @@ func (s *TCPServer) Close() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown gracefully drains the server: it stops accepting new
+// connections, lets every request already read off a socket complete and
+// write its response, unblocks idle connections, and waits for all
+// connection goroutines to exit. When ctx expires first, the remaining
+// connections are cut (their in-flight requests are lost, as with Close)
+// and ctx.Err() is returned. Shutdown after Close (or a second Shutdown)
+// drains whatever connections remain.
+func (s *TCPServer) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	var err error
+	if !alreadyClosed {
+		err = s.ln.Close()
+	}
+	// Poison reads rather than closing connections: a goroutine idle in
+	// readFrame fails out of it immediately, while one that has already
+	// read its request is untouched — the handler runs and the response
+	// write completes, after which serveConn observes draining and
+	// closes the connection itself. This leaves no window in which a
+	// fully-read request can be dropped.
+	for conn := range s.conns {
+		conn.SetReadDeadline(aLongTimeAgo)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		// Force-close the stragglers. Their goroutines are stuck inside
+		// the handler and cannot be interrupted, so — like net/http's
+		// Shutdown — return without waiting for them; each exits as soon
+		// as its handler call returns.
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
 }
 
 // TCPTransport is a RoundTripper over a small pool of TCP connections to
@@ -205,9 +267,13 @@ func DialTCPPool(addr string, maxConns int) (*TCPTransport, error) {
 }
 
 // acquire returns a free or freshly dialed connection, waiting when
-// maxConns are already in flight.
-func (t *TCPTransport) acquire() (net.Conn, error) {
-	t.slots <- struct{}{}
+// maxConns are already in flight. It gives up when ctx is done.
+func (t *TCPTransport) acquire(ctx context.Context) (net.Conn, error) {
+	select {
+	case t.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -221,7 +287,8 @@ func (t *TCPTransport) acquire() (net.Conn, error) {
 		return conn, nil
 	}
 	t.mu.Unlock()
-	conn, err := net.Dial("tcp", t.addr)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", t.addr)
 	if err != nil {
 		<-t.slots
 		return nil, err
@@ -252,19 +319,49 @@ func (t *TCPTransport) release(conn net.Conn, healthy bool) {
 	<-t.slots
 }
 
-// RoundTrip implements RoundTripper. It is safe for concurrent use.
-func (t *TCPTransport) RoundTrip(req []byte) ([]byte, error) {
-	conn, err := t.acquire()
+// aLongTimeAgo is a non-zero time far in the past, used to force pending
+// socket reads and writes to fail immediately (as net/http does).
+var aLongTimeAgo = time.Unix(1, 0)
+
+// RoundTrip implements RoundTripper. It is safe for concurrent use. The
+// context's deadline is applied to the socket reads and writes of this
+// round trip, and cancellation interrupts them mid-flight; a round trip
+// abandoned either way discards its connection (the stream is no longer
+// frame-aligned), so the next acquire re-dials.
+func (t *TCPTransport) RoundTrip(ctx context.Context, req []byte) ([]byte, error) {
+	conn, err := t.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFrame(conn, req); err != nil {
-		t.release(conn, false)
+	deadline, hasDeadline := ctx.Deadline()
+	conn.SetDeadline(deadline) // zero deadline clears any previous one
+	// Interrupt the socket when ctx is canceled mid-flight.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(aLongTimeAgo) })
+	var resp []byte
+	err = writeFrame(conn, req)
+	if err == nil {
+		resp, err = readFrame(conn)
+	}
+	healthy := err == nil
+	if !stop() {
+		// The cancel hook ran (or is running): the connection's deadline
+		// state is poisoned, so never return it to the pool.
+		healthy = false
+	}
+	t.release(conn, healthy)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			// Surface the cancellation/deadline as such, not as the socket
+			// error it manifested as.
+			err = cerr
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() && hasDeadline {
+			// The socket deadline (set from ctx) can fire a hair before
+			// the context's own timer reports it.
+			err = context.DeadlineExceeded
+		}
 		return nil, err
 	}
-	resp, err := readFrame(conn)
-	t.release(conn, err == nil)
-	return resp, err
+	return resp, nil
 }
 
 // Close implements RoundTripper: it closes every pooled connection.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,10 @@ func newRemote(t *testing.T, objs []geom.Object, opts ...Option) *client.Remote 
 	t.Helper()
 	srv := New("test", objs, opts...)
 	tr := netsim.Serve(srv)
-	r := client.NewRemote("test", tr, netsim.DefaultLink(), 1)
+	r, err := client.NewRemote("test", tr, netsim.DefaultLink(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() { r.Close() })
 	return r
 }
@@ -31,7 +35,7 @@ func testObjects() []geom.Object {
 
 func TestWindowQuery(t *testing.T) {
 	r := newRemote(t, testObjects())
-	objs, err := r.Window(geom.R(0, 0, 25, 25))
+	objs, err := r.Window(context.Background(), geom.R(0, 0, 25, 25))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,14 +46,14 @@ func TestWindowQuery(t *testing.T) {
 
 func TestCountQuery(t *testing.T) {
 	r := newRemote(t, testObjects())
-	n, err := r.Count(geom.R(0, 0, 100, 100))
+	n, err := r.Count(context.Background(), geom.R(0, 0, 100, 100))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 4 {
 		t.Fatalf("count = %d, want 4", n)
 	}
-	n, err = r.Count(geom.R(200, 200, 300, 300))
+	n, err = r.Count(context.Background(), geom.R(200, 200, 300, 300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,14 +64,14 @@ func TestCountQuery(t *testing.T) {
 
 func TestRangeQuery(t *testing.T) {
 	r := newRemote(t, testObjects())
-	objs, err := r.Range(geom.Pt(12, 10), 5)
+	objs, err := r.Range(context.Background(), geom.Pt(12, 10), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(objs) != 1 || objs[0].ID != 1 {
 		t.Fatalf("got %v", objs)
 	}
-	n, err := r.RangeCount(geom.Pt(15, 15), 10)
+	n, err := r.RangeCount(context.Background(), geom.Pt(15, 15), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +82,7 @@ func TestRangeQuery(t *testing.T) {
 
 func TestBucketRange(t *testing.T) {
 	r := newRemote(t, testObjects())
-	groups, err := r.BucketRange([]geom.Point{geom.Pt(10, 10), geom.Pt(0, 0), geom.Pt(55, 55)}, 3)
+	groups, err := r.BucketRange(context.Background(), []geom.Point{geom.Pt(10, 10), geom.Pt(0, 0), geom.Pt(55, 55)}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +98,7 @@ func TestBucketRange(t *testing.T) {
 	if len(groups[2]) != 1 || groups[2][0].ID != 4 {
 		t.Fatalf("group 2 = %v", groups[2])
 	}
-	ns, err := r.BucketRangeCount([]geom.Point{geom.Pt(10, 10), geom.Pt(0, 0)}, 3)
+	ns, err := r.BucketRangeCount(context.Background(), []geom.Point{geom.Pt(10, 10), geom.Pt(0, 0)}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +109,7 @@ func TestBucketRange(t *testing.T) {
 
 func TestInfo(t *testing.T) {
 	r := newRemote(t, testObjects())
-	info, err := r.Info()
+	info, err := r.Info(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +120,7 @@ func TestInfo(t *testing.T) {
 		t.Fatal("non-publishing server must not reveal tree height")
 	}
 	rp := newRemote(t, testObjects(), PublishIndex())
-	info, err = rp.Info()
+	info, err = rp.Info(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +131,7 @@ func TestInfo(t *testing.T) {
 
 func TestAvgArea(t *testing.T) {
 	r := newRemote(t, testObjects())
-	got, err := r.AvgArea(geom.R(45, 45, 65, 65))
+	got, err := r.AvgArea(context.Background(), geom.R(45, 45, 65, 65))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,13 +142,13 @@ func TestAvgArea(t *testing.T) {
 
 func TestIndexOpsRefusedByDefault(t *testing.T) {
 	r := newRemote(t, testObjects())
-	if _, err := r.LevelMBRs(0); err == nil || !strings.Contains(err.Error(), "does not publish") {
+	if _, err := r.LevelMBRs(context.Background(), 0); err == nil || !strings.Contains(err.Error(), "does not publish") {
 		t.Fatalf("LevelMBRs should be refused, got %v", err)
 	}
-	if _, err := r.MBRMatch([]geom.Rect{geom.R(0, 0, 1, 1)}, 0); err == nil {
+	if _, err := r.MBRMatch(context.Background(), []geom.Rect{geom.R(0, 0, 1, 1)}, 0); err == nil {
 		t.Fatal("MBRMatch should be refused")
 	}
-	if _, err := r.UploadJoin(testObjects(), 1); err == nil {
+	if _, err := r.UploadJoin(context.Background(), testObjects(), 1); err == nil {
 		t.Fatal("UploadJoin should be refused")
 	}
 }
@@ -152,18 +156,18 @@ func TestIndexOpsRefusedByDefault(t *testing.T) {
 func TestIndexOpsWithPublishIndex(t *testing.T) {
 	objs := dataset.GaussianClusters(1500, 4, 300, dataset.World, 3)
 	r := newRemote(t, objs, PublishIndex())
-	info, err := r.Info()
+	info, err := r.Info(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	mbrs, err := r.LevelMBRs(int(info.TreeHeight) - 1)
+	mbrs, err := r.LevelMBRs(context.Background(), int(info.TreeHeight)-1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(mbrs) != 1 {
 		t.Fatalf("root level should have 1 MBR, got %d", len(mbrs))
 	}
-	leaf, err := r.LevelMBRs(0)
+	leaf, err := r.LevelMBRs(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +175,7 @@ func TestIndexOpsWithPublishIndex(t *testing.T) {
 		t.Fatalf("leaf level too small: %d", len(leaf))
 	}
 
-	matched, err := r.MBRMatch(leaf[:3], 0)
+	matched, err := r.MBRMatch(context.Background(), leaf[:3], 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +191,7 @@ func TestIndexOpsWithPublishIndex(t *testing.T) {
 		seen[o.ID] = true
 	}
 
-	pairs, err := r.UploadJoin(objs[:50], 50)
+	pairs, err := r.UploadJoin(context.Background(), objs[:50], 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,16 +231,19 @@ func TestServerOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := client.NewRemote("tcp-test", tr, netsim.DefaultLink(), 1)
+	r, err := client.NewRemote("tcp-test", tr, netsim.DefaultLink(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer r.Close()
-	n, err := r.Count(dataset.World)
+	n, err := r.Count(context.Background(), dataset.World)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 200 {
 		t.Fatalf("count over TCP = %d", n)
 	}
-	objs2, err := r.Window(dataset.World)
+	objs2, err := r.Window(context.Background(), dataset.World)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,10 +257,10 @@ func TestServerOverTCP(t *testing.T) {
 
 func TestMeteringCountsQueriesAndBytes(t *testing.T) {
 	r := newRemote(t, testObjects())
-	if _, err := r.Count(geom.R(0, 0, 100, 100)); err != nil {
+	if _, err := r.Count(context.Background(), geom.R(0, 0, 100, 100)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Window(geom.R(0, 0, 100, 100)); err != nil {
+	if _, err := r.Window(context.Background(), geom.R(0, 0, 100, 100)); err != nil {
 		t.Fatal(err)
 	}
 	u := r.Usage()

@@ -30,7 +30,9 @@
 package repro
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -67,6 +69,22 @@ type (
 	Algorithm = core.Algorithm
 	// Env is the execution environment handed to algorithms.
 	Env = core.Env
+	// LinkConfig describes the physical link of Eq. (1) (MTU, header
+	// bytes, simulated RTT).
+	LinkConfig = netsim.LinkConfig
+	// RetryPolicy governs re-issuing queries after transient transport
+	// faults; the zero value disables retries.
+	RetryPolicy = client.RetryPolicy
+)
+
+// Link presets from the paper.
+var (
+	// DefaultLink is the WiFi/Ethernet link (MTU 1500, BH 40).
+	DefaultLink = netsim.DefaultLink
+	// DialupLink is the dial-up alternative (MTU 576, BH 40).
+	DialupLink = netsim.DialupLink
+	// DefaultRetry is a sane retry policy for lossy links.
+	DefaultRetry = client.DefaultRetry
 )
 
 // Join kinds.
@@ -138,6 +156,20 @@ type SessionConfig struct {
 	// in-process servers are given one worker goroutine per unit of
 	// parallelism.
 	Parallelism int
+	// Link selects the physical link parameters of both metered links.
+	// The zero value means the paper's default WiFi link (MTU 1500,
+	// BH 40); an invalid configuration fails NewSession.
+	Link LinkConfig
+	// Retry is the per-query retry policy applied to both remotes. The
+	// zero value disables retries (the paper's fail-fast device). Retried
+	// requests are charged to the meter per attempt, so a faulty link
+	// costs real bytes — failure-free runs meter identically with any
+	// policy.
+	Retry RetryPolicy
+	// RunTimeout, when positive, bounds every Run/RunContext call with a
+	// deadline. Canceling the deadline (or the caller's context) aborts
+	// the join promptly and joins all worker goroutines.
+	RunTimeout time.Duration
 }
 
 // Session is a ready-to-run device↔servers assembly using in-process
@@ -147,16 +179,22 @@ type Session struct {
 	env        *core.Env
 	rtR, rtS   netsim.RoundTripper
 	remR, remS *client.Remote
+	runTimeout time.Duration
 }
 
 // NewSession starts two in-process servers for cfg.R and cfg.S and wires
-// a device environment to them.
+// a device environment to them. An invalid link configuration is reported
+// here, at the configuration boundary.
 func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.PriceR == 0 {
 		cfg.PriceR = 1
 	}
 	if cfg.PriceS == 0 {
 		cfg.PriceS = 1
+	}
+	link := cfg.Link
+	if link == (LinkConfig{}) {
+		link = netsim.DefaultLink()
 	}
 	var opts []server.Option
 	if cfg.PublishIndexes {
@@ -170,23 +208,53 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	srvS := server.New("S", cfg.S, opts...)
 	rtR := netsim.ServeParallel(srvR, workers)
 	rtS := netsim.ServeParallel(srvS, workers)
-	remR := client.NewRemote("R", rtR, netsim.DefaultLink(), cfg.PriceR)
-	remS := client.NewRemote("S", rtS, netsim.DefaultLink(), cfg.PriceS)
+	remR, err := client.NewRemote("R", rtR, link, cfg.PriceR, client.WithRetry(cfg.Retry))
+	if err != nil {
+		rtR.Close()
+		rtS.Close()
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	remS, err := client.NewRemote("S", rtS, link, cfg.PriceS, client.WithRetry(cfg.Retry))
+	if err != nil {
+		rtR.Close()
+		rtS.Close()
+		return nil, fmt.Errorf("repro: %w", err)
+	}
 	model := costmodel.Default()
 	model.Bucket = cfg.Bucket
 	model.PriceR, model.PriceS = cfg.PriceR, cfg.PriceS
 	env := core.NewEnv(remR, remS, client.Device{BufferObjects: cfg.Buffer}, model, cfg.Window)
 	env.Seed = cfg.Seed
 	env.Parallelism = cfg.Parallelism
-	return &Session{env: env, rtR: rtR, rtS: rtS, remR: remR, remS: remS}, nil
+	return &Session{
+		env: env, rtR: rtR, rtS: rtS, remR: remR, remS: remS,
+		runTimeout: cfg.RunTimeout,
+	}, nil
 }
 
 // Run executes one algorithm. Stats cover only this run's traffic.
 func (s *Session) Run(alg Algorithm, spec Spec) (*Result, error) {
+	return s.RunContext(context.Background(), alg, spec)
+}
+
+// RunContext executes one algorithm under ctx: canceling it (or exceeding
+// the session's RunTimeout, when configured) aborts the join promptly —
+// in-flight round trips are interrupted, all worker goroutines join
+// before the call returns, and the context's error is reported. Stats
+// cover only this run's traffic.
+func (s *Session) RunContext(ctx context.Context, alg Algorithm, spec Spec) (*Result, error) {
 	if alg == nil {
 		return nil, fmt.Errorf("repro: nil algorithm")
 	}
-	return alg.Run(s.env, spec)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.runTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.runTimeout)
+		defer cancel()
+	}
+	return alg.Run(ctx, s.env, spec)
 }
 
 // Env exposes the underlying environment for advanced use (custom

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end smoke: build the binaries, boot two spatialserve instances,
+# run spatialjoin against them over real TCP, then SIGTERM both servers
+# and assert a clean drain. CI runs this on every push; it is also the
+# quickest local sanity check that the deployable stack works.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+declare -a pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/bin/" ./cmd/...
+
+echo "== generate datasets"
+"$workdir/bin/datagen" -kind clusters -n 800 -k 4 -sigma 250 -seed 1 -out "$workdir/r.spd"
+"$workdir/bin/datagen" -kind clusters -n 800 -k 4 -sigma 250 -seed 2 -out "$workdir/s.spd"
+
+echo "== boot servers"
+"$workdir/bin/spatialserve" -data "$workdir/r.spd" -addr 127.0.0.1:7461 >"$workdir/r.log" 2>&1 &
+pids+=($!)
+"$workdir/bin/spatialserve" -data "$workdir/s.spd" -addr 127.0.0.1:7462 >"$workdir/s.log" 2>&1 &
+pids+=($!)
+
+# Wait for both listeners to come up.
+for i in $(seq 1 100); do
+  if grep -q "serving" "$workdir/r.log" && grep -q "serving" "$workdir/s.log"; then
+    break
+  fi
+  sleep 0.05
+done
+grep -q "serving" "$workdir/r.log" || { echo "R server never came up"; cat "$workdir/r.log"; exit 1; }
+grep -q "serving" "$workdir/s.log" || { echo "S server never came up"; cat "$workdir/s.log"; exit 1; }
+
+echo "== join over TCP"
+out=$("$workdir/bin/spatialjoin" -r 127.0.0.1:7461 -s 127.0.0.1:7462 \
+  -alg upjoin -kind distance -eps 75 -buffer 500 -parallel 4 -timeout 60s)
+echo "$out"
+echo "$out" | grep -q "pairs" || { echo "join produced no result line"; exit 1; }
+echo "$out" | grep -q "wire bytes" || { echo "join produced no accounting"; exit 1; }
+
+echo "== SIGTERM drain"
+for pid in "${pids[@]}"; do
+  kill -TERM "$pid"
+done
+status=0
+for pid in "${pids[@]}"; do
+  if ! wait "$pid"; then
+    status=1
+  fi
+done
+pids=()
+[ "$status" -eq 0 ] || { echo "a server exited non-zero on SIGTERM"; cat "$workdir"/*.log; exit 1; }
+grep -q "drained cleanly" "$workdir/r.log" || { echo "R did not drain cleanly"; cat "$workdir/r.log"; exit 1; }
+grep -q "drained cleanly" "$workdir/s.log" || { echo "S did not drain cleanly"; cat "$workdir/s.log"; exit 1; }
+
+echo "smoke OK"
