@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race bench bench-smoke smoke fmt vet
+.PHONY: all build test race bench bench-smoke bench-compare fuzz smoke fmt vet
 
 all: build test
 
@@ -32,6 +32,28 @@ bench:
 # least execute (one iteration), so bit-rotted benchmarks fail the build.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-compare is the regression gate: run a quick fresh pass of the
+# tracked benchmarks and diff the medians against BENCH_baseline.json.
+# Exits 1 when any median regresses beyond the threshold. CI runs this
+# as a non-blocking signal (shared runners are noisy); locally it is the
+# fastest "did I slow something down" check.
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.2s ./bench > bench.cmp.tmp
+	$(GO) run ./cmd/benchjson < bench.cmp.tmp > bench.cmp.json
+	@rm -f bench.cmp.tmp
+	$(GO) run ./cmd/benchjson -compare -threshold 30 BENCH_baseline.json bench.cmp.json; \
+	  status=$$?; rm -f bench.cmp.json; exit $$status
+
+# fuzz runs every fuzz target briefly — the codec-hardening pass CI runs
+# on each push. Longer local campaigns: go test -fuzz <Target> -fuzztime 5m.
+fuzz:
+	@for pkg in ./internal/wire ./internal/server; do \
+	  for f in $$($(GO) test -list 'Fuzz.*' $$pkg | grep '^Fuzz'); do \
+	    echo "== $$pkg $$f"; \
+	    $(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime 10s $$pkg || exit 1; \
+	  done; \
+	done
 
 # smoke is the end-to-end check CI runs: real binaries, real TCP, real
 # signals (boot two spatialserve, join, SIGTERM drain).

@@ -12,6 +12,7 @@ package bench
 import (
 	"context"
 	"testing"
+	"time"
 
 	"repro/internal/bufpool"
 	"repro/internal/client"
@@ -128,5 +129,86 @@ func BenchmarkSessionUpJoin(b *testing.B) {
 			b.Fatal(err)
 		}
 		sink += len(res.Pairs)
+	}
+}
+
+// benchSessionRTT runs one full join per iteration against in-process
+// servers behind a simulated 300µs-RTT link — the regime the batching
+// layer targets: with Parallelism 1 every frame is a sequential round
+// trip, so wall-clock time tracks frame count almost linearly. The
+// "frames" metric reports the metered message total per op so the
+// reduction is visible next to the latency.
+func benchSessionRTT(b *testing.B, alg core.Algorithm, batch int) {
+	robjs := dataset.GaussianClusters(1500, 6, 300, dataset.World, 31)
+	sobjs := dataset.GaussianClusters(1500, 6, 300, dataset.World, 32)
+	link := netsim.DefaultLink()
+	link.RTT = 300 * time.Microsecond
+	trR := netsim.Serve(server.New("R", robjs))
+	trS := netsim.Serve(server.New("S", sobjs))
+	defer trR.Close()
+	defer trS.Close()
+	var copts []client.Option
+	if batch > 1 {
+		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: batch}))
+	}
+	r, err := client.NewRemote("R", trR, link, 1, copts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := client.NewRemote("S", trS, link, 1, copts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := core.NewEnv(r, s, client.Device{BufferObjects: 500}, costmodel.Default(), dataset.World)
+	env.BatchSize = batch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := alg.Run(context.Background(), env, core.Spec{Kind: core.Distance, Eps: 75})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += len(res.Pairs)
+	}
+	b.StopTimer()
+	u := r.Usage().Add(s.Usage())
+	b.ReportMetric(float64(u.Messages)/float64(b.N), "frames/op")
+}
+
+// BenchmarkSessionUpJoinRTT pins the batching win on the paper's
+// headline algorithm over a latency-bearing link.
+func BenchmarkSessionUpJoinRTT(b *testing.B) {
+	b.Run("batch1", func(b *testing.B) { benchSessionRTT(b, core.UpJoin{}, 1) })
+	b.Run("batch16", func(b *testing.B) { benchSessionRTT(b, core.UpJoin{}, 16) })
+}
+
+// BenchmarkSessionGridRTT does the same for the grid baseline, whose
+// COUNT phases batch almost perfectly.
+func BenchmarkSessionGridRTT(b *testing.B) {
+	b.Run("batch1", func(b *testing.B) { benchSessionRTT(b, core.Grid{}, 1) })
+	b.Run("batch16", func(b *testing.B) { benchSessionRTT(b, core.Grid{}, 16) })
+}
+
+// BenchmarkWireBatchCodec measures the batch envelope codec itself:
+// wrap 16 COUNT requests, decode the envelope, and demultiplex —
+// the extra work a batched round trip performs over a bare one.
+func BenchmarkWireBatchCodec(b *testing.B) {
+	w := geom.R(1000, 1000, 5000, 5000)
+	subs := make([][]byte, 16)
+	for i := range subs {
+		subs[i] = wire.EncodeCount(w)
+	}
+	var views [][]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := wire.AppendBatch(bufpool.Get(), subs)
+		var err error
+		views, err = wire.DecodeBatchAppend(frame, wire.MsgBatch, views[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += len(views)
+		bufpool.Put(frame)
 	}
 }

@@ -6,11 +6,20 @@
 // docs/PERFORMANCE.md).
 //
 //	go test -run '^$' -bench . -benchmem -count 6 ./bench | benchjson
+//
+// With -compare it instead diffs two such documents and reports per-
+// benchmark deltas, exiting 1 when any time regression exceeds the
+// threshold — the regression gate behind `make bench-compare` (CI runs
+// it as a non-blocking signal; benchmark noise on shared runners makes
+// it advisory there):
+//
+//	benchjson -compare -threshold 25 BENCH_baseline.json BENCH_new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -44,6 +53,85 @@ type Report struct {
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
+// readReport loads one benchjson document from disk.
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// compare diffs new against old and returns the number of time
+// regressions beyond threshold percent. Benchmarks present on only one
+// side are reported but never counted as regressions (new benchmarks
+// appear legitimately as the suite grows).
+func compare(old, cur Report, threshold float64, w *bufio.Writer) int {
+	defer w.Flush()
+	oldBy := map[string]Result{}
+	for _, r := range old.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	newNames := map[string]bool{}
+	regressions := 0
+	fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, nr := range cur.Benchmarks {
+		newNames[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if or.NsPerOp > 0 {
+			delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		}
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		} else if delta < -threshold {
+			mark = "  improved"
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+8.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, mark)
+		if or.AllocsPerOp != nil && nr.AllocsPerOp != nil && *nr.AllocsPerOp > *or.AllocsPerOp {
+			fmt.Fprintf(w, "%-40s %14.0f %14.0f %9s  REGRESSION (allocs)\n",
+				nr.Name+" [allocs]", *or.AllocsPerOp, *nr.AllocsPerOp, "")
+			regressions++
+		}
+	}
+	for _, or := range old.Benchmarks {
+		if !newNames[or.Name] {
+			fmt.Fprintf(w, "%-40s %14.0f %14s %9s\n", or.Name, or.NsPerOp, "-", "gone")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d regression(s) beyond %.0f%%\n", regressions, threshold)
+	}
+	return regressions
+}
+
+func runCompare(oldPath, newPath string, threshold float64) int {
+	old, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	cur, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	if compare(old, cur, threshold, bufio.NewWriter(os.Stdout)) > 0 {
+		return 1
+	}
+	return 0
+}
+
 func median(xs []float64) float64 {
 	sort.Float64s(xs)
 	n := len(xs)
@@ -57,6 +145,19 @@ func median(xs []float64) float64 {
 }
 
 func main() {
+	var (
+		comparePair = flag.Bool("compare", false, "compare two benchjson files: benchjson -compare old.json new.json")
+		threshold   = flag.Float64("threshold", 25, "regression threshold in percent for -compare")
+	)
+	flag.Parse()
+	if *comparePair {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
 	report := Report{Date: time.Now().UTC().Format("2006-01-02")}
 	samples := map[string]map[string][]float64{} // name -> unit -> values
 	var order []string

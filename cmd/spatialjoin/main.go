@@ -6,7 +6,7 @@
 //
 //	spatialjoin -r 127.0.0.1:7001 -s 127.0.0.1:7002 \
 //	    -alg upjoin -kind distance -eps 150 -buffer 800 [-bucket] \
-//	    [-window minx,miny,maxx,maxy] [-m 10] [-pairs] [-parallel 4]
+//	    [-window minx,miny,maxx,maxy] [-m 10] [-pairs] [-parallel 4] [-batch 16]
 package main
 
 import (
@@ -79,6 +79,7 @@ func main() {
 		window   = flag.String("window", "", "query window minx,miny,maxx,maxy (default: whole space)")
 		pairs    = flag.Bool("pairs", false, "print the result pairs/objects")
 		parallel = flag.Int("parallel", 1, "max in-flight requests (1 = the paper's sequential device)")
+		batch    = flag.Int("batch", 1, "multiplex up to this many probes per frame (1 = one frame per probe)")
 		timeout  = flag.Duration("timeout", 0, "overall join deadline (0 = none)")
 		tryTO    = flag.Duration("try-timeout", 0, "per-query attempt deadline (0 = none)")
 		retries  = flag.Int("retries", 4, "max attempts per query over the real, lossy link (1 = fail fast)")
@@ -129,9 +130,13 @@ func main() {
 	fatal(err)
 	trS, err := netsim.DialTCPPool(*sAddr, conns)
 	fatal(err)
-	remR, err := client.NewRemote("R("+*rAddr+")", trR, netsim.DefaultLink(), *priceR, client.WithRetry(policy))
+	copts := []client.Option{client.WithRetry(policy)}
+	if *batch > 1 {
+		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: *batch}))
+	}
+	remR, err := client.NewRemote("R("+*rAddr+")", trR, netsim.DefaultLink(), *priceR, copts...)
 	fatal(err)
-	remS, err := client.NewRemote("S("+*sAddr+")", trS, netsim.DefaultLink(), *priceS, client.WithRetry(policy))
+	remS, err := client.NewRemote("S("+*sAddr+")", trS, netsim.DefaultLink(), *priceS, copts...)
 	fatal(err)
 	defer remR.Close()
 	defer remS.Close()
@@ -141,6 +146,7 @@ func main() {
 	model.PriceR, model.PriceS = *priceR, *priceS
 	env := core.NewEnv(remR, remS, client.Device{BufferObjects: *buffer}, model, win)
 	env.Parallelism = *parallel
+	env.BatchSize = *batch
 
 	res, err := a.Run(ctx, env, spec)
 	fatal(err)

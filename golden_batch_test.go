@@ -1,0 +1,110 @@
+package repro
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// goldenBatchedBytes pins the exact metered wire bytes of the same fixed
+// workload as goldenBytes, but with probe multiplexing at BatchSize 4
+// and 16 (sequential execution, where the batched framing is
+// deterministic: probe groups are chunked by the outer list and flushed
+// explicitly, never by the linger timer). Together with the unchanged
+// goldenBytes table this pins both halves of the batching contract:
+// BatchSize 1 is bit-identical to the pre-batching protocol, and the
+// batched framing itself never drifts silently. SemiJoin is absent: its
+// three round trips are dependent, so batching leaves them untouched
+// (TestBatchedSemiJoinMatchesOracle covers it).
+var goldenBatchedBytes = map[string][2]int{
+	"grid/distance/batch16":         {3300, 13088},
+	"grid/distance/batch4":          {3570, 13178},
+	"grid/iceberg/batch16":          {3300, 13088},
+	"grid/iceberg/batch4":           {3570, 13178},
+	"grid/intersection/batch16":     {3120, 12948},
+	"grid/intersection/batch4":      {3390, 13038},
+	"mobiJoin/distance/batch16":     {4150, 4206},
+	"mobiJoin/distance/batch4":      {4150, 4386},
+	"mobiJoin/iceberg/batch16":      {4150, 4258},
+	"mobiJoin/iceberg/batch4":       {4150, 4438},
+	"mobiJoin/intersection/batch16": {4056, 4134},
+	"mobiJoin/intersection/batch4":  {4056, 4296},
+	"naive/distance/batch16":        {14028, 14088},
+	"naive/distance/batch4":         {14028, 14088},
+	"naive/iceberg/batch16":         {14028, 14088},
+	"naive/iceberg/batch4":          {14028, 14088},
+	"naive/intersection/batch16":    {13948, 13948},
+	"naive/intersection/batch4":     {13948, 13948},
+	"srJoin/distance/batch16":       {2518, 2474},
+	"srJoin/distance/batch4":        {2518, 2474},
+	"srJoin/iceberg/batch16":        {2518, 2482},
+	"srJoin/iceberg/batch4":         {2518, 2482},
+	"srJoin/intersection/batch16":   {1572, 1552},
+	"srJoin/intersection/batch4":    {1572, 1552},
+	"upJoin/distance/batch16":       {2244, 3384},
+	"upJoin/distance/batch4":        {2514, 3384},
+	"upJoin/iceberg/batch16":        {2244, 3384},
+	"upJoin/iceberg/batch4":         {2514, 3384},
+	"upJoin/intersection/batch16":   {3440, 2984},
+	"upJoin/intersection/batch4":    {3440, 2984},
+}
+
+func TestGoldenBatchedByteAccounting(t *testing.T) {
+	robjs := GaussianClusters(600, 4, 250, World, 101)
+	sobjs := GaussianClusters(600, 4, 250, World, 102)
+
+	specs := map[string]Spec{
+		"intersection": {Kind: Intersection},
+		"distance":     {Kind: Distance, Eps: 75},
+		"iceberg":      {Kind: IcebergSemi, Eps: 75, MinMatches: 2},
+	}
+	algs := map[string]Algorithm{
+		"naive":    Naive{},
+		"grid":     Grid{},
+		"mobiJoin": MobiJoin{},
+		"upJoin":   UpJoin{},
+		"srJoin":   SrJoin{},
+	}
+
+	var missing []string
+	for algName := range algs {
+		for specName := range specs {
+			for _, batch := range []int{4, 16} {
+				name := fmt.Sprintf("%s/%s/batch%d", algName, specName, batch)
+				t.Run(name, func(t *testing.T) {
+					parts := strings.Split(name, "/")
+					var bs int
+					fmt.Sscanf(parts[2], "batch%d", &bs)
+					sess, err := NewSession(SessionConfig{
+						R: robjs, S: sobjs, Buffer: 500, Window: World,
+						Seed: 7, PublishIndexes: true, BatchSize: bs,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer sess.Close()
+					res, err := sess.Run(algs[parts[0]], specs[parts[1]])
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := [2]int{res.Stats.R.WireBytes, res.Stats.S.WireBytes}
+					want, ok := goldenBatchedBytes[name]
+					if !ok {
+						missing = append(missing, fmt.Sprintf("%q: {%d, %d},", name, got[0], got[1]))
+						t.Errorf("no golden for %s: got {%d, %d}", name, got[0], got[1])
+						return
+					}
+					if got != want {
+						t.Errorf("%s: metered bytes {R, S} = {%d, %d}, golden {%d, %d}",
+							name, got[0], got[1], want[0], want[1])
+					}
+				})
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		t.Logf("golden entries:\n%s", strings.Join(missing, "\n"))
+	}
+}

@@ -1,0 +1,372 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/geom"
+	"repro/internal/wire"
+)
+
+// This file implements probe multiplexing: a per-Remote batcher that
+// coalesces outstanding request frames into one MsgBatch envelope,
+// answered by the server with one MsgBatchReply — amortizing the
+// per-frame packet overhead of Eq. (1), the meter's per-message charge,
+// and (on latency-bearing links) the round trip across the batch.
+//
+// Callers submit asynchronously with GoBatch and collect each request's
+// reply through its Call future. Three triggers cut a batch:
+//
+//   - size: the pending queue reaching MaxBatch dispatches immediately;
+//   - linger: a timer armed when the queue becomes non-empty flushes
+//     stragglers, so a lone request is never parked indefinitely;
+//   - explicit: Flush dispatches whatever is pending right now.
+//
+// The linger is adaptive per link: timer flushes that caught only a
+// single request halve it (lone callers should not wait), timer flushes
+// that did coalesce grow it (more time buys fuller batches), and
+// size-trigger flushes decay it gently (arrivals outpace the timer
+// anyway). It always stays within [MinLinger, MaxLinger].
+//
+// A batch is retried as a unit by the Remote's RetryPolicy — every
+// sub-request is an idempotent query, so re-issuing the whole envelope
+// after a transport fault is as safe as re-issuing one query, and each
+// attempt is charged to the meter like any other uplink frame.
+//
+// Error containment: a transport failure fails every Call of the batch,
+// but a server-side per-sub-request failure arrives as a MsgError
+// *sub-frame* and fails only its own Call — batch-mates complete
+// normally (see Call.frame).
+
+// BatchConfig configures a Remote's probe batcher.
+type BatchConfig struct {
+	// MaxBatch is the size trigger: a pending queue reaching this many
+	// requests is dispatched immediately. Values ≤ 1 disable batching
+	// (every request travels as its own frame, bit-identical to the
+	// pre-batching wire format).
+	MaxBatch int
+	// Linger is the initial adaptive linger. Zero derives a default from
+	// the link: max(500µs, RTT/4), clamped to the bounds below.
+	Linger time.Duration
+	// MinLinger and MaxLinger bound the adaptive linger. Zero values
+	// default to 50µs and 2ms.
+	MinLinger, MaxLinger time.Duration
+}
+
+// WithBatch enables probe batching on the remote with the given
+// configuration.
+func WithBatch(cfg BatchConfig) Option {
+	return func(r *Remote) { r.batchCfg = cfg }
+}
+
+// Call is the future of one batched request: it completes when the frame
+// carrying the request has been answered (or failed). A Call is consumed
+// by exactly one accessor (Objects, Count, ...), which waits, decodes,
+// and recycles the response frame.
+type Call struct {
+	rem  *Remote
+	ctx  context.Context
+	req  []byte
+	resp []byte
+	err  error
+	done chan struct{}
+}
+
+func (c *Call) complete(resp []byte, err error) {
+	c.resp, c.err = resp, err
+	close(c.done)
+}
+
+// frame waits for completion and returns the response frame, converting a
+// per-sub-request MsgError sub-frame into this call's error — batch-mates
+// are unaffected. The caller owns the returned frame.
+func (c *Call) frame() ([]byte, error) {
+	<-c.done
+	if c.err != nil {
+		return nil, c.err
+	}
+	resp := c.resp
+	c.resp = nil
+	if resp == nil {
+		return nil, fmt.Errorf("%s: call already consumed", c.rem.name)
+	}
+	if wire.Type(resp) == wire.MsgError {
+		err := fmt.Errorf("%s: %w", c.rem.name, wire.DecodeError(resp))
+		bufpool.Put(resp)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Objects waits and decodes an OBJECTS response (WINDOW / RANGE probes).
+func (c *Call) Objects() ([]geom.Object, error) {
+	resp, err := c.frame()
+	if err != nil {
+		return nil, err
+	}
+	objs, err := wire.DecodeObjects(resp)
+	putFrame(resp)
+	return objs, err
+}
+
+// Count waits and decodes a COUNT-REPLY response (COUNT / RANGE-COUNT
+// probes).
+func (c *Call) Count() (int, error) {
+	resp, err := c.frame()
+	if err != nil {
+		return 0, err
+	}
+	n, err := wire.DecodeCountReply(resp)
+	putFrame(resp)
+	return int(n), err
+}
+
+// cutReason records which trigger dispatched a batch, driving the
+// adaptive linger.
+type cutReason int
+
+const (
+	cutFull cutReason = iota
+	cutTimer
+	cutExplicit
+)
+
+// batcher is the per-link multiplexer. pending never exceeds max: the
+// enqueue path cuts a batch the moment the queue fills.
+type batcher struct {
+	rem        *Remote
+	max        int
+	minL, maxL int64        // linger bounds, ns
+	linger     atomic.Int64 // current adaptive linger, ns
+
+	mu      sync.Mutex
+	pending []*Call
+	timer   *time.Timer
+	armed   bool
+
+	frames atomic.Int64 // dispatched frames (diagnostics and tests)
+}
+
+func newBatcher(r *Remote, cfg BatchConfig) *batcher {
+	if cfg.MaxBatch <= 1 {
+		return nil
+	}
+	b := &batcher{rem: r, max: cfg.MaxBatch}
+	b.minL = int64(cfg.MinLinger)
+	if b.minL <= 0 {
+		b.minL = int64(50 * time.Microsecond)
+	}
+	b.maxL = int64(cfg.MaxLinger)
+	if b.maxL < b.minL {
+		b.maxL = int64(2 * time.Millisecond)
+		if b.maxL < b.minL {
+			b.maxL = b.minL
+		}
+	}
+	l := int64(cfg.Linger)
+	if l <= 0 {
+		l = int64(500 * time.Microsecond)
+		if rtt := int64(r.m.Link().RTT) / 4; rtt > l {
+			l = rtt
+		}
+	}
+	b.linger.Store(clamp64(l, b.minL, b.maxL))
+	b.timer = time.AfterFunc(time.Duration(b.maxL), func() { b.flush(cutTimer) })
+	b.timer.Stop()
+	return b
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// enqueue adds calls to the pending queue, cutting a full batch whenever
+// the size trigger fires. All calls of one enqueue are appended under one
+// lock acquisition, so a caller submitting exactly MaxBatch requests
+// into an *empty* queue gets one frame containing exactly those
+// requests; when concurrent submitters have left stragglers pending,
+// those join the frame and the tail of this enqueue stays queued —
+// correct, just a different grouping. Sequential runs always find the
+// queue empty (core flushes each probe group before issuing the next),
+// which is what the deterministic byte-accounting goldens rely on.
+func (b *batcher) enqueue(calls []*Call) {
+	var cut [][]*Call
+	b.mu.Lock()
+	for _, c := range calls {
+		b.pending = append(b.pending, c)
+		if len(b.pending) >= b.max {
+			cut = append(cut, b.pending)
+			b.pending = nil
+		}
+	}
+	if len(b.pending) > 0 {
+		if !b.armed {
+			b.armed = true
+			b.timer.Reset(time.Duration(b.linger.Load()))
+		}
+	} else if b.armed {
+		b.armed = false
+		b.timer.Stop()
+	}
+	b.mu.Unlock()
+	for _, batch := range cut {
+		go b.dispatch(batch, cutFull)
+	}
+}
+
+// flush dispatches whatever is pending. Explicit flushes run the round
+// trip on the caller's goroutine (the caller is about to wait on the
+// calls anyway); timer flushes run on the timer goroutine.
+func (b *batcher) flush(reason cutReason) {
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	if b.armed {
+		b.armed = false
+		b.timer.Stop()
+	}
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.dispatch(batch, reason)
+	}
+}
+
+// adapt moves the linger after a dispatch, per the scheduler policy above.
+func (b *batcher) adapt(reason cutReason, n int) {
+	cur := b.linger.Load()
+	switch reason {
+	case cutTimer:
+		if n <= 1 {
+			cur /= 2
+		} else {
+			cur = cur * 5 / 4
+		}
+	case cutFull:
+		cur = cur * 7 / 8
+	case cutExplicit:
+		return
+	}
+	b.linger.Store(clamp64(cur, b.minL, b.maxL))
+}
+
+// dispatch sends one batch as a single frame (bare for a batch of one —
+// a straggler costs exactly what an unbatched request costs) and
+// demultiplexes the reply to the waiting calls. The round trip runs
+// under the first call's context; callers that batch together are
+// expected to share one (they do: all probes of a join run share the
+// run context).
+func (b *batcher) dispatch(batch []*Call, reason cutReason) {
+	b.frames.Add(1)
+	b.adapt(reason, len(batch))
+	ctx := batch[0].ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(batch) == 1 {
+		c := batch[0]
+		resp, err := b.rem.roundTrip(ctx, c.req)
+		c.req = nil
+		c.complete(resp, err)
+		return
+	}
+	subs := make([][]byte, len(batch))
+	for i, c := range batch {
+		subs[i] = c.req
+	}
+	frame := wire.AppendBatch(bufpool.Get(), subs)
+	for _, c := range batch {
+		bufpool.Put(c.req)
+		c.req = nil
+	}
+	resp, err := b.rem.roundTrip(ctx, frame)
+	if err != nil {
+		for _, c := range batch {
+			c.complete(nil, err)
+		}
+		return
+	}
+	subs, err = wire.DecodeBatchAppend(resp, wire.MsgBatchReply, subs[:0])
+	if err == nil && len(subs) != len(batch) {
+		err = fmt.Errorf("batch reply carries %d sub-frames, want %d", len(subs), len(batch))
+	}
+	if err != nil {
+		err = fmt.Errorf("%s: %w", b.rem.name, err)
+		for _, c := range batch {
+			c.complete(nil, err)
+		}
+		bufpool.Put(resp)
+		return
+	}
+	// Each call receives a private copy of its sub-reply so the shared
+	// envelope frame can be recycled immediately; decoded values never
+	// alias the copies either (the accessors recycle them after decoding).
+	for i, c := range batch {
+		buf := bufpool.GetCap(len(subs[i]))
+		c.complete(append(buf, subs[i]...), nil)
+	}
+	bufpool.Put(resp)
+}
+
+// --- Remote surface -------------------------------------------------------
+
+// BatchEnabled reports whether this remote multiplexes probes.
+func (r *Remote) BatchEnabled() bool { return r.b != nil }
+
+// BatchFrames returns how many frames the batcher has dispatched
+// (envelopes and bare stragglers alike). Diagnostics only.
+func (r *Remote) BatchFrames() int64 {
+	if r.b == nil {
+		return 0
+	}
+	return r.b.frames.Load()
+}
+
+// GoBatch submits pre-encoded request frames (ownership of each buffer
+// passes to the client) and returns one Call per request. The requests
+// are enqueued atomically under one lock acquisition: concurrent
+// submitters never interleave *within* one GoBatch's requests, though
+// stragglers already pending may share its frames. Requests below the
+// size trigger stay pending until the queue fills, the linger timer
+// fires, or an explicit Flush dispatches them.
+//
+// With batching disabled each request is dispatched immediately as its
+// own concurrent round trip, so callers need not special-case the
+// configuration.
+func (r *Remote) GoBatch(ctx context.Context, reqs [][]byte) []*Call {
+	calls := make([]*Call, len(reqs))
+	for i, req := range reqs {
+		calls[i] = &Call{rem: r, ctx: ctx, req: req, done: make(chan struct{})}
+	}
+	if r.b == nil {
+		for _, c := range calls {
+			c := c
+			go func() {
+				resp, err := r.roundTrip(c.ctx, c.req)
+				c.req = nil
+				c.complete(resp, err)
+			}()
+		}
+		return calls
+	}
+	r.b.enqueue(calls)
+	return calls
+}
+
+// Flush dispatches any pending batched requests immediately instead of
+// waiting for the size or linger triggers. Callers submit a probe group
+// with GoBatch, Flush the tail, then wait on the calls.
+func (r *Remote) Flush() {
+	if r.b != nil {
+		r.b.flush(cutExplicit)
+	}
+}

@@ -1,0 +1,261 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func newBatched(t *testing.T, objs []geom.Object, cfg BatchConfig, workers int) *Remote {
+	t.Helper()
+	tr := netsim.ServeParallel(server.New("B", objs), workers)
+	r, err := NewRemote("B", tr, netsim.DefaultLink(), 1, WithBatch(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestGoBatchSizeTriggerOneFrame: submitting exactly MaxBatch requests in
+// one GoBatch yields exactly one wire frame carrying all of them.
+func TestGoBatchSizeTriggerOneFrame(t *testing.T) {
+	objs := dataset.Uniform(200, dataset.World, 3)
+	r := newBatched(t, objs, BatchConfig{MaxBatch: 8, Linger: time.Second}, 1)
+	w := dataset.Bounds(objs).Expand(1)
+
+	reqs := make([][]byte, 8)
+	for i := range reqs {
+		reqs[i] = wire.AppendCount(bufpool.Get(), w)
+	}
+	calls := r.GoBatch(context.Background(), reqs)
+	for i, c := range calls {
+		n, err := c.Count()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if n != 200 {
+			t.Fatalf("call %d: count %d, want 200", i, n)
+		}
+	}
+	u := r.Usage()
+	if u.Messages != 2 { // one MsgBatch up, one MsgBatchReply down
+		t.Errorf("messages = %d, want 2 (one envelope each way)", u.Messages)
+	}
+	if r.BatchFrames() != 1 {
+		t.Errorf("batch frames = %d, want 1", r.BatchFrames())
+	}
+}
+
+// TestGoBatchFlushDispatchesPartial: a partial group is parked until an
+// explicit Flush, then answered as one envelope.
+func TestGoBatchFlushDispatchesPartial(t *testing.T) {
+	objs := dataset.Uniform(50, dataset.World, 4)
+	r := newBatched(t, objs, BatchConfig{MaxBatch: 16, Linger: time.Second, MaxLinger: time.Second}, 1)
+	w := dataset.Bounds(objs).Expand(1)
+
+	reqs := [][]byte{
+		wire.AppendCount(bufpool.Get(), w),
+		wire.AppendWindow(bufpool.Get(), w),
+		wire.AppendRange(bufpool.Get(), w.Center(), 100),
+	}
+	calls := r.GoBatch(context.Background(), reqs)
+	r.Flush()
+	if n, err := calls[0].Count(); err != nil || n != 50 {
+		t.Fatalf("count: %d, %v", n, err)
+	}
+	if objs, err := calls[1].Objects(); err != nil || len(objs) != 50 {
+		t.Fatalf("window: %d objs, %v", len(objs), err)
+	}
+	if _, err := calls[2].Objects(); err != nil {
+		t.Fatalf("range: %v", err)
+	}
+	if got := r.Usage().Messages; got != 2 {
+		t.Errorf("messages = %d, want 2", got)
+	}
+}
+
+// TestBatchLingerFlushesStragglers: with no Flush and no full batch, the
+// linger timer dispatches a lone request.
+func TestBatchLingerFlushesStragglers(t *testing.T) {
+	objs := dataset.Uniform(10, dataset.World, 5)
+	r := newBatched(t, objs, BatchConfig{MaxBatch: 64, Linger: time.Millisecond}, 1)
+	w := dataset.Bounds(objs).Expand(1)
+
+	c := r.GoBatch(context.Background(), [][]byte{wire.AppendCount(bufpool.Get(), w)})[0]
+	start := time.Now()
+	n, err := c.Count()
+	if err != nil || n != 10 {
+		t.Fatalf("count: %d, %v", n, err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("straggler waited %v for the linger flush", d)
+	}
+}
+
+// TestBatchPerSubRequestErrors pins the satellite fix: a server-side
+// error for one sub-request surfaces on that Call only; batch-mates
+// succeed. (Transport-level failures, by contrast, fail the whole batch.)
+func TestBatchPerSubRequestErrors(t *testing.T) {
+	objs := dataset.Uniform(30, dataset.World, 6)
+	r := newBatched(t, objs, BatchConfig{MaxBatch: 3, Linger: time.Second}, 1)
+	w := dataset.Bounds(objs).Expand(1)
+
+	reqs := [][]byte{
+		wire.AppendCount(bufpool.Get(), w),
+		wire.AppendMBRLevel(bufpool.Get(), 0), // refused: index not published
+		wire.AppendCount(bufpool.Get(), w),
+	}
+	calls := r.GoBatch(context.Background(), reqs)
+	if n, err := calls[0].Count(); err != nil || n != 30 {
+		t.Fatalf("call 0: %d, %v", n, err)
+	}
+	_, err := calls[1].frame()
+	var se *wire.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("call 1: err = %v, want *wire.ServerError", err)
+	}
+	if n, err := calls[2].Count(); err != nil || n != 30 {
+		t.Fatalf("call 2: %d, %v", n, err)
+	}
+}
+
+// TestBatchConcurrentCallersDemux: many goroutines submitting distinct
+// probes through one batcher each get their own answer back.
+func TestBatchConcurrentCallersDemux(t *testing.T) {
+	// One object per unit cell so every probe has a distinguishable count.
+	var objs []geom.Object
+	for i := 0; i < 64; i++ {
+		for j := 0; j <= i%4; j++ { // cell i holds (i%4)+1 coincident points
+			objs = append(objs, geom.PointObject(uint32(len(objs)), geom.Pt(float64(i)+0.5, 0.5)))
+		}
+	}
+	r := newBatched(t, objs, BatchConfig{MaxBatch: 8, Linger: 200 * time.Microsecond}, 4)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := geom.R(float64(i), 0, float64(i)+1, 1)
+			c := r.GoBatch(context.Background(), [][]byte{wire.AppendCount(bufpool.Get(), w)})[0]
+			n, err := c.Count()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if want := i%4 + 1; n != want {
+				errs <- fmt.Errorf("probe %d: count %d, want %d", i, n, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if f, msgs := r.BatchFrames(), int64(r.Usage().Messages); msgs >= 128 {
+		t.Errorf("no coalescing happened: %d frames for 64 probes (%d messages)", f, msgs)
+	}
+}
+
+// TestBatchTransportFaultRetriesWholeEnvelope: a dropped envelope is
+// re-issued as a unit by the retry policy and every call still completes.
+func TestBatchTransportFaultRetriesWholeEnvelope(t *testing.T) {
+	objs := dataset.Uniform(40, dataset.World, 8)
+	tr := netsim.NewFaulty(netsim.ServeParallel(server.New("B", objs), 2), netsim.FaultConfig{
+		Seed: 9, DropProb: 0.5, MaxConsecutive: 3,
+	})
+	r, err := NewRemote("B", tr, netsim.DefaultLink(), 1,
+		WithRetry(RetryPolicy{MaxAttempts: 10, Backoff: 10 * time.Microsecond}),
+		WithBatch(BatchConfig{MaxBatch: 4, Linger: time.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	w := dataset.Bounds(objs).Expand(1)
+	reqs := make([][]byte, 4)
+	for i := range reqs {
+		reqs[i] = wire.AppendCount(bufpool.Get(), w)
+	}
+	for i, c := range r.GoBatch(context.Background(), reqs) {
+		if n, err := c.Count(); err != nil || n != 40 {
+			t.Fatalf("call %d: %d, %v", i, n, err)
+		}
+	}
+	if r.Retries() == 0 {
+		t.Log("no faults injected this run (seed-dependent); retry path not exercised")
+	}
+}
+
+// TestBatchAdaptiveLingerStaysBounded drives both adaptation directions
+// and checks the linger never escapes its bounds.
+func TestBatchAdaptiveLingerStaysBounded(t *testing.T) {
+	objs := dataset.Uniform(10, dataset.World, 10)
+	min, max := 100*time.Microsecond, 2*time.Millisecond
+	r := newBatched(t, objs, BatchConfig{
+		MaxBatch: 2, Linger: 500 * time.Microsecond, MinLinger: min, MaxLinger: max,
+	}, 2)
+	w := dataset.Bounds(objs).Expand(1)
+	check := func() {
+		l := r.b.linger.Load()
+		if l < int64(min) || l > int64(max) {
+			t.Fatalf("linger %v escaped [%v, %v]", time.Duration(l), min, max)
+		}
+	}
+	// Size-trigger flushes (full batches) decay the linger.
+	for i := 0; i < 20; i++ {
+		reqs := [][]byte{wire.AppendCount(bufpool.Get(), w), wire.AppendCount(bufpool.Get(), w)}
+		for _, c := range r.GoBatch(context.Background(), reqs) {
+			if _, err := c.Count(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check()
+	}
+	// Timer flushes of lone stragglers halve it toward the floor.
+	for i := 0; i < 10; i++ {
+		c := r.GoBatch(context.Background(), [][]byte{wire.AppendCount(bufpool.Get(), w)})[0]
+		if _, err := c.Count(); err != nil {
+			t.Fatal(err)
+		}
+		check()
+	}
+}
+
+// TestGoBatchWithoutBatcher: a remote without WithBatch still serves
+// GoBatch (each request as its own concurrent round trip).
+func TestGoBatchWithoutBatcher(t *testing.T) {
+	objs := dataset.Uniform(20, dataset.World, 11)
+	tr := netsim.ServeParallel(server.New("B", objs), 2)
+	r, err := NewRemote("B", tr, netsim.DefaultLink(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.BatchEnabled() {
+		t.Fatal("batching should be disabled by default")
+	}
+	w := dataset.Bounds(objs).Expand(1)
+	reqs := [][]byte{wire.AppendCount(bufpool.Get(), w), wire.AppendCount(bufpool.Get(), w)}
+	for _, c := range r.GoBatch(context.Background(), reqs) {
+		if n, err := c.Count(); err != nil || n != 20 {
+			t.Fatalf("count: %d, %v", n, err)
+		}
+	}
+	if got := r.Usage().Messages; got != 4 {
+		t.Errorf("messages = %d, want 4 (two bare round trips)", got)
+	}
+}

@@ -84,11 +84,13 @@ func WithRetry(p RetryPolicy) Option {
 // frames rather than echoing request bytes — true of the dataset server,
 // whose replies are always freshly encoded.
 type Remote struct {
-	name    string
-	conn    netsim.RoundTripper
-	m       *netsim.Meter
-	retry   RetryPolicy
-	retries atomic.Int64
+	name     string
+	conn     netsim.RoundTripper
+	m        *netsim.Meter
+	retry    RetryPolicy
+	retries  atomic.Int64
+	batchCfg BatchConfig
+	b        *batcher // nil when batching is disabled
 }
 
 // NewRemote wraps a transport to server name, metering all traffic with
@@ -103,6 +105,7 @@ func NewRemote(name string, rt netsim.RoundTripper, link netsim.LinkConfig, pric
 	for _, o := range opts {
 		o(r)
 	}
+	r.b = newBatcher(r, r.batchCfg)
 	return r, nil
 }
 

@@ -39,6 +39,19 @@ type Env struct {
 	// issuing exactly the same set of requests, so results and metered byte
 	// counts are identical to the sequential run.
 	Parallelism int
+	// BatchSize, when > 1, multiplexes independent probes of one run into
+	// MsgBatch envelopes of up to this many sub-requests per link,
+	// amortizing the per-frame packet overhead of Eq. (1) and — on
+	// RTT-bearing links — the round trips across the batch. The remotes
+	// should be constructed with a matching client.WithBatch so stragglers
+	// coalesce too; without it, probe groups simply travel as individual
+	// frames. 0 or 1 keeps every request in its own frame, bit-identical
+	// to the pre-batching wire format. Batched runs issue exactly the same
+	// query set and return identical results; only the framing (and hence
+	// the byte totals) changes. Under sequential execution the framing is
+	// deterministic: probe groups are chunked by the outer list before any
+	// request is issued.
+	BatchSize int
 	// Trace, when non-nil, receives one line per algorithm decision
 	// (window visited, operator chosen, counts). Intended for debugging
 	// and for the decision-log ablations; not part of the cost model.

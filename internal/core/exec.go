@@ -5,10 +5,12 @@ import (
 	"errors"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/client"
 	"repro/internal/costmodel"
 	"repro/internal/geom"
 	"repro/internal/memjoin"
+	"repro/internal/wire"
 )
 
 // maxDepth bounds the recursive partitioning of all algorithms. At 32
@@ -181,7 +183,82 @@ func (x *exec) splittable(w geom.Rect, depth int) bool {
 // count issues one COUNT aggregate query for side d on partition w.
 func (x *exec) count(d side, w geom.Rect) (int, error) {
 	x.dec.agg.Add(1)
-	return x.remote(d).Count(x.ctx, x.fetchWindow(d, w))
+	return x.countRemote(d, x.fetchWindow(d, w))
+}
+
+// batching reports whether this run multiplexes probes into MsgBatch
+// envelopes.
+func (x *exec) batching() bool { return x.env.BatchSize > 1 }
+
+// countRemote issues one COUNT on the already-fetch-expanded window fw.
+// Under a batching parallel run the lone query goes through the link's
+// batcher, so counts issued by concurrent sibling partitions coalesce
+// via the linger trigger. Sequential runs keep the blocking path: no
+// concurrent caller can ever arrive, so parking the query would only
+// add latency (and the deterministic framing the goldens pin must not
+// depend on timer behaviour).
+func (x *exec) countRemote(d side, fw geom.Rect) (int, error) {
+	if x.batching() && x.parallel() {
+		c := x.remote(d).GoBatch(x.ctx, [][]byte{wire.AppendCount(bufpool.Get(), fw)})[0]
+		return c.Count()
+	}
+	return x.remote(d).Count(x.ctx, fw)
+}
+
+// batchRound is the shared shape of every multiplexed probe loop: n
+// probes on one remote, chunked by BatchSize — the chunking fixed before
+// any request is issued, so sequential runs produce a deterministic
+// frame sequence — with each chunk submitted atomically (GoBatch) and
+// flushed as one probe group, and chunks fanned out on the worker pool
+// so in-flight envelopes stay bounded by Parallelism. encode builds the
+// i-th request frame (into a pooled buffer whose ownership passes to
+// the client); collect consumes the i-th completed Call.
+//
+// collect is invoked for every call of a chunk even after one has
+// failed: each Call must be drained by exactly one accessor so its
+// pooled reply frame is recycled. Work collected after the first error
+// is discarded with the failed run.
+func (x *exec) batchRound(rem *client.Remote, n int, encode func(i int) []byte, collect func(i int, c *client.Call) error) error {
+	bs := x.env.BatchSize
+	nChunks := (n + bs - 1) / bs
+	return x.fanout(nChunks, func(ci int) error {
+		start := ci * bs
+		end := min(start+bs, n)
+		reqs := make([][]byte, end-start)
+		for i := range reqs {
+			reqs[i] = encode(start + i)
+		}
+		calls := rem.GoBatch(x.ctx, reqs)
+		rem.Flush()
+		var firstErr error
+		for i, c := range calls {
+			if err := collect(start+i, c); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	})
+}
+
+// batchCounts issues one COUNT per window for side d, multiplexed
+// through batchRound. Counts are returned in window order.
+func (x *exec) batchCounts(d side, ws []geom.Rect) ([]int, error) {
+	x.dec.agg.Add(int64(len(ws)))
+	ns := make([]int, len(ws))
+	err := x.batchRound(x.remote(d), len(ws),
+		func(i int) []byte { return wire.AppendCount(bufpool.Get(), x.fetchWindow(d, ws[i])) },
+		func(i int, c *client.Call) error {
+			n, err := c.Count()
+			if err != nil {
+				return err
+			}
+			ns[i] = n
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return ns, nil
 }
 
 // cnt is a partition-count annotated with whether it was measured (true)
@@ -227,13 +304,31 @@ func (x *exec) quadrantCounts(d side, w geom.Rect, parent cnt) ([4]cnt, error) {
 		last = 3
 	}
 	sum := 0
-	for i := 0; i < last; i++ {
-		n, err := x.count(d, q[i])
+	if x.batching() && last > 1 {
+		// One envelope for the whole quadrant batch instead of one frame
+		// (and one RTT, sequentially) per quadrant. The copy keeps q from
+		// escaping on the (hot, unbatched) path below: slicing the array
+		// into batchCounts directly would heap-allocate it even when this
+		// branch is never taken.
+		ws := make([]geom.Rect, last)
+		copy(ws, q[:])
+		ns, err := x.batchCounts(d, ws)
 		if err != nil {
 			return out, err
 		}
-		out[i] = exact(n)
-		sum += n
+		for i, n := range ns {
+			out[i] = exact(n)
+			sum += n
+		}
+	} else {
+		for i := 0; i < last; i++ {
+			n, err := x.count(d, q[i])
+			if err != nil {
+				return out, err
+			}
+			out[i] = exact(n)
+			sum += n
+		}
 	}
 	if derive {
 		n := parent.n - sum

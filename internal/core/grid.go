@@ -34,10 +34,16 @@ func (g Grid) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
 	cells := x.window.Grid(k)
 	// Grid cells are independent subproblems: the worker pool processes
 	// them concurrently, overlapping one cell's download/join with its
-	// neighbours' COUNT probes.
-	if err := x.fanoutSiblings(len(cells), func(i int) error {
-		return gridCell(x, cells[i])
-	}); err != nil {
+	// neighbours' COUNT probes. A batching run multiplexes the COUNT
+	// phases instead.
+	if x.batching() {
+		err = gridBatched(x, cells)
+	} else {
+		err = x.fanoutSiblings(len(cells), func(i int) error {
+			return gridCell(x, cells[i])
+		})
+	}
+	if err != nil {
 		return nil, err
 	}
 	res := x.result()
@@ -68,4 +74,43 @@ func gridCell(x *exec, w geom.Rect) error {
 	// doHBSJ splits recursively (with pruning) when the cell exceeds the
 	// device buffer.
 	return x.doHBSJ(w, exact(nr), exact(ns), 1)
+}
+
+// gridBatched issues exactly the COUNT query set of the sequential grid
+// — every cell's R count, then the S count of each cell R left non-empty
+// — but multiplexed phase by phase: all R counts coalesce into
+// ⌈cells/BatchSize⌉ envelopes, then the surviving cells' S counts, then
+// the surviving cells join on the worker pool. On an RTT-bearing link
+// this turns the K²(+) sequential count round trips into a handful.
+func gridBatched(x *exec, cells []geom.Rect) error {
+	nr, err := x.batchCounts(sideR, cells)
+	if err != nil {
+		return err
+	}
+	var alive []int
+	for i, n := range nr {
+		if n == 0 {
+			x.dec.pruned.Add(1)
+		} else {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	aliveCells := make([]geom.Rect, len(alive))
+	for i, ci := range alive {
+		aliveCells[i] = cells[ci]
+	}
+	ns, err := x.batchCounts(sideS, aliveCells)
+	if err != nil {
+		return err
+	}
+	return x.fanoutSiblings(len(alive), func(i int) error {
+		if ns[i] == 0 {
+			x.dec.pruned.Add(1)
+			return nil
+		}
+		return x.doHBSJ(aliveCells[i], exact(nr[alive[i]]), exact(ns[i]), 1)
+	})
 }

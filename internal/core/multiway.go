@@ -27,6 +27,10 @@ type Multiway struct {
 	// Env.Parallelism). Links themselves stay sequential: each consumes
 	// the previous link's result.
 	Parallelism int
+	// BatchSize is handed to every link's environment (see
+	// Env.BatchSize); the remotes should be constructed with a matching
+	// client.WithBatch.
+	BatchSize int
 }
 
 // ModelParams aliases the cost-model parameter set for multiway callers.
@@ -80,6 +84,7 @@ func (m Multiway) RunChain(ctx context.Context, remotes []*client.Remote, device
 		env := NewEnv(remotes[step], remotes[step+1], device, model, window)
 		env.Seed = int64(step + 1)
 		env.Parallelism = m.Parallelism
+		env.BatchSize = m.BatchSize
 		link, err := inner.Run(ctx, env, stepSpec(eps[step]))
 		if err != nil {
 			return nil, fmt.Errorf("core: multiway link %d: %w", step, err)

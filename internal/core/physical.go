@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bufpool"
+	"repro/internal/client"
 	"repro/internal/geom"
 	"repro/internal/memjoin"
+	"repro/internal/wire"
 )
 
 // joinScratch is the reusable device-side state of one local join or
@@ -161,8 +164,12 @@ func (x *exec) doNLSJ(w geom.Rect, outer side, nr, ns cnt) error {
 
 // singleProbes sends one query per outer object: an ε-RANGE query for
 // point outers, a WINDOW query over the ε-expanded MBR otherwise (the
-// paper's "simulate ε-RANGE by a WINDOW query", §3).
+// paper's "simulate ε-RANGE by a WINDOW query", §3). Under a batching
+// run the same probe set travels multiplexed instead.
 func (x *exec) singleProbes(w geom.Rect, outer, inner side, outerObjs []geom.Object) error {
+	if x.batching() {
+		return x.singleProbesBatched(w, outer, inner, outerObjs)
+	}
 	rin := x.remote(inner)
 	return x.fanout(len(outerObjs), func(i int) error {
 		o := outerObjs[i]
@@ -183,6 +190,35 @@ func (x *exec) singleProbes(w geom.Rect, outer, inner side, outerObjs []geom.Obj
 		x.collectProbe(w, outer, o, matches)
 		return nil
 	})
+}
+
+// probeReq encodes the probe frame singleProbes would issue for one
+// outer object, into a pooled buffer.
+func (x *exec) probeReq(o geom.Object) []byte {
+	if o.IsPoint() && x.spec.Eps > 0 {
+		return wire.AppendRange(bufpool.Get(), o.Center(), x.spec.Eps)
+	}
+	probe := o.MBR
+	if x.spec.Eps > 0 {
+		probe = probe.Expand(x.spec.Eps)
+	}
+	return wire.AppendWindow(bufpool.Get(), probe)
+}
+
+// singleProbesBatched issues exactly the probe set of singleProbes, but
+// multiplexed through batchRound: each BatchSize chunk of outer objects
+// is one MsgBatch envelope answered by one reply.
+func (x *exec) singleProbesBatched(w geom.Rect, outer, inner side, outerObjs []geom.Object) error {
+	return x.batchRound(x.remote(inner), len(outerObjs),
+		func(i int) []byte { return x.probeReq(outerObjs[i]) },
+		func(i int, c *client.Call) error {
+			matches, err := c.Objects()
+			if err != nil {
+				return err
+			}
+			x.collectProbe(w, outer, outerObjs[i], matches)
+			return nil
+		})
 }
 
 // errNonPointBucket signals that bucket probing is not applicable.
@@ -300,6 +336,9 @@ func (x *exec) icebergCountProbes(outerObjs []geom.Object) error {
 		x.mu.Unlock()
 		return nil
 	}
+	if x.batching() {
+		return x.icebergCountProbesBatched(fresh)
+	}
 	return x.fanout(len(fresh), func(i int) error {
 		o := fresh[i]
 		x.dec.agg.Add(1)
@@ -312,4 +351,25 @@ func (x *exec) icebergCountProbes(outerObjs []geom.Object) error {
 		x.mu.Unlock()
 		return nil
 	})
+}
+
+// icebergCountProbesBatched multiplexes the aggregate count-probes
+// through batchRound: chunks of BatchSize RANGE-COUNT sub-requests per
+// envelope, eight bytes of answer per probe, one frame header per
+// chunk. The probe set — and the claim order in the shared ledger,
+// already fixed by the caller — is identical to the unbatched path.
+func (x *exec) icebergCountProbesBatched(fresh []geom.Object) error {
+	x.dec.agg.Add(int64(len(fresh)))
+	return x.batchRound(x.env.S, len(fresh),
+		func(i int) []byte { return wire.AppendRangeCount(bufpool.Get(), fresh[i].Center(), x.spec.Eps) },
+		func(i int, c *client.Call) error {
+			n, err := c.Count()
+			if err != nil {
+				return err
+			}
+			x.mu.Lock()
+			x.counts[fresh[i].ID] = n
+			x.mu.Unlock()
+			return nil
+		})
 }

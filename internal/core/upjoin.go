@@ -139,7 +139,7 @@ func (u *upState) inspect(d side, w geom.Rect, st dsState) (dsState, error) {
 	// — and its metered bytes — is the same under any scheduling.
 	probe := randomQuadrantWindow(windowRand(u.env.Seed, d, w), w)
 	u.dec.agg.Add(1)
-	pn, err := u.remote(d).Count(u.ctx, u.fetchWindow(d, probe))
+	pn, err := u.countRemote(d, u.fetchWindow(d, probe))
 	if err != nil {
 		return st, err
 	}

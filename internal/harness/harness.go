@@ -45,6 +45,11 @@ type Config struct {
 	// (0/1 = sequential). Measured byte counts are identical either way;
 	// the knob only changes wall-clock time.
 	Parallelism int
+	// BatchSize, when > 1, multiplexes probes into MsgBatch envelopes of
+	// up to this many sub-requests per link. Unlike Parallelism this
+	// changes the framing, so measured byte counts shift (fewer frames,
+	// fewer packet headers); results are identical.
+	BatchSize int
 }
 
 // Defaults mirror §5: 1000-point datasets, buffer 800 (40% of total),
@@ -152,11 +157,15 @@ func runOnce(alg core.Algorithm, robjs, sobjs []geom.Object, cfg Config, spec co
 	trS := netsim.ServeParallel(srvS, workers)
 	defer trR.Close()
 	defer trS.Close()
-	r, err := client.NewRemote("R", trR, netsim.DefaultLink(), 1)
+	var copts []client.Option
+	if cfg.BatchSize > 1 {
+		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: cfg.BatchSize}))
+	}
+	r, err := client.NewRemote("R", trR, netsim.DefaultLink(), 1, copts...)
 	if err != nil {
 		return core.Stats{}, 0, err
 	}
-	s, err := client.NewRemote("S", trS, netsim.DefaultLink(), 1)
+	s, err := client.NewRemote("S", trS, netsim.DefaultLink(), 1, copts...)
 	if err != nil {
 		return core.Stats{}, 0, err
 	}
@@ -165,6 +174,7 @@ func runOnce(alg core.Algorithm, robjs, sobjs []geom.Object, cfg Config, spec co
 	env := core.NewEnv(r, s, client.Device{BufferObjects: cfg.Buffer}, model, dataset.World)
 	env.Seed = seed
 	env.Parallelism = cfg.Parallelism
+	env.BatchSize = cfg.BatchSize
 	res, err := alg.Run(context.Background(), env, spec)
 	if err != nil {
 		return core.Stats{}, 0, fmt.Errorf("%s: %w", alg.Name(), err)

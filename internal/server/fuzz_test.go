@@ -1,0 +1,48 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/wire"
+)
+
+// FuzzHandleAppend throws arbitrary frames — including batch envelopes
+// wrapping arbitrary sub-frames — at a live server. The contract under
+// test: no input panics, and every input gets exactly one well-formed
+// reply frame (a batch gets a batch reply or a whole-frame error; any
+// other input gets a single reply frame).
+func FuzzHandleAppend(f *testing.F) {
+	objs := dataset.GaussianClusters(200, 2, 300, dataset.World, 1)
+	srv := New("F", objs, PublishIndex())
+	bounds := srv.Tree().Bounds()
+
+	f.Add(wire.EncodeCount(bounds))
+	f.Add(wire.EncodeWindow(bounds))
+	f.Add(wire.EncodeRange(bounds.Center(), 100))
+	f.Add(wire.EncodeBucketRangeCount([]geom.Point{bounds.Center()}, 50))
+	f.Add(wire.EncodeMBRLevel(1))
+	f.Add(wire.EncodeInfo())
+	f.Add(wire.EncodeBatch([][]byte{wire.EncodeCount(bounds), wire.EncodeInfo()}))
+	f.Add(wire.EncodeBatch([][]byte{wire.EncodeBatch(nil)}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		resp := srv.Handle(frame)
+		if len(resp) == 0 {
+			t.Fatalf("empty reply for %x", frame)
+		}
+		if wire.Type(frame) == wire.MsgBatch {
+			if wire.Type(resp) == wire.MsgError {
+				return // malformed envelope, refused whole
+			}
+			subs, err := wire.DecodeBatch(resp, wire.MsgBatchReply)
+			if err != nil {
+				t.Fatalf("batch reply does not decode: %v", err)
+			}
+			if reqs, rerr := wire.DecodeBatch(frame, wire.MsgBatch); rerr == nil && len(subs) != len(reqs) {
+				t.Fatalf("%d sub-replies for %d sub-requests", len(subs), len(reqs))
+			}
+		}
+	})
+}

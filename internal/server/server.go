@@ -66,6 +66,7 @@ type handlerScratch struct {
 	pairs   []geom.Pair     // UPLOAD-JOIN results
 	seen    []uint64        // MBR-MATCH dedup bitset (dense id spaces)
 	seenMap map[uint32]bool // MBR-MATCH dedup fallback (sparse id spaces)
+	subs    [][]byte        // decoded MsgBatch sub-frame views
 	joiner  *memjoin.Joiner
 }
 
@@ -133,6 +134,51 @@ func (s *Server) HandleAppend(req, dst []byte) []byte {
 	sc := s.scratch.Get().(*handlerScratch)
 	defer s.scratch.Put(sc)
 
+	if wire.Type(req) == wire.MsgBatch {
+		return s.handleBatch(req, dst, sc)
+	}
+	return s.handleOne(req, dst, sc)
+}
+
+// handleBatch answers a MsgBatch envelope: one MsgBatchReply carrying one
+// response sub-frame per sub-request, in order. Sub-requests are handled
+// independently — a malformed, unsupported, or refused sub-request yields
+// a MsgError *sub*-frame in its slot while its batch-mates are answered
+// normally; only a malformed envelope fails the frame as a whole. The
+// scratch is reused across sub-requests (each handler resets the fields
+// it touches), so a batch of N probes costs the same server-side state as
+// N separate frames.
+func (s *Server) handleBatch(req, dst []byte, sc *handlerScratch) []byte {
+	// The sub views alias the request frame; drop them before returning —
+	// on the error path too, where the decoder may have appended some
+	// views before failing — so the pooled scratch does not pin the
+	// transport's recycled buffer.
+	defer func() {
+		for i := range sc.subs {
+			sc.subs[i] = nil
+		}
+	}()
+	var err error
+	sc.subs, err = wire.DecodeBatchAppend(req, wire.MsgBatch, sc.subs[:0])
+	if err != nil {
+		return wire.AppendError(dst, err.Error())
+	}
+	dst = wire.AppendBatchReplyHeader(dst, len(sc.subs))
+	for _, sub := range sc.subs {
+		var off int
+		dst, off = wire.BeginBatchEntry(dst)
+		if wire.Type(sub) == wire.MsgBatch {
+			dst = wire.AppendError(dst, s.name+": nested batch")
+		} else {
+			dst = s.handleOne(sub, dst, sc)
+		}
+		dst = wire.EndBatchEntry(dst, off)
+	}
+	return dst
+}
+
+// handleOne answers a single (non-batch) request frame into dst.
+func (s *Server) handleOne(req, dst []byte, sc *handlerScratch) []byte {
 	switch wire.Type(req) {
 	case wire.MsgWindow:
 		w, err := wire.DecodeWindowLike(req, wire.MsgWindow)

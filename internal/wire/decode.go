@@ -285,6 +285,53 @@ func DecodePairsAppend(frame []byte, dst []geom.Pair) ([]geom.Pair, error) {
 	return dst, nil
 }
 
+// DecodeBatch decodes a batch envelope (MsgBatch or MsgBatchReply,
+// selected by want) into its sub-frames.
+func DecodeBatch(frame []byte, want MsgType) ([][]byte, error) {
+	return DecodeBatchAppend(frame, want, nil)
+}
+
+// DecodeBatchAppend is DecodeBatch appending the sub-frames to dst. The
+// returned sub-frames are zero-copy views into frame: they must not be
+// used after the frame's buffer is recycled.
+func DecodeBatchAppend(frame []byte, want MsgType, dst [][]byte) ([][]byte, error) {
+	if want != MsgBatch && want != MsgBatchReply {
+		return dst, fmt.Errorf("%w: %v is not a batch envelope", ErrBadType, want)
+	}
+	if err := check(frame, want, BatchHdr); err != nil {
+		return dst, err
+	}
+	// Every entry needs at least its length prefix, so an envelope
+	// advertising more entries than could possibly fit is rejected in O(1)
+	// instead of looping (fuzzed frames routinely claim 4G entries). The
+	// bound is computed in uint64: on 32-bit platforms a hostile count
+	// would otherwise wrap int (or go negative) past the guard and panic
+	// the slices.Grow below.
+	n32 := le.Uint32(frame[1:])
+	if uint64(n32)*BatchEntryHdr > uint64(len(frame)-BatchHdr) {
+		return dst, fmt.Errorf("%w: batch of %d sub-frames in %d bytes", ErrShortFrame, n32, len(frame))
+	}
+	n := int(n32)
+	dst = slices.Grow(dst, n)
+	off := BatchHdr
+	for i := 0; i < n; i++ {
+		if len(frame)-off < BatchEntryHdr {
+			return dst, fmt.Errorf("%w: batch entry %d header", ErrShortFrame, i)
+		}
+		m := int(le.Uint32(frame[off:]))
+		off += BatchEntryHdr
+		if m > len(frame)-off {
+			return dst, fmt.Errorf("%w: batch entry %d of %d bytes", ErrShortFrame, i, m)
+		}
+		dst = append(dst, frame[off:off+m:off+m])
+		off += m
+	}
+	if off != len(frame) {
+		return dst, ErrTrailing
+	}
+	return dst, nil
+}
+
 // DecodeError decodes an ERROR response into a Go error.
 func DecodeError(frame []byte) error {
 	if err := check(frame, MsgError, 1+4); err != nil {

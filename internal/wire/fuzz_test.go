@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// The decoders are the trust boundary of the server and of the client's
+// reply demultiplexer: every frame that arrives off a socket goes through
+// them before anything else touches it. The fuzz targets below assert the
+// two properties the rest of the stack relies on: no input can panic a
+// decoder, and an input a decoder accepts re-encodes to the same bytes
+// (so accepted frames are canonical and metering is well defined).
+//
+// CI runs each target briefly (make fuzz); longer local runs:
+//
+//	go test -run '^$' -fuzz FuzzDecodeBatch -fuzztime 60s ./internal/wire
+
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(EncodeBatch(nil))
+	f.Add(EncodeBatch([][]byte{EncodeInfo()}))
+	f.Add(EncodeBatch([][]byte{
+		EncodeCount(geom.R(0, 0, 10, 10)),
+		EncodeRange(geom.Pt(1, 2), 3),
+		EncodeBucketRange([]geom.Point{{X: 1, Y: 2}}, 5),
+	}))
+	f.Add(EncodeBatchReply([][]byte{EncodeCountReply(7), EncodeError("x")}))
+	f.Add([]byte{byte(MsgBatch), 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		for _, want := range []MsgType{MsgBatch, MsgBatchReply} {
+			subs, err := DecodeBatch(frame, want)
+			if err != nil {
+				continue
+			}
+			// Round-trip: an accepted envelope is canonical.
+			re := appendBatchFrame(nil, want, subs)
+			if !bytes.Equal(re, frame) {
+				t.Fatalf("re-encode differs:\n in %x\nout %x", frame, re)
+			}
+		}
+	})
+}
+
+func FuzzDecodeRequests(f *testing.F) {
+	f.Add(EncodeWindow(geom.R(0, 0, 1, 1)))
+	f.Add(EncodeCount(geom.R(-5, -5, 5, 5)))
+	f.Add(EncodeRange(geom.Pt(3, 4), 2.5))
+	f.Add(EncodeBucketRange([]geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}, 9))
+	f.Add(EncodeMBRMatch([]geom.Rect{{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}, 2))
+	f.Add(EncodeUploadJoin([]geom.Object{geom.PointObject(1, geom.Pt(5, 6))}, 0))
+	f.Add(EncodeMBRLevel(2))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		// None of these may panic, whatever the bytes.
+		DecodeWindowLike(frame, MsgWindow)
+		DecodeWindowLike(frame, MsgCount)
+		DecodeWindowLike(frame, MsgAvgArea)
+		DecodeRangeLike(frame, MsgRange)
+		DecodeRangeLike(frame, MsgRangeCount)
+		DecodeBucketRangeLike(frame, MsgBucketRange)
+		DecodeBucketRangeLike(frame, MsgBucketRangeCount)
+		DecodeMBRLevel(frame)
+		DecodeMBRMatch(frame)
+		DecodeUploadJoin(frame)
+	})
+}
+
+func FuzzDecodeResponses(f *testing.F) {
+	f.Add(EncodeObjects([]geom.Object{geom.PointObject(9, geom.Pt(1, 1))}))
+	f.Add(EncodeCountReply(-3))
+	f.Add(EncodeCountsReply([]int64{1, 2, 3}))
+	f.Add(EncodeFloatReply(3.14))
+	f.Add(EncodeBucketObjects([][]geom.Object{nil, {geom.PointObject(1, geom.Pt(0, 0))}}))
+	f.Add(EncodeInfoReply(Info{Count: 10, TreeHeight: 2, PointData: true}))
+	f.Add(EncodeRects([]geom.Rect{{MaxX: 1, MaxY: 1}}))
+	f.Add(EncodePairs([]geom.Pair{{RID: 1, SID: 2}}))
+	f.Add(EncodeError("boom"))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		DecodeObjects(frame)
+		DecodeCountReply(frame)
+		DecodeCountsReply(frame)
+		DecodeFloatReply(frame)
+		DecodeBucketObjects(frame)
+		DecodeInfoReply(frame)
+		DecodeRects(frame)
+		DecodePairs(frame)
+		DecodeError(frame)
+	})
+}

@@ -62,6 +62,16 @@ const (
 	MsgRects
 	MsgPairs
 	MsgError
+
+	// MsgBatch is the multiplexing envelope: one frame carrying any number
+	// of complete request sub-frames, answered by one MsgBatchReply frame
+	// carrying exactly one response sub-frame per sub-request, in order.
+	// Batching amortizes the per-frame packet overhead of Eq. (1) — and,
+	// on latency-bearing links, the round trip — across the batch. Batches
+	// do not nest. The types are appended after the pre-batching ones so
+	// that every existing frame is bit-identical on the wire.
+	MsgBatch
+	MsgBatchReply
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -107,6 +117,10 @@ func (t MsgType) String() string {
 		return "PAIRS"
 	case MsgError:
 		return "ERROR"
+	case MsgBatch:
+		return "BATCH"
+	case MsgBatchReply:
+		return "BATCH-REPLY"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -439,6 +453,91 @@ func AppendInfoReply(dst []byte, info Info) []byte {
 	}
 	return dst
 }
+
+// --- batch envelope -------------------------------------------------------
+
+// The batch envelope layout is shared by MsgBatch and MsgBatchReply:
+//
+//	[type:1][n:4] then n × ([len:4][sub-frame bytes])
+//
+// Each sub-frame is a complete frame of this protocol (type byte
+// included). Request envelopes carry request sub-frames; reply envelopes
+// carry one response sub-frame per sub-request, in submission order — a
+// sub-request the server cannot answer yields a MsgError *sub*-frame, so
+// one bad probe never fails its batch-mates.
+
+// BatchHdr is the fixed envelope overhead and BatchEntryHdr the per-sub
+// overhead, exposed so cost accounting and tests can reason about the
+// amortization arithmetic.
+const (
+	BatchHdr      = 1 + 4
+	BatchEntryHdr = 4
+)
+
+func appendBatchFrame(dst []byte, t MsgType, subs [][]byte) []byte {
+	size := BatchHdr
+	for _, s := range subs {
+		size += BatchEntryHdr + len(s)
+	}
+	dst, b := grow(dst, size)
+	b[0] = byte(t)
+	le.PutUint32(b[1:], uint32(len(subs)))
+	off := BatchHdr
+	for _, s := range subs {
+		le.PutUint32(b[off:], uint32(len(s)))
+		off += BatchEntryHdr
+		copy(b[off:], s)
+		off += len(s)
+	}
+	return dst
+}
+
+// AppendBatch appends a MsgBatch request envelope around the given
+// request sub-frames.
+func AppendBatch(dst []byte, subs [][]byte) []byte {
+	return appendBatchFrame(dst, MsgBatch, subs)
+}
+
+// AppendBatchReply appends a MsgBatchReply envelope around the given
+// response sub-frames.
+func AppendBatchReply(dst []byte, subs [][]byte) []byte {
+	return appendBatchFrame(dst, MsgBatchReply, subs)
+}
+
+// AppendBatchReplyHeader appends the envelope header of a MsgBatchReply
+// that will carry n sub-replies. Servers build replies incrementally:
+// header, then for each sub-request BeginBatchEntry / append the reply /
+// EndBatchEntry — so sub-replies of unknown size are encoded straight
+// into the caller's buffer without intermediate copies.
+func AppendBatchReplyHeader(dst []byte, n int) []byte {
+	dst, b := grow(dst, BatchHdr)
+	b[0] = byte(MsgBatchReply)
+	le.PutUint32(b[1:], uint32(n))
+	return dst
+}
+
+// BeginBatchEntry reserves the 4-byte length prefix of the next batch
+// entry and returns the extended slice plus the prefix offset to hand to
+// EndBatchEntry once the entry's sub-frame has been appended.
+func BeginBatchEntry(dst []byte) ([]byte, int) {
+	off := len(dst)
+	dst, b := grow(dst, BatchEntryHdr)
+	le.PutUint32(b, 0)
+	return dst, off
+}
+
+// EndBatchEntry patches the length prefix reserved at off with the size
+// of the bytes appended since.
+func EndBatchEntry(dst []byte, off int) []byte {
+	le.PutUint32(dst[off:], uint32(len(dst)-off-BatchEntryHdr))
+	return dst
+}
+
+// EncodeBatch encodes a MsgBatch request envelope.
+func EncodeBatch(subs [][]byte) []byte { return AppendBatch(nil, subs) }
+
+// EncodeBatchReply encodes a MsgBatchReply envelope.
+func EncodeBatchReply(subs [][]byte) []byte { return AppendBatchReply(nil, subs) }
 
 // AppendError appends a server-side error frame.
 func AppendError(dst []byte, msg string) []byte {

@@ -156,6 +156,15 @@ type SessionConfig struct {
 	// in-process servers are given one worker goroutine per unit of
 	// parallelism.
 	Parallelism int
+	// BatchSize, when > 1, multiplexes independent probes into MsgBatch
+	// envelopes of up to this many sub-requests per link, amortizing
+	// frame headers, packet overhead (Eq. 1), and — on RTT-bearing links
+	// — round trips across the batch. 0 or 1 keeps every request in its
+	// own frame, bit-identical to the pre-batching wire format. Results
+	// are identical at every batch size; only the framing (and hence the
+	// byte totals) changes. Sequential runs frame deterministically; see
+	// docs/ARCHITECTURE.md ("Batched probe multiplexing").
+	BatchSize int
 	// Link selects the physical link parameters of both metered links.
 	// The zero value means the paper's default WiFi link (MTU 1500,
 	// BH 40); an invalid configuration fails NewSession.
@@ -208,13 +217,17 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	srvS := server.New("S", cfg.S, opts...)
 	rtR := netsim.ServeParallel(srvR, workers)
 	rtS := netsim.ServeParallel(srvS, workers)
-	remR, err := client.NewRemote("R", rtR, link, cfg.PriceR, client.WithRetry(cfg.Retry))
+	copts := []client.Option{client.WithRetry(cfg.Retry)}
+	if cfg.BatchSize > 1 {
+		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: cfg.BatchSize}))
+	}
+	remR, err := client.NewRemote("R", rtR, link, cfg.PriceR, copts...)
 	if err != nil {
 		rtR.Close()
 		rtS.Close()
 		return nil, fmt.Errorf("repro: %w", err)
 	}
-	remS, err := client.NewRemote("S", rtS, link, cfg.PriceS, client.WithRetry(cfg.Retry))
+	remS, err := client.NewRemote("S", rtS, link, cfg.PriceS, copts...)
 	if err != nil {
 		rtR.Close()
 		rtS.Close()
@@ -226,6 +239,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	env := core.NewEnv(remR, remS, client.Device{BufferObjects: cfg.Buffer}, model, cfg.Window)
 	env.Seed = cfg.Seed
 	env.Parallelism = cfg.Parallelism
+	env.BatchSize = cfg.BatchSize
 	return &Session{
 		env: env, rtR: rtR, rtS: rtS, remR: remR, remS: remS,
 		runTimeout: cfg.RunTimeout,

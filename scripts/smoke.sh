@@ -46,6 +46,23 @@ echo "$out"
 echo "$out" | grep -q "pairs" || { echo "join produced no result line"; exit 1; }
 echo "$out" | grep -q "wire bytes" || { echo "join produced no accounting"; exit 1; }
 
+echo "== batched join over TCP (-batch 16) is oracle-equal"
+# The result pairs are sorted and deduplicated, so two correct runs print
+# identical pair lists; only the accounting lines may differ (batching
+# changes framing, never results). The unbatched sequential run is the
+# oracle here — it is the paper's device, pinned byte-for-byte by the
+# golden tests.
+"$workdir/bin/spatialjoin" -r 127.0.0.1:7461 -s 127.0.0.1:7462 \
+  -alg upjoin -kind distance -eps 75 -buffer 500 -timeout 60s -pairs \
+  | grep -E '^  ' > "$workdir/pairs.plain"
+"$workdir/bin/spatialjoin" -r 127.0.0.1:7461 -s 127.0.0.1:7462 \
+  -alg upjoin -kind distance -eps 75 -buffer 500 -timeout 60s -pairs -batch 16 \
+  | grep -E '^  ' > "$workdir/pairs.batched"
+[ -s "$workdir/pairs.plain" ] || { echo "unbatched join produced no pairs"; exit 1; }
+diff -u "$workdir/pairs.plain" "$workdir/pairs.batched" \
+  || { echo "batched join diverged from unbatched result"; exit 1; }
+echo "batched result identical ($(wc -l < "$workdir/pairs.plain") pairs)"
+
 echo "== SIGTERM drain"
 for pid in "${pids[@]}"; do
   kill -TERM "$pid"
