@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race bench bench-smoke bench-compare fuzz smoke fmt vet
+.PHONY: all build test race bench bench-smoke bench-compare fuzz smoke cover fmt vet
 
 all: build test
 
@@ -56,9 +56,16 @@ fuzz:
 	done
 
 # smoke is the end-to-end check CI runs: real binaries, real TCP, real
-# signals (boot two spatialserve, join, SIGTERM drain).
+# signals (boot spatialserve fleets — unsharded and 2×2 sharded — join,
+# SIGTERM drain).
 smoke:
 	./scripts/smoke.sh
+
+# cover is the coverage gate CI runs: the full test suite with
+# -coverprofile, failing when total statement coverage drops below the
+# baseline floor (override with COVER_FLOOR=NN.N).
+cover:
+	./scripts/coverage.sh
 
 fmt:
 	gofmt -l .

@@ -353,7 +353,7 @@ func BenchmarkMultiwayChain(b *testing.B) {
 	}
 	var total int
 	for i := 0; i < b.N; i++ {
-		remotes := make([]*client.Remote, len(sets))
+		remotes := make([]core.Probe, len(sets))
 		for j, objs := range sets {
 			tr := netsim.Serve(server.New("D", objs))
 			remotes[j] = mustRemote(b, "D", tr, netsim.DefaultLink(), 1)

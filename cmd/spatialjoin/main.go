@@ -7,6 +7,16 @@
 //	spatialjoin -r 127.0.0.1:7001 -s 127.0.0.1:7002 \
 //	    -alg upjoin -kind distance -eps 150 -buffer 800 [-bucket] \
 //	    [-window minx,miny,maxx,maxy] [-m 10] [-pairs] [-parallel 4] [-batch 16]
+//
+// A relation served by several shard servers (spatialserve -shard i/N) is
+// addressed with a comma-separated list instead of -r / -s:
+//
+//	spatialjoin -shards-r 127.0.0.1:7001,127.0.0.1:7002 \
+//	    -shards-s 127.0.0.1:7003,127.0.0.1:7004 -alg upjoin -kind distance -eps 150
+//
+// The device then scatter–gathers every query across the shard links
+// (COUNTs sum, window replies merge) and the join result is identical to
+// the unsharded run.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/geom"
 	"repro/internal/netsim"
+	"repro/internal/shard"
 )
 
 func parseWindow(s string) (geom.Rect, error) {
@@ -44,6 +55,47 @@ func parseWindow(s string) (geom.Rect, error) {
 		v[i] = f
 	}
 	return geom.R(v[0], v[1], v[2], v[3]), nil
+}
+
+// dialProbe connects one relation's endpoint: a single server (addr), or
+// a scatter–gather router over a comma-separated shard address list.
+func dialProbe(name, addr, shardList string, conns int, price float64, copts []client.Option) (core.Probe, error) {
+	dial := func(label, a string) (*client.Remote, error) {
+		tr, err := netsim.DialTCPPool(a, conns)
+		if err != nil {
+			return nil, err
+		}
+		rem, err := client.NewRemote(label, tr, netsim.DefaultLink(), price, copts...)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		return rem, nil
+	}
+	if shardList == "" {
+		return dial(name+"("+addr+")", addr)
+	}
+	addrs := strings.Split(shardList, ",")
+	rems := make([]*client.Remote, 0, len(addrs))
+	closeAll := func() {
+		for _, r := range rems {
+			r.Close()
+		}
+	}
+	for i, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			closeAll()
+			return nil, fmt.Errorf("empty address in -shards-%s", strings.ToLower(name))
+		}
+		rem, err := dial(fmt.Sprintf("%s%d/%d(%s)", name, i+1, len(addrs), a), a)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		rems = append(rems, rem)
+	}
+	return shard.NewRouter(name, rems, shard.WithParallelism(conns))
 }
 
 func algorithm(name string) (core.Algorithm, error) {
@@ -66,8 +118,10 @@ func algorithm(name string) (core.Algorithm, error) {
 
 func main() {
 	var (
-		rAddr    = flag.String("r", "", "address of the R server (required)")
-		sAddr    = flag.String("s", "", "address of the S server (required)")
+		rAddr    = flag.String("r", "", "address of the R server (required unless -shards-r)")
+		sAddr    = flag.String("s", "", "address of the S server (required unless -shards-s)")
+		rShards  = flag.String("shards-r", "", "comma-separated shard server addresses for R (overrides -r)")
+		sShards  = flag.String("shards-s", "", "comma-separated shard server addresses for S (overrides -s)")
 		alg      = flag.String("alg", "upjoin", "naive, grid, mobijoin, upjoin, srjoin, semijoin")
 		kind     = flag.String("kind", "distance", "intersection, distance, iceberg")
 		eps      = flag.Float64("eps", 150, "distance threshold")
@@ -85,8 +139,8 @@ func main() {
 		retries  = flag.Int("retries", 4, "max attempts per query over the real, lossy link (1 = fail fast)")
 	)
 	flag.Parse()
-	if *rAddr == "" || *sAddr == "" {
-		fmt.Fprintln(os.Stderr, "spatialjoin: -r and -s are required")
+	if (*rAddr == "" && *rShards == "") || (*sAddr == "" && *sShards == "") {
+		fmt.Fprintln(os.Stderr, "spatialjoin: -r/-shards-r and -s/-shards-s are required")
 		os.Exit(2)
 	}
 
@@ -126,19 +180,15 @@ func main() {
 		Backoff:       5 * time.Millisecond,
 		PerTryTimeout: *tryTO,
 	}
-	trR, err := netsim.DialTCPPool(*rAddr, conns)
-	fatal(err)
-	trS, err := netsim.DialTCPPool(*sAddr, conns)
-	fatal(err)
 	copts := []client.Option{client.WithRetry(policy)}
 	if *batch > 1 {
 		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: *batch}))
 	}
-	remR, err := client.NewRemote("R("+*rAddr+")", trR, netsim.DefaultLink(), *priceR, copts...)
-	fatal(err)
-	remS, err := client.NewRemote("S("+*sAddr+")", trS, netsim.DefaultLink(), *priceS, copts...)
+	remR, err := dialProbe("R", *rAddr, *rShards, conns, *priceR, copts)
 	fatal(err)
 	defer remR.Close()
+	remS, err := dialProbe("S", *sAddr, *sShards, conns, *priceS, copts)
+	fatal(err)
 	defer remS.Close()
 
 	model := costmodel.Default()

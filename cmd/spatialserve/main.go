@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	spatialserve -data hotels.spd -addr 127.0.0.1:7001 [-publish-index]
+//	spatialserve -data hotels.spd -addr 127.0.0.1:7001 [-publish-index] [-shard i/N]
 //
 // -publish-index enables the cooperative SemiJoin message types; leave it
 // off to model the paper's default non-cooperative server.
+//
+// -shard i/N serves only the i-th of N horizontal shards of the dataset
+// (1-based), using the deterministic assignment of internal/shard — the
+// same partitioning the spatialjoin router expects. Boot N such processes
+// (i = 1..N) and point spatialjoin's -shards-r/-shards-s at all of them
+// to serve one relation from many servers.
 //
 // On SIGINT or SIGTERM the server drains: it stops accepting connections,
 // finishes the requests already read off the sockets, and exits 0 once
@@ -21,13 +27,31 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/netsim"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
+
+// parseShard parses "i/N" (1-based shard index out of N).
+func parseShard(s string) (i, n int, err error) {
+	a, b, ok := strings.Cut(s, "/")
+	if ok {
+		i, err = strconv.Atoi(strings.TrimSpace(a))
+		if err == nil {
+			n, err = strconv.Atoi(strings.TrimSpace(b))
+		}
+	}
+	if !ok || err != nil || n < 1 || i < 1 || i > n {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want i/N with 1 <= i <= N", s)
+	}
+	return i, n, nil
+}
 
 func main() {
 	var (
@@ -36,6 +60,7 @@ func main() {
 		publish = flag.Bool("publish-index", false, "expose R-tree internals (SemiJoin support)")
 		name    = flag.String("name", "", "server name (defaults to the data file)")
 		drain   = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on shutdown")
+		shardNo = flag.String("shard", "", "serve shard i of N of the dataset, as \"i/N\" (1-based; default: whole dataset)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -49,6 +74,15 @@ func main() {
 	}
 	if *name == "" {
 		*name = *data
+	}
+	if *shardNo != "" {
+		i, n, err := parseShard(*shardNo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialserve: %v\n", err)
+			os.Exit(2)
+		}
+		objs = shard.Assign(objs, n)[i-1]
+		*name = fmt.Sprintf("%s[%d/%d]", *name, i, n)
 	}
 	var opts []server.Option
 	if *publish {

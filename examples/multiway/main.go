@@ -27,7 +27,7 @@ func main() {
 
 	names := []string{"hotels", "restaurants", "stations"}
 	sets := [][]geom.Object{hotels, restaurants, stations}
-	remotes := make([]*client.Remote, len(sets))
+	remotes := make([]core.Probe, len(sets))
 	for i, objs := range sets {
 		tr := netsim.Serve(server.New(names[i], objs))
 		rem, err := client.NewRemote(names[i], tr, netsim.DefaultLink(), 1)

@@ -1,0 +1,117 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// goldenShardBytes pins the exact metered wire bytes of every shard link
+// for the golden workload at Shards = 2: {R1, R2} and {S1, S2}. Sharded
+// byte totals legitimately differ from the unsharded goldens — each shard
+// link answers its own INFO, scatter skips non-overlapping shards, and
+// per-shard replies are smaller — but for a fixed workload they are
+// exactly as deterministic, and any drift in the router's scatter set,
+// the assignment, or the merge protocol must fail loudly here. If a
+// change is *supposed* to alter the sharded wire exchange, re-derive
+// these constants and call it out in the PR.
+var goldenShardBytes = map[string][2][2]int{
+	"naive/intersection":     {{7523, 7483}, {3505, 9939}},
+	"grid/distance":          {{2949, 1211}, {3399, 9867}},
+	"mobiJoin/distance":      {{3909, 1211}, {3505, 429}},
+	"upJoin/intersection":    {{3147, 641}, {1765, 1913}},
+	"upJoin/distance":        {{3033, 641}, {1759, 2231}},
+	"upJoin/iceberg":         {{3033, 641}, {1759, 2231}},
+	"upJoin/distance/bucket": {{3055, 763}, {865, 1383}},
+	"srJoin/distance":        {{2613, 1081}, {1851, 641}},
+	"semiJoin/distance":      {{261, 221}, {351, 217}},
+}
+
+func goldenShardSession(t *testing.T, name string, shards int) (*Session, Algorithm, Spec) {
+	t.Helper()
+	robjs := GaussianClusters(600, 4, 250, World, 101)
+	sobjs := GaussianClusters(600, 4, 250, World, 102)
+	specs := map[string]Spec{
+		"intersection": {Kind: Intersection},
+		"distance":     {Kind: Distance, Eps: 75},
+		"iceberg":      {Kind: IcebergSemi, Eps: 75, MinMatches: 2},
+	}
+	algs := map[string]Algorithm{
+		"naive":    Naive{},
+		"grid":     Grid{},
+		"mobiJoin": MobiJoin{},
+		"upJoin":   UpJoin{},
+		"srJoin":   SrJoin{},
+		"semiJoin": SemiJoin{},
+	}
+	parts := strings.Split(name, "/") // alg/spec[/bucket]
+	bucket := len(parts) == 3 && parts[2] == "bucket"
+	sess, err := NewSession(SessionConfig{
+		R: robjs, S: sobjs, Buffer: 500, Window: World,
+		Seed: 7, Bucket: bucket, PublishIndexes: true, Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, algs[parts[0]], specs[parts[1]]
+}
+
+// TestGoldenShardedByteAccounting pins the sharded wire exchange:
+//
+//   - Shards = 1 must stay bit-identical to the unsharded protocol — the
+//     1-shard router is a pure pass-through, so every {R, S} byte total
+//     equals the goldenBytes table of TestGoldenByteAccounting, for the
+//     complete algorithm × kind matrix.
+//   - Shards = 2 must meter exactly the per-shard-link bytes recorded in
+//     goldenShardBytes.
+func TestGoldenShardedByteAccounting(t *testing.T) {
+	for name, want := range goldenBytes {
+		t.Run("shards1/"+name, func(t *testing.T) {
+			sess, alg, spec := goldenShardSession(t, name, 1)
+			defer sess.Close()
+			res, err := sess.Run(alg, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := [2]int{res.Stats.R.WireBytes, res.Stats.S.WireBytes}
+			if got != want {
+				t.Errorf("%s: shards=1 metered {R, S} = {%d, %d}, unsharded golden {%d, %d}",
+					name, got[0], got[1], want[0], want[1])
+			}
+		})
+	}
+	for name, want := range goldenShardBytes {
+		t.Run("shards2/"+name, func(t *testing.T) {
+			sess, alg, spec := goldenShardSession(t, name, 2)
+			defer sess.Close()
+			if _, err := sess.Run(alg, spec); err != nil {
+				t.Fatal(err)
+			}
+			rUse := sess.Env().R.(*shard.Router).ShardUsages()
+			sUse := sess.Env().S.(*shard.Router).ShardUsages()
+			got := [2][2]int{
+				{rUse[0].WireBytes, rUse[1].WireBytes},
+				{sUse[0].WireBytes, sUse[1].WireBytes},
+			}
+			if got != want {
+				t.Errorf("%s: shards=2 metered R{%d, %d} S{%d, %d}, golden R{%d, %d} S{%d, %d}",
+					name, got[0][0], got[0][1], got[1][0], got[1][1],
+					want[0][0], want[0][1], want[1][0], want[1][1])
+			}
+			// The relation's merged usage must be exactly the sum of its
+			// per-shard links — Eq. 1 accounting stays explainable shard by
+			// shard. (res.Stats diffs from a snapshot taken after the INFO
+			// exchange of env.prepare, so it is compared against totals via
+			// the router's own aggregation, not the absolute link counters.)
+			if mr := sess.Env().R.Usage().WireBytes; mr != got[0][0]+got[0][1] {
+				t.Errorf("%s: merged R usage %d is not the per-shard sum %d",
+					name, mr, got[0][0]+got[0][1])
+			}
+			if ms := sess.Env().S.Usage().WireBytes; ms != got[1][0]+got[1][1] {
+				t.Errorf("%s: merged S usage %d is not the per-shard sum %d",
+					name, ms, got[1][0]+got[1][1])
+			}
+		})
+	}
+}

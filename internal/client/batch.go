@@ -68,13 +68,27 @@ func WithBatch(cfg BatchConfig) Option {
 // by exactly one accessor (Objects, Count, ...), which waits, decodes,
 // and recycles the response frame.
 type Call struct {
-	rem  *Remote
+	name string // diagnostic producer name (the Remote's, or a router's)
 	ctx  context.Context
 	req  []byte
 	resp []byte
 	err  error
 	done chan struct{}
 }
+
+// NewDetachedCall returns a Call bound to no Remote: an aggregator that
+// merges several underlying round trips into one logical reply (e.g. a
+// shard router) produces the response frame itself and completes the
+// call with CompleteFrame. name labels errors the way a Remote's name
+// would.
+func NewDetachedCall(name string) *Call {
+	return &Call{name: name, done: make(chan struct{})}
+}
+
+// CompleteFrame finishes a detached call with a response frame (ownership
+// passes to the call; the frame is recycled by the consuming accessor) or
+// an error. It must be called exactly once.
+func (c *Call) CompleteFrame(resp []byte, err error) { c.complete(resp, err) }
 
 func (c *Call) complete(resp []byte, err error) {
 	c.resp, c.err = resp, err
@@ -92,10 +106,10 @@ func (c *Call) frame() ([]byte, error) {
 	resp := c.resp
 	c.resp = nil
 	if resp == nil {
-		return nil, fmt.Errorf("%s: call already consumed", c.rem.name)
+		return nil, fmt.Errorf("%s: call already consumed", c.name)
 	}
 	if wire.Type(resp) == wire.MsgError {
-		err := fmt.Errorf("%s: %w", c.rem.name, wire.DecodeError(resp))
+		err := fmt.Errorf("%s: %w", c.name, wire.DecodeError(resp))
 		bufpool.Put(resp)
 		return nil, err
 	}
@@ -345,7 +359,7 @@ func (r *Remote) BatchFrames() int64 {
 func (r *Remote) GoBatch(ctx context.Context, reqs [][]byte) []*Call {
 	calls := make([]*Call, len(reqs))
 	for i, req := range reqs {
-		calls[i] = &Call{rem: r, ctx: ctx, req: req, done: make(chan struct{})}
+		calls[i] = &Call{name: r.name, ctx: ctx, req: req, done: make(chan struct{})}
 	}
 	if r.b == nil {
 		for _, c := range calls {

@@ -115,6 +115,10 @@ func (r *Remote) Name() string { return r.name }
 // Meter returns the meter accumulating this link's traffic.
 func (r *Remote) Meter() *netsim.Meter { return r.m }
 
+// PricePerByte returns the link's per-byte tariff, used for money-cost
+// accounting.
+func (r *Remote) PricePerByte() float64 { return r.m.PricePerByte() }
+
 // Usage returns the accumulated traffic snapshot.
 func (r *Remote) Usage() netsim.Usage { return r.m.Usage() }
 

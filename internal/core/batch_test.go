@@ -186,7 +186,7 @@ func TestBatchedMultiwayMatchesOracle(t *testing.T) {
 		dataset.GaussianClusters(150, 3, 300, dataset.World, 201),
 	}
 	eps := []float64{150, 150}
-	remotes := make([]*client.Remote, len(datasets))
+	remotes := make([]Probe, len(datasets))
 	for i, objs := range datasets {
 		tr := netsim.Serve(server.New("D", objs))
 		r := mustRemote(t, "D", tr, netsim.DefaultLink(), 1,

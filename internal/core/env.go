@@ -13,12 +13,71 @@ import (
 	"repro/internal/wire"
 )
 
+// Probe is the query surface of one logical relation: everything the
+// algorithms need from a dataset endpoint. It is satisfied by
+// *client.Remote (one server, one metered link — the paper's setting)
+// and by *shard.Router (one relation partitioned across many servers,
+// scatter–gathered behind the same surface), so every algorithm runs
+// unmodified against either. The semantic contract is the one the
+// dataset server implements: COUNT/RANGE-COUNT answer exact
+// cardinalities, WINDOW/RANGE return each qualifying object exactly
+// once, bucket queries answer probe-by-probe in submission order, and
+// Info advertises the relation's true cardinality and bounds. Usage and
+// PricePerByte aggregate the endpoint's metered traffic (a router sums
+// its shard links).
+type Probe interface {
+	// Name identifies the endpoint in errors and diagnostics.
+	Name() string
+	// Info returns the relation's advertised metadata.
+	Info(ctx context.Context) (wire.Info, error)
+	// Count returns the number of objects intersecting w.
+	Count(ctx context.Context, w geom.Rect) (int, error)
+	// Window returns all objects intersecting w.
+	Window(ctx context.Context, w geom.Rect) ([]geom.Object, error)
+	// AvgArea returns the mean MBR area of objects intersecting w.
+	AvgArea(ctx context.Context, w geom.Rect) (float64, error)
+	// Range returns the objects within distance eps of p.
+	Range(ctx context.Context, p geom.Point, eps float64) ([]geom.Object, error)
+	// RangeCount returns the number of objects within distance eps of p.
+	RangeCount(ctx context.Context, p geom.Point, eps float64) (int, error)
+	// BucketRange answers many ε-range probes at once, one result group
+	// per probe in probe order.
+	BucketRange(ctx context.Context, pts []geom.Point, eps float64) ([][]geom.Object, error)
+	// BucketRangeCount is the aggregate variant of BucketRange.
+	BucketRangeCount(ctx context.Context, pts []geom.Point, eps float64) ([]int64, error)
+	// LevelMBRs returns the MBRs of one R-tree level (SemiJoin only).
+	LevelMBRs(ctx context.Context, level int) ([]geom.Rect, error)
+	// MBRMatch returns the distinct objects intersecting (within eps of)
+	// any of the rects (SemiJoin only).
+	MBRMatch(ctx context.Context, rects []geom.Rect, eps float64) ([]geom.Object, error)
+	// UploadJoin ships objects to the relation, which joins them against
+	// its dataset and returns pairs with the uploaded ID first (SemiJoin
+	// only).
+	UploadJoin(ctx context.Context, objs []geom.Object, eps float64) ([]geom.Pair, error)
+	// GoBatch submits pre-encoded request frames for multiplexed delivery
+	// and returns one Call future per request; Flush dispatches whatever
+	// is pending. See client.Remote.GoBatch.
+	GoBatch(ctx context.Context, reqs [][]byte) []*client.Call
+	Flush()
+	// Usage returns the endpoint's accumulated metered traffic (summed
+	// over shard links for a router).
+	Usage() netsim.Usage
+	// PricePerByte is the per-byte tariff of the endpoint's link(s).
+	PricePerByte() float64
+	// Retries reports how many re-issued attempts the endpoint has made.
+	Retries() int64
+	// Close releases the endpoint's transport(s).
+	Close() error
+}
+
 // Env is the execution environment of one join: the two metered remote
 // datasets, the device constraints, the cost-model parameters used for
 // decisions, and the query window.
 type Env struct {
-	// R and S are the two dataset servers, reached over metered links.
-	R, S *client.Remote
+	// R and S are the two dataset relations, reached over metered links —
+	// a single server each (*client.Remote) or a sharded relation behind
+	// a scatter–gather router (*shard.Router).
+	R, S Probe
 	// Device carries the buffer constraint.
 	Device client.Device
 	// Model parameterizes the cost equations; Model.Buffer should match
@@ -65,7 +124,7 @@ type Env struct {
 
 // NewEnv assembles an environment. The window may be the zero Rect to
 // join over the entire advertised data space.
-func NewEnv(r, s *client.Remote, device client.Device, model costmodel.Params, window geom.Rect) *Env {
+func NewEnv(r, s Probe, device client.Device, model costmodel.Params, window geom.Rect) *Env {
 	model.Buffer = device.BufferObjects
 	return &Env{R: r, S: s, Device: device, Model: model, Window: window}
 }
@@ -157,8 +216,8 @@ func (e *Env) statsSince(r0, s0 netsim.Usage, dec *decisions) Stats {
 		NLSJ:         int(dec.nlsj.Load()),
 		Repartitions: int(dec.repart.Load()),
 		Pruned:       int(dec.pruned.Load()),
-		MoneyCost: e.R.Meter().PricePerByte()*float64(ru.WireBytes) +
-			e.S.Meter().PricePerByte()*float64(su.WireBytes),
+		MoneyCost: e.R.PricePerByte()*float64(ru.WireBytes) +
+			e.S.PricePerByte()*float64(su.WireBytes),
 	}
 }
 

@@ -133,8 +133,8 @@ func (x *exec) trace(format string, args ...any) {
 	}
 }
 
-// remote returns the client for one side.
-func (x *exec) remote(d side) *client.Remote {
+// remote returns the probe endpoint for one side.
+func (x *exec) remote(d side) Probe {
 	if d == sideR {
 		return x.env.R
 	}
@@ -218,7 +218,7 @@ func (x *exec) countRemote(d side, fw geom.Rect) (int, error) {
 // failed: each Call must be drained by exactly one accessor so its
 // pooled reply frame is recycled. Work collected after the first error
 // is discarded with the failed run.
-func (x *exec) batchRound(rem *client.Remote, n int, encode func(i int) []byte, collect func(i int, c *client.Call) error) error {
+func (x *exec) batchRound(rem Probe, n int, encode func(i int) []byte, collect func(i int, c *client.Call) error) error {
 	bs := x.env.BatchSize
 	nChunks := (n + bs - 1) / bs
 	return x.fanout(nChunks, func(ci int) error {

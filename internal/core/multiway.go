@@ -59,11 +59,12 @@ func (r *MultiwayResult) TotalBytes() int {
 	return total
 }
 
-// RunChain evaluates the chain over the given remotes with per-link
-// distance thresholds: eps[i] constrains the join between datasets i and
-// i+1 (len(eps) = len(remotes)-1; a 0 threshold means MBR intersection).
-// Canceling ctx aborts the chain between and within links.
-func (m Multiway) RunChain(ctx context.Context, remotes []*client.Remote, device client.Device, model ModelParams, window geom.Rect, eps []float64) (*MultiwayResult, error) {
+// RunChain evaluates the chain over the given probe endpoints (single
+// servers or shard routers) with per-link distance thresholds: eps[i]
+// constrains the join between datasets i and i+1 (len(eps) =
+// len(remotes)-1; a 0 threshold means MBR intersection). Canceling ctx
+// aborts the chain between and within links.
+func (m Multiway) RunChain(ctx context.Context, remotes []Probe, device client.Device, model ModelParams, window geom.Rect, eps []float64) (*MultiwayResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

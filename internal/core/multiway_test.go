@@ -12,9 +12,9 @@ import (
 	"repro/internal/server"
 )
 
-func chainRemotes(t *testing.T, datasets [][]geom.Object) []*client.Remote {
+func chainRemotes(t *testing.T, datasets [][]geom.Object) []Probe {
 	t.Helper()
-	remotes := make([]*client.Remote, len(datasets))
+	remotes := make([]Probe, len(datasets))
 	for i, objs := range datasets {
 		tr := netsim.Serve(server.New("D", objs))
 		r := mustRemote(t, "D", tr, netsim.DefaultLink(), 1)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/netsim"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 // Clusters is the x-axis of all synthetic experiments (paper Figs. 6-8).
@@ -50,6 +51,11 @@ type Config struct {
 	// changes the framing, so measured byte counts shift (fewer frames,
 	// fewer packet headers); results are identical.
 	BatchSize int
+	// Shards, when > 1, splits each relation across this many in-process
+	// servers behind a scatter–gather shard.Router. Results are identical
+	// to the unsharded run; byte totals shift (one link per shard, its
+	// own INFO round trip, per-shard pruning).
+	Shards int
 }
 
 // Defaults mirror §5: 1000-point datasets, buffer 800 (40% of total),
@@ -151,24 +157,20 @@ func runOnce(alg core.Algorithm, robjs, sobjs []geom.Object, cfg Config, spec co
 	if workers < 1 {
 		workers = 1
 	}
-	srvR := server.New("R", robjs, opts...)
-	srvS := server.New("S", sobjs, opts...)
-	trR := netsim.ServeParallel(srvR, workers)
-	trS := netsim.ServeParallel(srvS, workers)
-	defer trR.Close()
-	defer trS.Close()
 	var copts []client.Option
 	if cfg.BatchSize > 1 {
 		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: cfg.BatchSize}))
 	}
-	r, err := client.NewRemote("R", trR, netsim.DefaultLink(), 1, copts...)
+	r, err := serveSide("R", robjs, cfg, workers, opts, copts)
 	if err != nil {
 		return core.Stats{}, 0, err
 	}
-	s, err := client.NewRemote("S", trS, netsim.DefaultLink(), 1, copts...)
+	defer r.Close()
+	s, err := serveSide("S", sobjs, cfg, workers, opts, copts)
 	if err != nil {
 		return core.Stats{}, 0, err
 	}
+	defer s.Close()
 	model := costmodel.Default()
 	model.Bucket = cfg.Bucket
 	env := core.NewEnv(r, s, client.Device{BufferObjects: cfg.Buffer}, model, dataset.World)
@@ -184,6 +186,22 @@ func runOnce(alg core.Algorithm, robjs, sobjs []geom.Object, cfg Config, spec co
 		n = len(res.Objects)
 	}
 	return res.Stats, n, nil
+}
+
+// serveSide boots one relation's in-process serving stack: a single
+// server (the default), or cfg.Shards partition servers behind a
+// scatter–gather router.
+func serveSide(name string, objs []geom.Object, cfg Config, workers int, sopts []server.Option, copts []client.Option) (core.Probe, error) {
+	if cfg.Shards <= 1 {
+		tr := netsim.ServeParallel(server.New(name, objs, sopts...), workers)
+		rem, err := client.NewRemote(name, tr, netsim.DefaultLink(), 1, copts...)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		return rem, nil
+	}
+	return shard.ServeLocal(name, objs, cfg.Shards, workers, netsim.DefaultLink(), 1, sopts, copts)
 }
 
 // synthPair generates the run's two synthetic datasets with independent

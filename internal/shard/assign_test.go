@@ -1,0 +1,234 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randomObjects generates a mixed point/rectangle dataset inside bounds.
+func randomObjects(rng *rand.Rand, n int, bounds geom.Rect) []geom.Object {
+	objs := make([]geom.Object, n)
+	for i := range objs {
+		x := bounds.MinX + rng.Float64()*bounds.Width()
+		y := bounds.MinY + rng.Float64()*bounds.Height()
+		if rng.Intn(2) == 0 {
+			objs[i] = geom.PointObject(uint32(i), geom.Pt(x, y))
+		} else {
+			objs[i] = geom.Object{
+				ID:  uint32(i),
+				MBR: geom.R(x, y, x+rng.Float64()*40, y+rng.Float64()*40),
+			}
+		}
+	}
+	return objs
+}
+
+// TestAssignExactlyOneShard is the assignment's core property: over many
+// random datasets and shard counts, every object lands on exactly one
+// shard — the partitions are disjoint and their union is the dataset.
+// This is what makes per-shard COUNT answers disjoint, and so COUNT-sum
+// exact.
+func TestAssignExactlyOneShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bounds := geom.R(0, 0, 10000, 10000)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		size := rng.Intn(400)
+		objs := randomObjects(rng, size, bounds)
+		parts := Assign(objs, n)
+		if len(parts) != n {
+			t.Fatalf("trial %d: Assign returned %d partitions, want %d", trial, len(parts), n)
+		}
+		seen := make(map[uint32]int)
+		total := 0
+		for si, part := range parts {
+			total += len(part)
+			for _, o := range part {
+				if prev, dup := seen[o.ID]; dup {
+					t.Fatalf("trial %d: object %d on shards %d and %d", trial, o.ID, prev, si)
+				}
+				seen[o.ID] = si
+			}
+		}
+		if total != len(objs) {
+			t.Fatalf("trial %d: %d objects across shards, dataset has %d", trial, total, len(objs))
+		}
+		for _, o := range objs {
+			if _, ok := seen[o.ID]; !ok {
+				t.Fatalf("trial %d: object %d assigned to no shard", trial, o.ID)
+			}
+		}
+	}
+}
+
+// TestAssignIsDeterministic: assignment is a pure function of (objs, n) —
+// shard servers and the router must agree on the partitioning without
+// coordination.
+func TestAssignIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	objs := randomObjects(rng, 300, geom.R(0, 0, 10000, 10000))
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		a, b := Assign(objs, n), Assign(objs, n)
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				t.Fatalf("n=%d: shard %d sized %d then %d", n, i, len(a[i]), len(b[i]))
+			}
+			for k := range a[i] {
+				if a[i][k].ID != b[i][k].ID {
+					t.Fatalf("n=%d: shard %d object %d differs between runs", n, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestTilesCoverIsExhaustive: the tile layout covers every point of the
+// bounds (closed tiles sharing edges), tiles the full area exactly once,
+// and every object's center lies in its assigned tile's row/column cell.
+func TestTilesCoverIsExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bounds := geom.R(-500, 200, 7500, 4200)
+	for n := 1; n <= 10; n++ {
+		tiles := Tiles(bounds, n)
+		if len(tiles) != n {
+			t.Fatalf("n=%d: %d tiles", n, len(tiles))
+		}
+		var area float64
+		for _, tile := range tiles {
+			area += tile.Area()
+			if !bounds.Contains(tile) {
+				t.Fatalf("n=%d: tile %v escapes bounds %v", n, tile, bounds)
+			}
+		}
+		if diff := area - bounds.Area(); diff > 1e-6*bounds.Area() || diff < -1e-6*bounds.Area() {
+			t.Fatalf("n=%d: tile areas sum to %v, bounds area %v", n, area, bounds.Area())
+		}
+		for trial := 0; trial < 1000; trial++ {
+			p := geom.Pt(
+				bounds.MinX+rng.Float64()*bounds.Width(),
+				bounds.MinY+rng.Float64()*bounds.Height(),
+			)
+			covered := false
+			for _, tile := range tiles {
+				if tile.ContainsPoint(p) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("n=%d: point %v in bounds but in no tile", n, p)
+			}
+			// The assignment function must agree with the cover: the chosen
+			// tile actually contains the point.
+			rows, cols := Grid(n)
+			idx := tileIndex(p, bounds, rows, cols)
+			if !tiles[idx].ContainsPoint(p) {
+				t.Fatalf("n=%d: point %v assigned to tile %d = %v, which misses it", n, p, idx, tiles[idx])
+			}
+		}
+	}
+}
+
+// TestBoundaryObjectsLandOnExactlyOneShard pins the overlap-free boundary
+// rule: centers exactly on interior tile edges (shared by two closed
+// tiles) are still assigned to exactly one shard.
+func TestBoundaryObjectsLandOnExactlyOneShard(t *testing.T) {
+	// A 4-shard 2×2 layout over [0,100]²: centers on the shared edges
+	// x=50 and y=50, plus the four corners of the cross.
+	var objs []geom.Object
+	id := uint32(0)
+	for _, p := range []geom.Point{
+		{X: 50, Y: 10}, {X: 50, Y: 50}, {X: 50, Y: 90},
+		{X: 10, Y: 50}, {X: 90, Y: 50},
+		{X: 0, Y: 0}, {X: 100, Y: 100}, {X: 0, Y: 100}, {X: 100, Y: 0},
+	} {
+		objs = append(objs, geom.PointObject(id, p))
+		id++
+	}
+	parts := Assign(objs, 4)
+	seen := make(map[uint32]bool)
+	for _, part := range parts {
+		for _, o := range part {
+			if seen[o.ID] {
+				t.Fatalf("boundary object %d assigned twice", o.ID)
+			}
+			seen[o.ID] = true
+		}
+	}
+	if len(seen) != len(objs) {
+		t.Fatalf("%d of %d boundary objects assigned", len(seen), len(objs))
+	}
+}
+
+// TestCountSumEqualsUnsharded is the COUNT-merge exactness property: for
+// 1000 random windows, the sum of per-shard intersection counts equals
+// the unsharded count — the invariant that makes the router's summed
+// COUNT answers (and every pruning decision derived from them) exact.
+func TestCountSumEqualsUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bounds := geom.R(0, 0, 10000, 10000)
+	objs := randomObjects(rng, 500, bounds)
+	count := func(objs []geom.Object, w geom.Rect) int {
+		n := 0
+		for _, o := range objs {
+			if o.MBR.Intersects(w) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		parts := Assign(objs, n)
+		for trial := 0; trial < 1000; trial++ {
+			x := bounds.MinX + rng.Float64()*bounds.Width()
+			y := bounds.MinY + rng.Float64()*bounds.Height()
+			w := geom.R(x, y, x+rng.Float64()*3000, y+rng.Float64()*3000)
+			sum := 0
+			for _, part := range parts {
+				sum += count(part, w)
+			}
+			if want := count(objs, w); sum != want {
+				t.Fatalf("n=%d window %v: shard count-sum %d, unsharded %d", n, w, sum, want)
+			}
+		}
+	}
+}
+
+// TestHashFallbackSpreadsDegenerateLayouts: coincident centers defeat
+// spatial tiling; the hash fallback must still fill every shard when the
+// cardinality allows.
+func TestHashFallbackSpreadsDegenerateLayouts(t *testing.T) {
+	objs := make([]geom.Object, 64)
+	for i := range objs {
+		objs[i] = geom.PointObject(uint32(i), geom.Pt(42, 42))
+	}
+	parts := Assign(objs, 4)
+	for i, part := range parts {
+		if len(part) == 0 {
+			t.Fatalf("shard %d empty under hash fallback", i)
+		}
+	}
+	// Fewer objects than shards: some shards must stay empty, but every
+	// object is still placed exactly once.
+	parts = Assign(objs[:2], 4)
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	if total != 2 {
+		t.Fatalf("placed %d of 2 objects", total)
+	}
+}
+
+// TestGridFactorization pins the tile-grid shape.
+func TestGridFactorization(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 2: {1, 2}, 3: {1, 3}, 4: {2, 2}, 6: {2, 3}, 9: {3, 3}, 12: {3, 4}}
+	for n, want := range cases {
+		r, c := Grid(n)
+		if r != want[0] || c != want[1] {
+			t.Errorf("Grid(%d) = %d×%d, want %d×%d", n, r, c, want[0], want[1])
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/server"
+)
+
+// ServeLocal boots one relation's in-process sharded serving stack: the
+// dataset is partitioned with Assign, each partition gets its own server
+// (workers goroutines each) and metered remote over link at price, and
+// the remotes are wired behind a Router whose scatter parallelism is
+// workers. Shard servers and remotes are named "<name>i/n" (plain name
+// when n == 1, whose router is the bit-identical pass-through). Both the
+// repro session and the experiment harness assemble their sharded
+// relations through this one constructor, so the boot sequence cannot
+// diverge between them.
+func ServeLocal(name string, objs []geom.Object, shards, workers int, link netsim.LinkConfig, price float64, sopts []server.Option, copts []client.Option) (*Router, error) {
+	parts := Assign(objs, shards)
+	rems := make([]*client.Remote, len(parts))
+	fail := func(err error) (*Router, error) {
+		for _, r := range rems {
+			if r != nil {
+				r.Close()
+			}
+		}
+		return nil, err
+	}
+	for i, part := range parts {
+		sname := name
+		if len(parts) > 1 {
+			sname = fmt.Sprintf("%s%d/%d", name, i+1, len(parts))
+		}
+		rt := netsim.ServeParallel(server.New(sname, part, sopts...), workers)
+		rem, err := client.NewRemote(sname, rt, link, price, copts...)
+		if err != nil {
+			rt.Close()
+			return fail(err)
+		}
+		rems[i] = rem
+	}
+	router, err := NewRouter(name, rems, WithParallelism(workers))
+	if err != nil {
+		return fail(err)
+	}
+	return router, nil
+}

@@ -1,0 +1,855 @@
+package shard
+
+import (
+	"cmp"
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+
+	"repro/internal/bufpool"
+	"repro/internal/client"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Router presents N shard servers as one logical relation: it implements
+// the same query surface as client.Remote (core.Probe), so every core
+// algorithm runs unmodified against a sharded relation. Queries scatter
+// to the shards whose advertised bounds can contribute and the replies
+// gather into one logical answer:
+//
+//   - COUNT / RANGE-COUNT fan out to the overlapping shards and sum.
+//     Because Assign places each object on exactly one shard, per-shard
+//     counts are disjoint and the sum is the exact unsharded answer.
+//   - WINDOW / RANGE / MBR-MATCH scatter–gather and merge the object
+//     lists in deterministic (ID) order; no deduplication is needed, for
+//     the same disjointness reason.
+//   - Bucket queries ship to each shard only the probes within reach of
+//     its bounds and reassemble the per-probe groups in probe order,
+//     summing counts (aggregate buckets) or merging objects.
+//   - UPLOAD-JOIN uploads to each shard only the objects within ε of its
+//     bounds; the per-shard pair lists concatenate without duplicates.
+//   - INFO fans out once, caches the per-shard metadata for routing, and
+//     merges it (count-sum, bounds-union, min tree height).
+//
+// A Router over exactly one shard is a pure pass-through: every call
+// delegates verbatim to the single Remote, so a 1-sharded relation is
+// bit-identical on the wire to the unsharded protocol (the golden tests
+// pin this).
+//
+// Scatter requests to different shards run concurrently (bounded by
+// WithParallelism); the first failure cancels the sibling sub-queries
+// and surfaces the root-cause error. Per-shard-link resilience and
+// batching come from the shard Remotes themselves: construct them with
+// client.WithRetry / client.WithBatch and the router's scatter rides on
+// both.
+type Router struct {
+	name   string
+	shards []*client.Remote
+	par    int // max concurrent sub-queries per scatter; 0 = all shards
+
+	// Shard metadata for routing, fetched once (one INFO per shard link,
+	// metered like any query) on first use. Guarded by mu rather than a
+	// sync.Once so a transient failure does not poison the router for
+	// the session's later runs.
+	mu     sync.Mutex
+	ready  bool
+	infos  []wire.Info
+	merged wire.Info
+}
+
+// RouterOption configures a Router at construction.
+type RouterOption func(*Router)
+
+// WithParallelism bounds how many shard sub-queries one scatter issues
+// concurrently. 1 reproduces a strictly sequential scatter (the paper's
+// single-threaded device, extended shard by shard); 0 or >= the shard
+// count lets every sub-query fly at once. The request set per shard link
+// is identical either way, so metered bytes never depend on this knob.
+func WithParallelism(n int) RouterOption {
+	return func(r *Router) { r.par = n }
+}
+
+// NewRouter assembles a router named name over the given shard remotes.
+// All shard links must share one per-byte tariff: the money-cost account
+// (Eq. 1 × price) is computed from the merged usage, which is only exact
+// under a uniform price.
+func NewRouter(name string, shards []*client.Remote, opts ...RouterOption) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: router %s needs at least one shard", name)
+	}
+	price := shards[0].PricePerByte()
+	for _, s := range shards[1:] {
+		if s.PricePerByte() != price {
+			return nil, fmt.Errorf("shard: router %s: shard tariffs differ (%v vs %v)",
+				name, price, s.PricePerByte())
+		}
+	}
+	r := &Router{name: name, shards: shards}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// Name returns the router's diagnostic name.
+func (r *Router) Name() string { return r.name }
+
+// Shards exposes the shard remotes (tests and diagnostics).
+func (r *Router) Shards() []*client.Remote { return r.shards }
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// ShardUsages returns the accumulated traffic of every shard link, in
+// shard order.
+func (r *Router) ShardUsages() []netsim.Usage {
+	out := make([]netsim.Usage, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = s.Usage()
+	}
+	return out
+}
+
+// Usage returns the relation's accumulated traffic: the sum over all
+// shard links (every netsim.Usage field is an additive total).
+func (r *Router) Usage() netsim.Usage {
+	var sum netsim.Usage
+	for _, s := range r.shards {
+		sum = sum.Add(s.Usage())
+	}
+	return sum
+}
+
+// PricePerByte returns the shared per-byte tariff of the shard links.
+func (r *Router) PricePerByte() float64 { return r.shards[0].PricePerByte() }
+
+// Retries sums the re-issued attempts across all shard links.
+func (r *Router) Retries() int64 {
+	var n int64
+	for _, s := range r.shards {
+		n += s.Retries()
+	}
+	return n
+}
+
+// Close releases every shard transport, returning the first error.
+func (r *Router) Close() error {
+	var first error
+	for _, s := range r.shards {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// solo reports whether this router is a single-shard pass-through.
+func (r *Router) solo() bool { return len(r.shards) == 1 }
+
+// ensureInfo fetches every shard's INFO once (concurrently, all metered)
+// and caches the per-shard metadata that routing decisions read. Safe
+// for concurrent callers; a failure leaves the router un-poisoned so the
+// next call retries.
+func (r *Router) ensureInfo(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ready {
+		return nil
+	}
+	infos := make([]wire.Info, len(r.shards))
+	all := make([]int, len(r.shards))
+	for i := range all {
+		all[i] = i
+	}
+	err := r.scatter(ctx, all, func(ctx context.Context, i int) error {
+		info, err := r.shards[i].Info(ctx)
+		if err != nil {
+			return err
+		}
+		infos[i] = info
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	r.infos = infos
+	r.merged = mergeInfos(infos)
+	r.ready = true
+	return nil
+}
+
+// mergeInfos folds per-shard metadata into the relation's: cardinalities
+// sum, bounds union (empty shards contribute nothing), PointData holds
+// iff it holds on every non-empty shard, and TreeHeight is the minimum
+// published height over non-empty shards — the deepest level guaranteed
+// to exist in every shard tree — or 0 when any shard withholds its index.
+func mergeInfos(infos []wire.Info) wire.Info {
+	var m wire.Info
+	m.PointData = true
+	first := true
+	for _, info := range infos {
+		m.Count += info.Count
+		if info.Count == 0 {
+			continue
+		}
+		if first {
+			m.Bounds = info.Bounds
+			m.TreeHeight = info.TreeHeight
+			first = false
+		} else {
+			m.Bounds = m.Bounds.Union(info.Bounds)
+			if info.TreeHeight < m.TreeHeight {
+				m.TreeHeight = info.TreeHeight
+			}
+		}
+		if !info.PointData {
+			m.PointData = false
+		}
+	}
+	return m
+}
+
+// scatter runs f for every target shard, concurrently up to the router's
+// parallelism bound. The first failure cancels the sibling sub-queries
+// still in flight; scatter joins every goroutine before returning and
+// reports the root cause (a real error is preferred over the secondary
+// context.Canceled it provoked).
+func (r *Router) scatter(ctx context.Context, targets []int, f func(ctx context.Context, shard int) error) error {
+	if len(targets) == 0 {
+		return nil
+	}
+	if len(targets) == 1 || r.par == 1 {
+		for _, t := range targets {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(ctx, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var slots chan struct{}
+	if r.par > 1 && r.par < len(targets) {
+		slots = make(chan struct{}, r.par)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if first == nil || (errors.Is(first, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			first = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for _, t := range targets {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if slots != nil {
+				slots <- struct{}{}
+				defer func() { <-slots }()
+			}
+			if err := sctx.Err(); err != nil {
+				record(err)
+				return
+			}
+			record(f(sctx, t))
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// rectTargets returns the shards whose advertised bounds intersect w
+// (empty shards never qualify). Pruned shards cannot hold a qualifying
+// object, so skipping them is exact — and free: no bytes cross their
+// links.
+func (r *Router) rectTargets(w geom.Rect) []int {
+	var out []int
+	for i, info := range r.infos {
+		if info.Count > 0 && info.Bounds.Intersects(w) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pointTargets returns the shards whose bounds lie within eps of p.
+func (r *Router) pointTargets(p geom.Point, eps float64) []int {
+	var out []int
+	for i, info := range r.infos {
+		if info.Count > 0 && info.Bounds.DistToPoint(p) <= eps {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// nonEmptyTargets returns every shard holding at least one object.
+func (r *Router) nonEmptyTargets() []int {
+	var out []int
+	for i, info := range r.infos {
+		if info.Count > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// sortObjects puts a gathered object list into deterministic ID order.
+// IDs are unique within a relation and each lives on exactly one shard,
+// so the merged list is duplicate-free and the order total.
+func sortObjects(objs []geom.Object) {
+	slices.SortFunc(objs, func(a, b geom.Object) int {
+		return cmp.Compare(a.ID, b.ID)
+	})
+}
+
+// Info returns the merged relation metadata (fetching and caching the
+// per-shard INFOs on first use).
+func (r *Router) Info(ctx context.Context) (wire.Info, error) {
+	if r.solo() {
+		return r.shards[0].Info(ctx)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		return wire.Info{}, err
+	}
+	return r.merged, nil
+}
+
+// Count returns the number of objects intersecting w: the sum of the
+// overlapping shards' disjoint COUNT answers.
+func (r *Router) Count(ctx context.Context, w geom.Rect) (int, error) {
+	if r.solo() {
+		return r.shards[0].Count(ctx, w)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		return 0, err
+	}
+	targets := r.rectTargets(w)
+	counts := make([]int, len(r.shards))
+	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+		n, err := r.shards[i].Count(ctx, w)
+		counts[i] = n
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	return sum, nil
+}
+
+// Window returns all objects intersecting w, gathered from the
+// overlapping shards and merged in ID order.
+func (r *Router) Window(ctx context.Context, w geom.Rect) ([]geom.Object, error) {
+	if r.solo() {
+		return r.shards[0].Window(ctx, w)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		return nil, err
+	}
+	targets := r.rectTargets(w)
+	parts := make([][]geom.Object, len(r.shards))
+	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+		objs, err := r.shards[i].Window(ctx, w)
+		parts[i] = objs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeObjects(parts), nil
+}
+
+// AvgArea returns the mean MBR area over the objects intersecting w. The
+// per-shard means are weighted by per-shard COUNTs (one extra aggregate
+// query per overlapping shard — the only merged statistic that needs a
+// companion query).
+func (r *Router) AvgArea(ctx context.Context, w geom.Rect) (float64, error) {
+	if r.solo() {
+		return r.shards[0].AvgArea(ctx, w)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		return 0, err
+	}
+	targets := r.rectTargets(w)
+	counts := make([]int, len(r.shards))
+	avgs := make([]float64, len(r.shards))
+	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+		n, err := r.shards[i].Count(ctx, w)
+		if err != nil {
+			return err
+		}
+		a, err := r.shards[i].AvgArea(ctx, w)
+		if err != nil {
+			return err
+		}
+		counts[i], avgs[i] = n, a
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total, weighted := 0, 0.0
+	for i := range r.shards {
+		total += counts[i]
+		weighted += float64(counts[i]) * avgs[i]
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return weighted / float64(total), nil
+}
+
+// Range returns the objects within eps of p, merged in ID order.
+func (r *Router) Range(ctx context.Context, p geom.Point, eps float64) ([]geom.Object, error) {
+	if r.solo() {
+		return r.shards[0].Range(ctx, p, eps)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		return nil, err
+	}
+	targets := r.pointTargets(p, eps)
+	parts := make([][]geom.Object, len(r.shards))
+	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+		objs, err := r.shards[i].Range(ctx, p, eps)
+		parts[i] = objs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeObjects(parts), nil
+}
+
+// RangeCount returns the number of objects within eps of p: the sum over
+// the shards within reach.
+func (r *Router) RangeCount(ctx context.Context, p geom.Point, eps float64) (int, error) {
+	if r.solo() {
+		return r.shards[0].RangeCount(ctx, p, eps)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		return 0, err
+	}
+	targets := r.pointTargets(p, eps)
+	counts := make([]int, len(r.shards))
+	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+		n, err := r.shards[i].RangeCount(ctx, p, eps)
+		counts[i] = n
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	return sum, nil
+}
+
+// BucketRange submits many ε-range probes at once. Each shard receives
+// only the probes within eps of its bounds; the per-probe result groups
+// reassemble in probe order, each group merged in ID order.
+func (r *Router) BucketRange(ctx context.Context, pts []geom.Point, eps float64) ([][]geom.Object, error) {
+	if r.solo() {
+		return r.shards[0].BucketRange(ctx, pts, eps)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		return nil, err
+	}
+	targets, idxs := r.bucketTargets(pts, eps)
+	out := make([][]geom.Object, len(pts))
+	var mu sync.Mutex
+	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+		sub := make([]geom.Point, len(idxs[i]))
+		for k, pi := range idxs[i] {
+			sub[k] = pts[pi]
+		}
+		groups, err := r.shards[i].BucketRange(ctx, sub, eps)
+		if err != nil {
+			return err
+		}
+		if len(groups) != len(sub) {
+			return fmt.Errorf("shard: %s: bucket reply carries %d groups, want %d",
+				r.shards[i].Name(), len(groups), len(sub))
+		}
+		mu.Lock()
+		for k, g := range groups {
+			out[idxs[i][k]] = append(out[idxs[i][k]], g...)
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range out {
+		sortObjects(g)
+	}
+	return out, nil
+}
+
+// BucketRangeCount is the aggregate variant of BucketRange: per-probe
+// counts summed across the shards within reach of each probe.
+func (r *Router) BucketRangeCount(ctx context.Context, pts []geom.Point, eps float64) ([]int64, error) {
+	if r.solo() {
+		return r.shards[0].BucketRangeCount(ctx, pts, eps)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		return nil, err
+	}
+	targets, idxs := r.bucketTargets(pts, eps)
+	out := make([]int64, len(pts))
+	var mu sync.Mutex
+	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+		sub := make([]geom.Point, len(idxs[i]))
+		for k, pi := range idxs[i] {
+			sub[k] = pts[pi]
+		}
+		ns, err := r.shards[i].BucketRangeCount(ctx, sub, eps)
+		if err != nil {
+			return err
+		}
+		if len(ns) != len(sub) {
+			return fmt.Errorf("shard: %s: bucket reply carries %d counts, want %d",
+				r.shards[i].Name(), len(ns), len(sub))
+		}
+		mu.Lock()
+		for k, n := range ns {
+			out[idxs[i][k]] += n
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// bucketTargets plans a bucket scatter: for each shard, the indices of
+// the probes within eps of its bounds; targets lists the shards with at
+// least one probe to answer.
+func (r *Router) bucketTargets(pts []geom.Point, eps float64) (targets []int, idxs [][]int) {
+	idxs = make([][]int, len(r.shards))
+	for i, info := range r.infos {
+		if info.Count == 0 {
+			continue
+		}
+		for pi, p := range pts {
+			if info.Bounds.DistToPoint(p) <= eps {
+				idxs[i] = append(idxs[i], pi)
+			}
+		}
+		if len(idxs[i]) > 0 {
+			targets = append(targets, i)
+		}
+	}
+	return targets, idxs
+}
+
+// LevelMBRs returns the concatenated MBRs of one R-tree level across the
+// non-empty shards, in shard order. The level is clamped per shard to
+// its published height, so the "second-to-last level" derived from the
+// merged (minimum) height is valid everywhere.
+func (r *Router) LevelMBRs(ctx context.Context, level int) ([]geom.Rect, error) {
+	if r.solo() {
+		return r.shards[0].LevelMBRs(ctx, level)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		return nil, err
+	}
+	targets := r.nonEmptyTargets()
+	parts := make([][]geom.Rect, len(r.shards))
+	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+		lvl := level
+		if h := int(r.infos[i].TreeHeight); h > 0 && lvl >= h {
+			lvl = h - 1
+		}
+		rects, err := r.shards[i].LevelMBRs(ctx, lvl)
+		parts[i] = rects
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []geom.Rect
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// MBRMatch returns the distinct objects intersecting (within eps of) any
+// of the rects. Each shard is asked only about the rects within eps of
+// its bounds; the answers merge in ID order (distinct by construction:
+// every object lives on one shard, and each shard deduplicates its own
+// answer).
+func (r *Router) MBRMatch(ctx context.Context, rects []geom.Rect, eps float64) ([]geom.Object, error) {
+	if r.solo() {
+		return r.shards[0].MBRMatch(ctx, rects, eps)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		return nil, err
+	}
+	subs := make([][]geom.Rect, len(r.shards))
+	var targets []int
+	for i, info := range r.infos {
+		if info.Count == 0 {
+			continue
+		}
+		for _, rect := range rects {
+			if rect.WithinDist(info.Bounds, eps) {
+				subs[i] = append(subs[i], rect)
+			}
+		}
+		if len(subs[i]) > 0 {
+			targets = append(targets, i)
+		}
+	}
+	parts := make([][]geom.Object, len(r.shards))
+	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+		objs, err := r.shards[i].MBRMatch(ctx, subs[i], eps)
+		parts[i] = objs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeObjects(parts), nil
+}
+
+// UploadJoin ships the objects to every shard within ε reach of them and
+// concatenates the per-shard pair lists (duplicate-free: the joined-side
+// objects are disjoint across shards) in deterministic (uploaded ID,
+// matched ID) order.
+func (r *Router) UploadJoin(ctx context.Context, objs []geom.Object, eps float64) ([]geom.Pair, error) {
+	if r.solo() {
+		return r.shards[0].UploadJoin(ctx, objs, eps)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		return nil, err
+	}
+	subs := make([][]geom.Object, len(r.shards))
+	var targets []int
+	for i, info := range r.infos {
+		if info.Count == 0 {
+			continue
+		}
+		for _, o := range objs {
+			if o.MBR.WithinDist(info.Bounds, eps) {
+				subs[i] = append(subs[i], o)
+			}
+		}
+		if len(subs[i]) > 0 {
+			targets = append(targets, i)
+		}
+	}
+	parts := make([][]geom.Pair, len(r.shards))
+	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+		pairs, err := r.shards[i].UploadJoin(ctx, subs[i], eps)
+		parts[i] = pairs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []geom.Pair
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	slices.SortFunc(out, func(a, b geom.Pair) int {
+		if a.RID != b.RID {
+			return cmp.Compare(a.RID, b.RID)
+		}
+		return cmp.Compare(a.SID, b.SID)
+	})
+	return out, nil
+}
+
+// mergeObjects flattens per-shard object lists into one ID-ordered list.
+func mergeObjects(parts [][]geom.Object) []geom.Object {
+	var out []geom.Object
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sortObjects(out)
+	return out
+}
+
+// --- batched probe multiplexing -------------------------------------------
+
+// GoBatch accepts the same pre-encoded probe frames client.Remote.GoBatch
+// does (the four probe types the core multiplexes: COUNT, WINDOW, RANGE,
+// RANGE-COUNT) and routes each to its overlapping shards *through the
+// shard Remotes' own batchers* — so sub-requests bound for the same shard
+// link still coalesce into MsgBatch envelopes there. Each returned Call
+// completes with the merged logical reply (summed counts, ID-ordered
+// objects), re-encoded as a response frame so the standard accessors
+// decode it. A probe with no overlapping shard completes locally with the
+// empty answer, costing zero bytes.
+func (r *Router) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call {
+	if r.solo() {
+		return r.shards[0].GoBatch(ctx, reqs)
+	}
+	calls := make([]*client.Call, len(reqs))
+	for i := range calls {
+		calls[i] = client.NewDetachedCall(r.name)
+	}
+	if err := r.ensureInfo(ctx); err != nil {
+		for i, req := range reqs {
+			bufpool.Put(req)
+			calls[i].CompleteFrame(nil, err)
+		}
+		return calls
+	}
+	// Routing plan: per shard, the sub-request frames (private copies —
+	// one original may fan out to several shards) and the index of the
+	// router call each answers.
+	perShard := make([][][]byte, len(r.shards))
+	perShardCall := make([][]int, len(r.shards))
+	objects := make([]bool, len(reqs)) // merge mode per call: objects vs count
+	waits := make([][]*client.Call, len(reqs))
+	for qi, req := range reqs {
+		var targets []int
+		switch wire.Type(req) {
+		case wire.MsgCount:
+			w, err := wire.DecodeWindowLike(req, wire.MsgCount)
+			if err != nil {
+				bufpool.Put(req)
+				calls[qi].CompleteFrame(nil, fmt.Errorf("%s: %w", r.name, err))
+				continue
+			}
+			targets = r.rectTargets(w)
+		case wire.MsgWindow:
+			w, err := wire.DecodeWindowLike(req, wire.MsgWindow)
+			if err != nil {
+				bufpool.Put(req)
+				calls[qi].CompleteFrame(nil, fmt.Errorf("%s: %w", r.name, err))
+				continue
+			}
+			objects[qi] = true
+			targets = r.rectTargets(w)
+		case wire.MsgRange, wire.MsgRangeCount:
+			t := wire.Type(req)
+			p, eps, err := wire.DecodeRangeLike(req, t)
+			if err != nil {
+				bufpool.Put(req)
+				calls[qi].CompleteFrame(nil, fmt.Errorf("%s: %w", r.name, err))
+				continue
+			}
+			objects[qi] = t == wire.MsgRange
+			targets = r.pointTargets(p, eps)
+		default:
+			bufpool.Put(req)
+			calls[qi].CompleteFrame(nil, fmt.Errorf("shard: %s: cannot route batched %v", r.name, wire.Type(req)))
+			continue
+		}
+		if len(targets) == 0 {
+			// No shard can contribute: answer the empty result locally.
+			buf := bufpool.Get()
+			if objects[qi] {
+				buf = wire.AppendObjects(buf, nil)
+			} else {
+				buf = wire.AppendCountReply(buf, 0)
+			}
+			bufpool.Put(req)
+			calls[qi].CompleteFrame(buf, nil)
+			continue
+		}
+		for _, t := range targets {
+			perShard[t] = append(perShard[t], append(bufpool.Get(), req...))
+			perShardCall[t] = append(perShardCall[t], qi)
+		}
+		bufpool.Put(req)
+	}
+	// Submit per shard — one GoBatch per shard link, preserving request
+	// order, so the shard batcher sees the same deterministic grouping a
+	// direct client would produce.
+	for t, frames := range perShard {
+		if len(frames) == 0 {
+			continue
+		}
+		subCalls := r.shards[t].GoBatch(ctx, frames)
+		for k, c := range subCalls {
+			qi := perShardCall[t][k]
+			waits[qi] = append(waits[qi], c)
+		}
+	}
+	// Gather: one goroutine per router call waits on its shard sub-calls
+	// and completes the detached call with the merged reply. Every
+	// sub-call is drained even after a failure so its pooled reply frame
+	// is recycled.
+	for qi := range reqs {
+		if len(waits[qi]) == 0 {
+			continue // already completed locally above
+		}
+		go func(qi int) {
+			var firstErr error
+			if objects[qi] {
+				var all []geom.Object
+				for _, c := range waits[qi] {
+					objs, err := c.Objects()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						continue
+					}
+					all = append(all, objs...)
+				}
+				if firstErr != nil {
+					calls[qi].CompleteFrame(nil, firstErr)
+					return
+				}
+				sortObjects(all)
+				calls[qi].CompleteFrame(wire.AppendObjects(bufpool.Get(), all), nil)
+				return
+			}
+			sum := int64(0)
+			for _, c := range waits[qi] {
+				n, err := c.Count()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+				sum += int64(n)
+			}
+			if firstErr != nil {
+				calls[qi].CompleteFrame(nil, firstErr)
+				return
+			}
+			calls[qi].CompleteFrame(wire.AppendCountReply(bufpool.Get(), sum), nil)
+		}(qi)
+	}
+	return calls
+}
+
+// Flush dispatches whatever is pending in every shard link's batcher.
+func (r *Router) Flush() {
+	for _, s := range r.shards {
+		s.Flush()
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/netsim"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 // Re-exported geometry and result types.
@@ -179,6 +180,18 @@ type SessionConfig struct {
 	// deadline. Canceling the deadline (or the caller's context) aborts
 	// the join promptly and joins all worker goroutines.
 	RunTimeout time.Duration
+	// Shards, when > 1, splits each relation across this many in-process
+	// servers (spatial-tile assignment with a hash fallback; every object
+	// lands on exactly one shard) and routes all queries through a
+	// scatter–gather shard.Router: COUNTs fan out to the overlapping
+	// shards and sum, window/bucket replies merge in deterministic order,
+	// so every algorithm returns the exact unsharded result. 0 or 1 keeps
+	// the paper's one-server-per-relation setting; Shards == 1 runs the
+	// router as a pass-through, bit-identical on the wire to the
+	// unsharded protocol. Sharded byte totals differ from unsharded ones
+	// (one link per shard, its own INFO, per-shard pruning) and are pinned
+	// by their own golden test.
+	Shards int
 }
 
 // Session is a ready-to-run device↔servers assembly using in-process
@@ -186,14 +199,14 @@ type SessionConfig struct {
 // algorithms as desired (each Run sees only its own traffic).
 type Session struct {
 	env        *core.Env
-	rtR, rtS   netsim.RoundTripper
-	remR, remS *client.Remote
+	remR, remS core.Probe
 	runTimeout time.Duration
 }
 
-// NewSession starts two in-process servers for cfg.R and cfg.S and wires
-// a device environment to them. An invalid link configuration is reported
-// here, at the configuration boundary.
+// NewSession starts in-process servers for cfg.R and cfg.S (one per
+// relation, or cfg.Shards each) and wires a device environment to them.
+// An invalid link configuration is reported here, at the configuration
+// boundary.
 func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.PriceR == 0 {
 		cfg.PriceR = 1
@@ -213,25 +226,43 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	srvR := server.New("R", cfg.R, opts...)
-	srvS := server.New("S", cfg.S, opts...)
-	rtR := netsim.ServeParallel(srvR, workers)
-	rtS := netsim.ServeParallel(srvS, workers)
 	copts := []client.Option{client.WithRetry(cfg.Retry)}
 	if cfg.BatchSize > 1 {
 		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: cfg.BatchSize}))
 	}
-	remR, err := client.NewRemote("R", rtR, link, cfg.PriceR, copts...)
-	if err != nil {
-		rtR.Close()
-		rtS.Close()
-		return nil, fmt.Errorf("repro: %w", err)
-	}
-	remS, err := client.NewRemote("S", rtS, link, cfg.PriceS, copts...)
-	if err != nil {
-		rtR.Close()
-		rtS.Close()
-		return nil, fmt.Errorf("repro: %w", err)
+	var remR, remS core.Probe
+	if cfg.Shards >= 1 {
+		// The relation is served sharded: cfg.Shards partition servers
+		// behind a scatter–gather router (the 1-shard router is a pure
+		// pass-through, bit-identical on the wire to a direct remote).
+		routerR, err := shard.ServeLocal("R", cfg.R, cfg.Shards, workers, link, cfg.PriceR, opts, copts)
+		if err != nil {
+			return nil, fmt.Errorf("repro: %w", err)
+		}
+		routerS, err := shard.ServeLocal("S", cfg.S, cfg.Shards, workers, link, cfg.PriceS, opts, copts)
+		if err != nil {
+			routerR.Close()
+			return nil, fmt.Errorf("repro: %w", err)
+		}
+		remR, remS = routerR, routerS
+	} else {
+		srvR := server.New("R", cfg.R, opts...)
+		srvS := server.New("S", cfg.S, opts...)
+		rtR := netsim.ServeParallel(srvR, workers)
+		rtS := netsim.ServeParallel(srvS, workers)
+		r, err := client.NewRemote("R", rtR, link, cfg.PriceR, copts...)
+		if err != nil {
+			rtR.Close()
+			rtS.Close()
+			return nil, fmt.Errorf("repro: %w", err)
+		}
+		s, err := client.NewRemote("S", rtS, link, cfg.PriceS, copts...)
+		if err != nil {
+			r.Close()
+			rtS.Close()
+			return nil, fmt.Errorf("repro: %w", err)
+		}
+		remR, remS = r, s
 	}
 	model := costmodel.Default()
 	model.Bucket = cfg.Bucket
@@ -241,7 +272,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	env.Parallelism = cfg.Parallelism
 	env.BatchSize = cfg.BatchSize
 	return &Session{
-		env: env, rtR: rtR, rtS: rtS, remR: remR, remS: remS,
+		env: env, remR: remR, remS: remS,
 		runTimeout: cfg.RunTimeout,
 	}, nil
 }

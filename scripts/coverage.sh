@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Coverage gate: run the full test suite with -coverprofile and fail when
+# total statement coverage drops below the baseline floor. The floor is a
+# couple of points under the measured baseline (79% at the time the gate
+# was added) so timing-dependent branches (retry backoffs, batch linger,
+# fault injection) cannot flake the build, while any real coverage
+# regression — a new subsystem landing without tests — still fails.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+floor="${COVER_FLOOR:-77.0}"
+
+go test -coverprofile=cover.out ./...
+total=$(go tool cover -func=cover.out | tail -1 | awk '{print $3}' | tr -d '%')
+rm -f cover.out
+echo "total statement coverage: ${total}% (floor ${floor}%)"
+if ! awk -v t="$total" -v f="$floor" 'BEGIN { exit (t + 0 >= f + 0) ? 0 : 1 }'; then
+  echo "coverage ${total}% fell below the ${floor}% floor" >&2
+  exit 1
+fi

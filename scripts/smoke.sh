@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# End-to-end smoke: build the binaries, boot two spatialserve instances,
-# run spatialjoin against them over real TCP, then SIGTERM both servers
-# and assert a clean drain. CI runs this on every push; it is also the
-# quickest local sanity check that the deployable stack works.
+# End-to-end smoke: build the binaries, boot two spatialserve instances
+# (plus a 2×2 sharded fleet), run spatialjoin against them over real TCP
+# — unsharded, batched, and sharded, all producing the identical pair set
+# — then SIGTERM every server and assert a clean drain. CI runs this on
+# every push; it is also the quickest local sanity check that the
+# deployable stack works.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -63,6 +65,40 @@ diff -u "$workdir/pairs.plain" "$workdir/pairs.batched" \
   || { echo "batched join diverged from unbatched result"; exit 1; }
 echo "batched result identical ($(wc -l < "$workdir/pairs.plain") pairs)"
 
+echo "== boot 2x2 shard servers"
+# Each relation split across two spatialserve processes with the
+# deterministic -shard i/N assignment; the join addresses each relation
+# as a comma-separated shard list and must scatter-gather its way to the
+# exact same pair set.
+"$workdir/bin/spatialserve" -data "$workdir/r.spd" -shard 1/2 -addr 127.0.0.1:7463 >"$workdir/r1.log" 2>&1 &
+pids+=($!)
+"$workdir/bin/spatialserve" -data "$workdir/r.spd" -shard 2/2 -addr 127.0.0.1:7464 >"$workdir/r2.log" 2>&1 &
+pids+=($!)
+"$workdir/bin/spatialserve" -data "$workdir/s.spd" -shard 1/2 -addr 127.0.0.1:7465 >"$workdir/s1.log" 2>&1 &
+pids+=($!)
+"$workdir/bin/spatialserve" -data "$workdir/s.spd" -shard 2/2 -addr 127.0.0.1:7466 >"$workdir/s2.log" 2>&1 &
+pids+=($!)
+for i in $(seq 1 100); do
+  if grep -q "serving" "$workdir/r1.log" && grep -q "serving" "$workdir/r2.log" \
+    && grep -q "serving" "$workdir/s1.log" && grep -q "serving" "$workdir/s2.log"; then
+    break
+  fi
+  sleep 0.05
+done
+for log in r1 r2 s1 s2; do
+  grep -q "serving" "$workdir/$log.log" || { echo "shard server $log never came up"; cat "$workdir/$log.log"; exit 1; }
+done
+
+echo "== sharded join over TCP (2x2 shards) is oracle-equal"
+"$workdir/bin/spatialjoin" \
+  -shards-r 127.0.0.1:7463,127.0.0.1:7464 \
+  -shards-s 127.0.0.1:7465,127.0.0.1:7466 \
+  -alg upjoin -kind distance -eps 75 -buffer 500 -parallel 4 -timeout 60s -pairs \
+  | grep -E '^  ' > "$workdir/pairs.sharded"
+diff -u "$workdir/pairs.plain" "$workdir/pairs.sharded" \
+  || { echo "sharded join diverged from unsharded result"; exit 1; }
+echo "sharded result identical ($(wc -l < "$workdir/pairs.sharded") pairs)"
+
 echo "== SIGTERM drain"
 for pid in "${pids[@]}"; do
   kill -TERM "$pid"
@@ -75,7 +111,9 @@ for pid in "${pids[@]}"; do
 done
 pids=()
 [ "$status" -eq 0 ] || { echo "a server exited non-zero on SIGTERM"; cat "$workdir"/*.log; exit 1; }
-grep -q "drained cleanly" "$workdir/r.log" || { echo "R did not drain cleanly"; cat "$workdir/r.log"; exit 1; }
-grep -q "drained cleanly" "$workdir/s.log" || { echo "S did not drain cleanly"; cat "$workdir/s.log"; exit 1; }
+for log in r s r1 r2 s1 s2; do
+  grep -q "drained cleanly" "$workdir/$log.log" \
+    || { echo "$log did not drain cleanly"; cat "$workdir/$log.log"; exit 1; }
+done
 
 echo "smoke OK"
