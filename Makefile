@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race bench bench-smoke bench-compare fuzz smoke cover fmt vet
+.PHONY: all build test race bench bench-smoke bench-compare fuzz smoke cover test-flaky fmt vet
 
 all: build test
 
@@ -60,6 +60,14 @@ fuzz:
 # SIGTERM drain).
 smoke:
 	./scripts/smoke.sh
+
+# test-flaky hammers the chaos and replica batteries — the suites whose
+# failures would be schedule-dependent if the failover/hedging plumbing
+# ever raced — under the race detector, five times each. Any flake here
+# is a real ordering bug, not noise: the suites are seeded and
+# deterministic by construction.
+test-flaky:
+	$(GO) test -race -count 5 -run 'TestReplicated|TestReplica|TestShardedChaos|TestShardedKill' . ./internal/shard
 
 # cover is the coverage gate CI runs: the full test suite with
 # -coverprofile, failing when total statement coverage drops below the

@@ -59,7 +59,11 @@ func parseWindow(s string) (geom.Rect, error) {
 
 // dialProbe connects one relation's endpoint: a single server (addr), or
 // a scatter–gather router over a comma-separated shard address list.
-func dialProbe(name, addr, shardList string, conns int, price float64, copts []client.Option) (core.Probe, error) {
+// Each shard entry may itself be a `+`-separated replica group
+// ("a+b,c+d" = two shards, two replicas each): the replicas are wired
+// behind a shard.ReplicaSet that load-balances, fails over, and — with
+// hedgePct > 0 — hedges straggling probes against a sibling replica.
+func dialProbe(name, addr, shardList string, conns int, price, hedgePct float64, copts []client.Option) (core.Probe, error) {
 	dial := func(label, a string) (*client.Remote, error) {
 		tr, err := netsim.DialTCPPool(a, conns)
 		if err != nil {
@@ -75,27 +79,55 @@ func dialProbe(name, addr, shardList string, conns int, price float64, copts []c
 	if shardList == "" {
 		return dial(name+"("+addr+")", addr)
 	}
-	addrs := strings.Split(shardList, ",")
-	rems := make([]*client.Remote, 0, len(addrs))
+	groups := strings.Split(shardList, ",")
+	eps := make([]shard.Endpoint, 0, len(groups))
 	closeAll := func() {
-		for _, r := range rems {
-			r.Close()
+		for _, e := range eps {
+			e.Close()
 		}
 	}
-	for i, a := range addrs {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			closeAll()
-			return nil, fmt.Errorf("empty address in -shards-%s", strings.ToLower(name))
+	for i, group := range groups {
+		sname := fmt.Sprintf("%s%d/%d", name, i+1, len(groups))
+		replicas := strings.Split(group, "+")
+		rems := make([]*client.Remote, 0, len(replicas))
+		for j, a := range replicas {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				closeAll()
+				return nil, fmt.Errorf("empty address in -shards-%s", strings.ToLower(name))
+			}
+			label := fmt.Sprintf("%s(%s)", sname, a)
+			if len(replicas) > 1 {
+				label = fmt.Sprintf("%s-r%d(%s)", sname, j+1, a)
+			}
+			rem, err := dial(label, a)
+			if err != nil {
+				for _, r := range rems {
+					r.Close()
+				}
+				closeAll()
+				return nil, err
+			}
+			rems = append(rems, rem)
 		}
-		rem, err := dial(fmt.Sprintf("%s%d/%d(%s)", name, i+1, len(addrs), a), a)
+		if len(rems) == 1 {
+			eps = append(eps, rems[0])
+			continue
+		}
+		rset, err := shard.NewReplicaSet(sname, rems, shard.ReplicaConfig{
+			HedgePct: hedgePct,
+			Seed:     int64(i),
+		})
 		if err != nil {
+			for _, r := range rems {
+				r.Close()
+			}
 			closeAll()
 			return nil, err
 		}
-		rems = append(rems, rem)
+		eps = append(eps, rset)
 	}
-	return shard.NewRouter(name, rems, shard.WithParallelism(conns))
+	return shard.NewRouter(name, eps, shard.WithParallelism(conns))
 }
 
 func algorithm(name string) (core.Algorithm, error) {
@@ -120,8 +152,8 @@ func main() {
 	var (
 		rAddr    = flag.String("r", "", "address of the R server (required unless -shards-r)")
 		sAddr    = flag.String("s", "", "address of the S server (required unless -shards-s)")
-		rShards  = flag.String("shards-r", "", "comma-separated shard server addresses for R (overrides -r)")
-		sShards  = flag.String("shards-s", "", "comma-separated shard server addresses for S (overrides -s)")
+		rShards  = flag.String("shards-r", "", "comma-separated shard server addresses for R (overrides -r; a+b lists replicas of one shard)")
+		sShards  = flag.String("shards-s", "", "comma-separated shard server addresses for S (overrides -s; a+b lists replicas of one shard)")
 		alg      = flag.String("alg", "upjoin", "naive, grid, mobijoin, upjoin, srjoin, semijoin")
 		kind     = flag.String("kind", "distance", "intersection, distance, iceberg")
 		eps      = flag.Float64("eps", 150, "distance threshold")
@@ -137,6 +169,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "overall join deadline (0 = none)")
 		tryTO    = flag.Duration("try-timeout", 0, "per-query attempt deadline (0 = none)")
 		retries  = flag.Int("retries", 4, "max attempts per query over the real, lossy link (1 = fail fast)")
+		hedgePct = flag.Float64("hedge-pct", 0, "hedge a probe past this latency percentile of its replica set (0 = off; needs a+b replica groups)")
 	)
 	flag.Parse()
 	if (*rAddr == "" && *rShards == "") || (*sAddr == "" && *sShards == "") {
@@ -184,10 +217,10 @@ func main() {
 	if *batch > 1 {
 		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: *batch}))
 	}
-	remR, err := dialProbe("R", *rAddr, *rShards, conns, *priceR, copts)
+	remR, err := dialProbe("R", *rAddr, *rShards, conns, *priceR, *hedgePct, copts)
 	fatal(err)
 	defer remR.Close()
-	remS, err := dialProbe("S", *sAddr, *sShards, conns, *priceS, copts)
+	remS, err := dialProbe("S", *sAddr, *sShards, conns, *priceS, *hedgePct, copts)
 	fatal(err)
 	defer remS.Close()
 
@@ -224,6 +257,10 @@ func main() {
 	fmt.Printf("monetary cost: %.6f\n", st.MoneyCost)
 	if n := remR.Retries() + remS.Retries(); n > 0 {
 		fmt.Printf("retries: %d re-issued requests (retransmissions metered)\n", n)
+	}
+	if h := st.R.HedgedWireBytes + st.S.HedgedWireBytes; h > 0 {
+		fmt.Printf("hedged: %d speculative frames, %d wire bytes (included in the totals)\n",
+			st.R.HedgedMessages+st.S.HedgedMessages, h)
 	}
 }
 

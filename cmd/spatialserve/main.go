@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	spatialserve -data hotels.spd -addr 127.0.0.1:7001 [-publish-index] [-shard i/N]
+//	spatialserve -data hotels.spd -addr 127.0.0.1:7001 [-publish-index] [-shard i/N] [-replica r/M]
 //
 // -publish-index enables the cooperative SemiJoin message types; leave it
 // off to model the paper's default non-cooperative server.
@@ -14,6 +14,13 @@
 // same partitioning the spatialjoin router expects. Boot N such processes
 // (i = 1..N) and point spatialjoin's -shards-r/-shards-s at all of them
 // to serve one relation from many servers.
+//
+// -replica r/M is a purely diagnostic label: replicas of one shard serve
+// *identical* data (that is what makes probes idempotent and hedging and
+// failover safe), so the flag only tags the server name — logs and the
+// spatialjoin per-shard accounting then show which replica answered.
+// Boot M identically-sharded processes with r = 1..M and join their
+// addresses with "+" in spatialjoin's -shards-r/-shards-s.
 //
 // On SIGINT or SIGTERM the server drains: it stops accepting connections,
 // finishes the requests already read off the sockets, and exits 0 once
@@ -38,7 +45,8 @@ import (
 	"repro/internal/shard"
 )
 
-// parseShard parses "i/N" (1-based shard index out of N).
+// parseShard parses "i/N" (a 1-based index out of N), the shared syntax
+// of -shard and -replica.
 func parseShard(s string) (i, n int, err error) {
 	a, b, ok := strings.Cut(s, "/")
 	if ok {
@@ -48,7 +56,7 @@ func parseShard(s string) (i, n int, err error) {
 		}
 	}
 	if !ok || err != nil || n < 1 || i < 1 || i > n {
-		return 0, 0, fmt.Errorf("invalid -shard %q: want i/N with 1 <= i <= N", s)
+		return 0, 0, fmt.Errorf("invalid index %q: want i/N with 1 <= i <= N", s)
 	}
 	return i, n, nil
 }
@@ -61,6 +69,7 @@ func main() {
 		name    = flag.String("name", "", "server name (defaults to the data file)")
 		drain   = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on shutdown")
 		shardNo = flag.String("shard", "", "serve shard i of N of the dataset, as \"i/N\" (1-based; default: whole dataset)")
+		replica = flag.String("replica", "", "label this process replica r of M of its shard, as \"r/M\" (name-only: replicas serve identical data)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -78,11 +87,19 @@ func main() {
 	if *shardNo != "" {
 		i, n, err := parseShard(*shardNo)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "spatialserve: %v\n", err)
+			fmt.Fprintf(os.Stderr, "spatialserve: -shard: %v\n", err)
 			os.Exit(2)
 		}
 		objs = shard.Assign(objs, n)[i-1]
 		*name = fmt.Sprintf("%s[%d/%d]", *name, i, n)
+	}
+	if *replica != "" {
+		r, m, err := parseShard(*replica)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialserve: -replica: %v\n", err)
+			os.Exit(2)
+		}
+		*name = fmt.Sprintf("%s-r%d/%d", *name, r, m)
 	}
 	var opts []server.Option
 	if *publish {

@@ -29,6 +29,10 @@ var goldenShardBytes = map[string][2][2]int{
 }
 
 func goldenShardSession(t *testing.T, name string, shards int) (*Session, Algorithm, Spec) {
+	return goldenReplicaSession(t, name, shards, 1)
+}
+
+func goldenReplicaSession(t *testing.T, name string, shards, replicas int) (*Session, Algorithm, Spec) {
 	t.Helper()
 	robjs := GaussianClusters(600, 4, 250, World, 101)
 	sobjs := GaussianClusters(600, 4, 250, World, 102)
@@ -49,7 +53,8 @@ func goldenShardSession(t *testing.T, name string, shards int) (*Session, Algori
 	bucket := len(parts) == 3 && parts[2] == "bucket"
 	sess, err := NewSession(SessionConfig{
 		R: robjs, S: sobjs, Buffer: 500, Window: World,
-		Seed: 7, Bucket: bucket, PublishIndexes: true, Shards: shards,
+		Seed: 7, Bucket: bucket, PublishIndexes: true,
+		Shards: shards, Replicas: replicas,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +116,64 @@ func TestGoldenShardedByteAccounting(t *testing.T) {
 			if ms := sess.Env().S.Usage().WireBytes; ms != got[1][0]+got[1][1] {
 				t.Errorf("%s: merged S usage %d is not the per-shard sum %d",
 					name, ms, got[1][0]+got[1][1])
+			}
+		})
+	}
+}
+
+// TestGoldenReplicatedByteAccounting pins the replicated wire exchange
+// with hedging off: every probe travels exactly one replica link, and
+// sequential runs pick replicas by the seeded rotation, so the *summed*
+// bytes of a replicated fleet are bit-identical to the single-replica
+// goldens — replication redistributes the same frames across links, it
+// never adds or reshapes traffic. Any drift in the selection policy, an
+// accidental duplicate dispatch, or a stray speculative request breaks
+// the equality (a hedge would also trip the zero hedged-column checks).
+func TestGoldenReplicatedByteAccounting(t *testing.T) {
+	for name, want := range goldenBytes {
+		t.Run("shards1-replicas2/"+name, func(t *testing.T) {
+			sess, alg, spec := goldenReplicaSession(t, name, 1, 2)
+			defer sess.Close()
+			res, err := sess.Run(alg, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := [2]int{res.Stats.R.WireBytes, res.Stats.S.WireBytes}
+			if got != want {
+				t.Errorf("%s: replicas=2 metered {R, S} = {%d, %d}, unreplicated golden {%d, %d}",
+					name, got[0], got[1], want[0], want[1])
+			}
+			if h := res.Stats.R.HedgedWireBytes + res.Stats.S.HedgedWireBytes; h != 0 {
+				t.Errorf("%s: hedging disabled, yet %d hedged wire bytes metered", name, h)
+			}
+		})
+	}
+	for name, want := range goldenShardBytes {
+		t.Run("shards2-replicas2/"+name, func(t *testing.T) {
+			sess, alg, spec := goldenReplicaSession(t, name, 2, 2)
+			defer sess.Close()
+			if _, err := sess.Run(alg, spec); err != nil {
+				t.Fatal(err)
+			}
+			// Each ShardUsages entry is now a replica set's merged usage
+			// (the sum over its two replica links); with hedging off it
+			// must still equal the single-replica per-shard golden.
+			rUse := sess.Env().R.(*shard.Router).ShardUsages()
+			sUse := sess.Env().S.(*shard.Router).ShardUsages()
+			got := [2][2]int{
+				{rUse[0].WireBytes, rUse[1].WireBytes},
+				{sUse[0].WireBytes, sUse[1].WireBytes},
+			}
+			if got != want {
+				t.Errorf("%s: shards=2 replicas=2 metered R{%d, %d} S{%d, %d}, golden R{%d, %d} S{%d, %d}",
+					name, got[0][0], got[0][1], got[1][0], got[1][1],
+					want[0][0], want[0][1], want[1][0], want[1][1])
+			}
+			for _, use := range append(rUse, sUse...) {
+				if use.HedgedWireBytes != 0 || use.HedgedMessages != 0 {
+					t.Errorf("%s: hedging disabled, yet hedged column is {%d msgs, %d bytes}",
+						name, use.HedgedMessages, use.HedgedWireBytes)
+				}
 			}
 		})
 	}

@@ -116,6 +116,16 @@ func (c *Call) frame() ([]byte, error) {
 	return resp, nil
 }
 
+// Frame waits for completion and returns the raw response frame;
+// ownership passes to the caller, which must release it with
+// bufpool.Put once decoded. Aggregators that re-route replies (a
+// replica set failing a batched probe over to a sibling replica, a
+// router completing a detached call with a sub-reply) consume calls at
+// the frame level; typed callers use the decoding accessors instead. A
+// per-sub-request MsgError sub-frame is converted to an error here,
+// exactly as the accessors would.
+func (c *Call) Frame() ([]byte, error) { return c.frame() }
+
 // Objects waits and decodes an OBJECTS response (WINDOW / RANGE probes).
 func (c *Call) Objects() ([]geom.Object, error) {
 	resp, err := c.frame()

@@ -89,6 +89,7 @@ type Remote struct {
 	m        *netsim.Meter
 	retry    RetryPolicy
 	retries  atomic.Int64
+	lat      *LatencyTracker
 	batchCfg BatchConfig
 	b        *batcher // nil when batching is disabled
 }
@@ -101,7 +102,8 @@ func NewRemote(name string, rt netsim.RoundTripper, link netsim.LinkConfig, pric
 	if err != nil {
 		return nil, fmt.Errorf("client: remote %s: %w", name, err)
 	}
-	r := &Remote{name: name, conn: netsim.NewMetered(rt, m), m: m}
+	r := &Remote{name: name, conn: netsim.NewMetered(rt, m), m: m,
+		lat: NewLatencyTracker(0)}
 	for _, o := range opts {
 		o(r)
 	}
@@ -125,6 +127,12 @@ func (r *Remote) Usage() netsim.Usage { return r.m.Usage() }
 // Retries returns how many re-issued attempts this remote has made (0 on
 // a failure-free run).
 func (r *Remote) Retries() int64 { return r.retries.Load() }
+
+// Latency returns the tracker of this remote's recent successful
+// round-trip attempt durations (one sample per attempt, windowed). The
+// replica layer reads a high quantile off it as the hedge threshold;
+// diagnostics may report p50/p99 from the same window.
+func (r *Remote) Latency() *LatencyTracker { return r.lat }
 
 // Close releases the underlying transport.
 func (r *Remote) Close() error { return r.conn.Close() }
@@ -180,9 +188,15 @@ func (r *Remote) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
 		if r.retry.PerTryTimeout > 0 {
 			tryCtx, cancel = context.WithTimeout(ctx, r.retry.PerTryTimeout)
 		}
+		t0 := time.Now()
 		resp, err := r.conn.RoundTrip(tryCtx, req)
 		cancel()
 		if err == nil {
+			// One latency sample per successful attempt: the signal the
+			// hedge threshold (a high quantile of this window) is fed by.
+			// Failed attempts are excluded — they surface as retries or
+			// failover, not as tail latency.
+			r.lat.Add(time.Since(t0))
 			if try == 0 && !bufpool.SameBacking(req, resp) {
 				bufpool.Put(req)
 			}

@@ -56,6 +56,15 @@ type Config struct {
 	// to the unsharded run; byte totals shift (one link per shard, its
 	// own INFO round trip, per-shard pruning).
 	Shards int
+	// Replicas, when > 1, serves each shard from this many identical
+	// replica servers behind a shard.ReplicaSet (round-robin load
+	// balancing with failover). Results are identical; summed byte totals
+	// match the unreplicated run when hedging stays off.
+	Replicas int
+	// HedgePct arms percentile-triggered hedged reads on the replica
+	// sets when > 0 (needs Replicas > 1). Hedge traffic costs real bytes
+	// and shifts measured totals.
+	HedgePct float64
 }
 
 // Defaults mirror §5: 1000-point datasets, buffer 800 (40% of total),
@@ -189,10 +198,10 @@ func runOnce(alg core.Algorithm, robjs, sobjs []geom.Object, cfg Config, spec co
 }
 
 // serveSide boots one relation's in-process serving stack: a single
-// server (the default), or cfg.Shards partition servers behind a
-// scatter–gather router.
+// server (the default), cfg.Shards partition servers behind a
+// scatter–gather router, and/or cfg.Replicas replica servers per shard.
 func serveSide(name string, objs []geom.Object, cfg Config, workers int, sopts []server.Option, copts []client.Option) (core.Probe, error) {
-	if cfg.Shards <= 1 {
+	if cfg.Shards <= 1 && cfg.Replicas <= 1 {
 		tr := netsim.ServeParallel(server.New(name, objs, sopts...), workers)
 		rem, err := client.NewRemote(name, tr, netsim.DefaultLink(), 1, copts...)
 		if err != nil {
@@ -201,7 +210,11 @@ func serveSide(name string, objs []geom.Object, cfg Config, workers int, sopts [
 		}
 		return rem, nil
 	}
-	return shard.ServeLocal(name, objs, cfg.Shards, workers, netsim.DefaultLink(), 1, sopts, copts)
+	return shard.ServeLocal(name, objs, shard.LocalConfig{
+		Shards: cfg.Shards, Replicas: cfg.Replicas, Workers: workers,
+		HedgePct: cfg.HedgePct, Link: netsim.DefaultLink(), Price: 1,
+		ServerOpts: sopts, ClientOpts: copts,
+	})
 }
 
 // synthPair generates the run's two synthetic datasets with independent

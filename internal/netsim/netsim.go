@@ -108,18 +108,30 @@ type Usage struct {
 	DownWireBytes int
 	// Queries counts uplink frames (each uplink frame is one query).
 	Queries int
+	// HedgedMessages and HedgedWireBytes sub-account the frames charged
+	// on speculative hedge attempts (round trips issued under a
+	// WithHedged context by a replica set racing a straggling primary).
+	// They are included in Messages/WireBytes — a hedge costs real bytes
+	// per Eq. (1) like any transfer — so primary traffic is always
+	// WireBytes − HedgedWireBytes, keeping the bill decomposable into
+	// "what an unhedged run would have paid" plus "what the tail
+	// insurance cost".
+	HedgedMessages  int
+	HedgedWireBytes int
 }
 
 // Add returns the element-wise sum of two usage snapshots.
 func (u Usage) Add(v Usage) Usage {
 	return Usage{
-		Messages:      u.Messages + v.Messages,
-		PayloadBytes:  u.PayloadBytes + v.PayloadBytes,
-		WireBytes:     u.WireBytes + v.WireBytes,
-		Packets:       u.Packets + v.Packets,
-		UpWireBytes:   u.UpWireBytes + v.UpWireBytes,
-		DownWireBytes: u.DownWireBytes + v.DownWireBytes,
-		Queries:       u.Queries + v.Queries,
+		Messages:        u.Messages + v.Messages,
+		PayloadBytes:    u.PayloadBytes + v.PayloadBytes,
+		WireBytes:       u.WireBytes + v.WireBytes,
+		Packets:         u.Packets + v.Packets,
+		UpWireBytes:     u.UpWireBytes + v.UpWireBytes,
+		DownWireBytes:   u.DownWireBytes + v.DownWireBytes,
+		Queries:         u.Queries + v.Queries,
+		HedgedMessages:  u.HedgedMessages + v.HedgedMessages,
+		HedgedWireBytes: u.HedgedWireBytes + v.HedgedWireBytes,
 	}
 }
 
@@ -135,13 +147,15 @@ type Meter struct {
 	// monetary cost. The experiments use equal prices.
 	price float64
 
-	messages      atomic.Int64
-	payloadBytes  atomic.Int64
-	wireBytes     atomic.Int64
-	packets       atomic.Int64
-	upWireBytes   atomic.Int64
-	downWireBytes atomic.Int64
-	queries       atomic.Int64
+	messages        atomic.Int64
+	payloadBytes    atomic.Int64
+	wireBytes       atomic.Int64
+	packets         atomic.Int64
+	upWireBytes     atomic.Int64
+	downWireBytes   atomic.Int64
+	queries         atomic.Int64
+	hedgedMessages  atomic.Int64
+	hedgedWireBytes atomic.Int64
 }
 
 // NewMeter returns a Meter for the given link and per-byte price. An
@@ -178,16 +192,27 @@ func (m *Meter) Charge(payload int, dir Direction) int {
 	return wire
 }
 
+// MarkHedged sub-accounts one already-charged frame of wire bytes as
+// hedge traffic. The Metered wrapper calls it for every frame charged
+// under a WithHedged context; the bytes stay in the main totals, this
+// only tags them in the hedged column.
+func (m *Meter) MarkHedged(wire int) {
+	m.hedgedMessages.Add(1)
+	m.hedgedWireBytes.Add(int64(wire))
+}
+
 // Usage returns a snapshot of the accumulated accounting.
 func (m *Meter) Usage() Usage {
 	return Usage{
-		Messages:      int(m.messages.Load()),
-		PayloadBytes:  int(m.payloadBytes.Load()),
-		WireBytes:     int(m.wireBytes.Load()),
-		Packets:       int(m.packets.Load()),
-		UpWireBytes:   int(m.upWireBytes.Load()),
-		DownWireBytes: int(m.downWireBytes.Load()),
-		Queries:       int(m.queries.Load()),
+		Messages:        int(m.messages.Load()),
+		PayloadBytes:    int(m.payloadBytes.Load()),
+		WireBytes:       int(m.wireBytes.Load()),
+		Packets:         int(m.packets.Load()),
+		UpWireBytes:     int(m.upWireBytes.Load()),
+		DownWireBytes:   int(m.downWireBytes.Load()),
+		Queries:         int(m.queries.Load()),
+		HedgedMessages:  int(m.hedgedMessages.Load()),
+		HedgedWireBytes: int(m.hedgedWireBytes.Load()),
 	}
 }
 
@@ -200,6 +225,8 @@ func (m *Meter) Reset() {
 	m.upWireBytes.Store(0)
 	m.downWireBytes.Store(0)
 	m.queries.Store(0)
+	m.hedgedMessages.Store(0)
+	m.hedgedWireBytes.Store(0)
 }
 
 // Cost returns the monetary cost of the traffic so far: price × WireBytes.
@@ -239,6 +266,24 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// hedgedKey marks a context as belonging to a speculative hedge attempt.
+type hedgedKey struct{}
+
+// WithHedged returns a context under which every metered frame is
+// sub-accounted in the link's hedged column. Replica sets wrap the
+// context of a secondary (hedge) attempt with it, so all traffic the
+// attempt causes — including retries — is visible as tail-insurance
+// spend in the Usage breakdown.
+func WithHedged(ctx context.Context) context.Context {
+	return context.WithValue(ctx, hedgedKey{}, true)
+}
+
+// IsHedged reports whether ctx marks a hedge attempt.
+func IsHedged(ctx context.Context) bool {
+	v, _ := ctx.Value(hedgedKey{}).(bool)
+	return v
+}
+
 // Metered wraps a RoundTripper, charging every request and response to a
 // Meter. It is the only path by which algorithm traffic reaches a server,
 // so no transfer escapes accounting. Metered is safe for concurrent use
@@ -262,7 +307,11 @@ func (c *Metered) Meter() *Meter { return c.m }
 // any other uplink frame (Eq. 1). Responses are charged only when they
 // actually arrive.
 func (c *Metered) RoundTrip(ctx context.Context, req []byte) ([]byte, error) {
-	c.m.Charge(len(req), Up)
+	hedged := IsHedged(ctx)
+	wire := c.m.Charge(len(req), Up)
+	if hedged {
+		c.m.MarkHedged(wire)
+	}
 	if rtt := c.m.link.RTT; rtt > 0 {
 		if err := sleepCtx(ctx, rtt); err != nil {
 			return nil, err
@@ -272,7 +321,10 @@ func (c *Metered) RoundTrip(ctx context.Context, req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.m.Charge(len(resp), Down)
+	wire = c.m.Charge(len(resp), Down)
+	if hedged {
+		c.m.MarkHedged(wire)
+	}
 	return resp, nil
 }
 

@@ -9,40 +9,101 @@ import (
 	"repro/internal/server"
 )
 
+// LocalConfig parameterizes ServeLocal's in-process fleet.
+type LocalConfig struct {
+	// Shards is the partition count (< 1 means 1: unsharded).
+	Shards int
+	// Replicas is the number of identical servers per shard (< 1 means
+	// 1: no replication). With more than one, each shard is wired behind
+	// a ReplicaSet instead of a bare Remote.
+	Replicas int
+	// Workers sizes each server's goroutine pool and the router's
+	// scatter parallelism (< 1 means 1).
+	Workers int
+	// HedgePct enables percentile-triggered hedged reads on each
+	// replica set when > 0 (ignored with a single replica).
+	HedgePct float64
+	// Link and Price configure every device↔server meter identically.
+	Link  netsim.LinkConfig
+	Price float64
+	// ServerOpts and ClientOpts apply to every server and remote.
+	ServerOpts []server.Option
+	ClientOpts []client.Option
+}
+
 // ServeLocal boots one relation's in-process sharded serving stack: the
-// dataset is partitioned with Assign, each partition gets its own server
-// (workers goroutines each) and metered remote over link at price, and
-// the remotes are wired behind a Router whose scatter parallelism is
-// workers. Shard servers and remotes are named "<name>i/n" (plain name
-// when n == 1, whose router is the bit-identical pass-through). Both the
-// repro session and the experiment harness assemble their sharded
-// relations through this one constructor, so the boot sequence cannot
-// diverge between them.
-func ServeLocal(name string, objs []geom.Object, shards, workers int, link netsim.LinkConfig, price float64, sopts []server.Option, copts []client.Option) (*Router, error) {
+// dataset is partitioned with Assign, each partition gets cfg.Replicas
+// identical servers (cfg.Workers goroutines each) with a metered remote
+// over cfg.Link at cfg.Price, and the endpoints are wired behind a
+// Router whose scatter parallelism is cfg.Workers. Shard servers are
+// named "<name>i/n" (plain name when n == 1, whose router is the
+// bit-identical pass-through); replica servers append "-rj", e.g.
+// "R1/2-r2". Both the repro session and the experiment harness assemble
+// their sharded relations through this one constructor, so the boot
+// sequence cannot diverge between them.
+func ServeLocal(name string, objs []geom.Object, cfg LocalConfig) (*Router, error) {
+	shards := max(cfg.Shards, 1)
+	replicas := max(cfg.Replicas, 1)
+	workers := max(cfg.Workers, 1)
 	parts := Assign(objs, shards)
-	rems := make([]*client.Remote, len(parts))
+	eps := make([]Endpoint, len(parts))
 	fail := func(err error) (*Router, error) {
-		for _, r := range rems {
-			if r != nil {
-				r.Close()
+		for _, e := range eps {
+			if e != nil {
+				e.Close()
 			}
 		}
 		return nil, err
+	}
+	boot := func(sname string, part []geom.Object) (*client.Remote, error) {
+		rt := netsim.ServeParallel(server.New(sname, part, cfg.ServerOpts...), workers)
+		rem, err := client.NewRemote(sname, rt, cfg.Link, cfg.Price, cfg.ClientOpts...)
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		return rem, nil
 	}
 	for i, part := range parts {
 		sname := name
 		if len(parts) > 1 {
 			sname = fmt.Sprintf("%s%d/%d", name, i+1, len(parts))
 		}
-		rt := netsim.ServeParallel(server.New(sname, part, sopts...), workers)
-		rem, err := client.NewRemote(sname, rt, link, price, copts...)
+		if replicas == 1 {
+			rem, err := boot(sname, part)
+			if err != nil {
+				return fail(err)
+			}
+			eps[i] = rem
+			continue
+		}
+		rems := make([]*client.Remote, 0, replicas)
+		for j := 0; j < replicas; j++ {
+			rem, err := boot(fmt.Sprintf("%s-r%d", sname, j+1), part)
+			if err != nil {
+				for _, r := range rems {
+					r.Close()
+				}
+				return fail(err)
+			}
+			rems = append(rems, rem)
+		}
+		// Seeding the rotation by shard index keeps replica selection a
+		// pure function of the boot layout, so sequential runs replay the
+		// exact same request schedule (the goldens depend on it).
+		rset, err := NewReplicaSet(sname, rems, ReplicaConfig{
+			HedgePct: cfg.HedgePct,
+			Seed:     int64(i),
+		})
 		if err != nil {
-			rt.Close()
+			for _, r := range rems {
+				r.Close()
+			}
 			return fail(err)
 		}
-		rems[i] = rem
+		eps[i] = rset
 	}
-	router, err := NewRouter(name, rems, WithParallelism(workers))
+	router, err := NewRouter(name, eps, WithParallelism(workers))
 	if err != nil {
 		return fail(err)
 	}

@@ -1,0 +1,437 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/client"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// This file makes each shard a replica set. A ReplicaSet presents N
+// servers holding the *same* partition as one logical endpoint with
+// three behaviours a single Remote cannot offer:
+//
+//   - Load balancing: every probe is assigned a primary replica by a
+//     deterministic rotation (seeded round-robin), spreading the read
+//     load evenly — no replica starves, and a sequential run issues a
+//     reproducible request schedule, which the byte goldens rely on.
+//
+//   - Hedged reads: when a probe has been in flight longer than a high
+//     percentile of the recent attempt-latency window (HedgePct, fed by
+//     the client.LatencyTracker), the same probe is speculatively
+//     re-issued on the next replica. The first reply wins; the loser is
+//     cancelled through the context plumbing and its traffic is
+//     sub-accounted in the meter's hedged column. Every query in the
+//     protocol is idempotent, so racing two replicas is always
+//     semantically safe — the reply is consumed exactly once, never
+//     merged twice.
+//
+//   - Failover: a replica that drops the request, severs the
+//     connection, or is simply dead fails the attempt; the probe is
+//     re-issued on the next untried replica. Only terminal failures
+//     (parent context cancelled, transport closed by us) propagate.
+//
+// A ReplicaSet implements the same query surface as client.Remote
+// (core.Probe / shard.Endpoint), so it slots under the scatter–gather
+// Router unchanged: a fleet of S shards × R replicas serves every
+// algorithm unmodified. With a single replica every call delegates
+// verbatim to the one Remote — bit-identical on the wire, pinned by the
+// goldens.
+
+// ReplicaConfig parameterizes a ReplicaSet.
+type ReplicaConfig struct {
+	// HedgePct, when > 0, enables hedged reads: a probe still in flight
+	// after the HedgePct-th percentile of the recent latency window is
+	// raced against the next replica. 95 is a sane production value —
+	// roughly one probe in twenty pays a second request for a shot at
+	// cutting the tail.
+	HedgePct float64
+	// HedgeAfter overrides the percentile threshold with a fixed delay
+	// when positive. A negative value hedges every probe immediately
+	// with no timer — deterministic total speculation, for tests and
+	// goldens that pin the hedged-bytes column.
+	HedgeAfter time.Duration
+	// MinSamples gates percentile hedging until the latency window has
+	// at least this many observations (default 16): a threshold derived
+	// from a handful of samples is noise.
+	MinSamples int
+	// Seed offsets the round-robin rotation, so the primary-selection
+	// schedule is a pure function of (Seed, probe sequence).
+	Seed int64
+}
+
+// ReplicaStats counts the replica-layer decisions of one set. Every
+// launched hedge resolves exactly once as a win (the speculative reply
+// was consumed) or a loss (it was cancelled, or it failed), so after
+// quiescence Hedges == HedgeWins + HedgeLosses — the property suite
+// pins this.
+type ReplicaStats struct {
+	// Hedges counts speculative secondary attempts launched.
+	Hedges int64
+	// HedgeWins counts hedges whose reply won the race and was consumed.
+	HedgeWins int64
+	// HedgeLosses counts hedges cancelled or failed; their reply was
+	// never consumed.
+	HedgeLosses int64
+	// Failovers counts probes re-issued on a sibling replica after a
+	// transport fault.
+	Failovers int64
+}
+
+// ReplicaSet serves one shard from several identical replica servers,
+// implementing the full Endpoint/core.Probe query surface.
+type ReplicaSet struct {
+	name     string
+	replicas []*client.Remote
+	cfg      ReplicaConfig
+	next     atomic.Uint64
+	lat      *client.LatencyTracker
+
+	hedges, hedgeWins, hedgeLosses, failovers atomic.Int64
+}
+
+// NewReplicaSet assembles a replica set named name over the given
+// replicas, which must serve identical data over links with one shared
+// per-byte tariff.
+func NewReplicaSet(name string, replicas []*client.Remote, cfg ReplicaConfig) (*ReplicaSet, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("shard: replica set %s needs at least one replica", name)
+	}
+	price := replicas[0].PricePerByte()
+	for _, r := range replicas[1:] {
+		if r.PricePerByte() != price {
+			return nil, fmt.Errorf("shard: replica set %s: replica tariffs differ (%v vs %v)",
+				name, price, r.PricePerByte())
+		}
+	}
+	rs := &ReplicaSet{name: name, replicas: replicas, cfg: cfg,
+		lat: client.NewLatencyTracker(0)}
+	n := int64(len(replicas))
+	rs.next.Store(uint64(((cfg.Seed % n) + n) % n))
+	return rs, nil
+}
+
+// Name returns the replica set's diagnostic name (the shard's).
+func (rs *ReplicaSet) Name() string { return rs.name }
+
+// Replicas exposes the replica remotes (tests and diagnostics).
+func (rs *ReplicaSet) Replicas() []*client.Remote { return rs.replicas }
+
+// Stats returns the replica-layer decision counters.
+func (rs *ReplicaSet) Stats() ReplicaStats {
+	return ReplicaStats{
+		Hedges:      rs.hedges.Load(),
+		HedgeWins:   rs.hedgeWins.Load(),
+		HedgeLosses: rs.hedgeLosses.Load(),
+		Failovers:   rs.failovers.Load(),
+	}
+}
+
+// Latency returns the set's attempt-latency window (primary attempts
+// only; hedges would bias the tail the threshold is derived from).
+func (rs *ReplicaSet) Latency() *client.LatencyTracker { return rs.lat }
+
+// Usage returns the shard's accumulated traffic: the sum over all
+// replica links (every netsim.Usage field, the hedged column included,
+// is an additive total).
+func (rs *ReplicaSet) Usage() netsim.Usage {
+	var sum netsim.Usage
+	for _, r := range rs.replicas {
+		sum = sum.Add(r.Usage())
+	}
+	return sum
+}
+
+// PricePerByte returns the shared per-byte tariff of the replica links.
+func (rs *ReplicaSet) PricePerByte() float64 { return rs.replicas[0].PricePerByte() }
+
+// Retries sums the re-issued attempts across all replica links.
+func (rs *ReplicaSet) Retries() int64 {
+	var n int64
+	for _, r := range rs.replicas {
+		n += r.Retries()
+	}
+	return n
+}
+
+// Close releases every replica transport, returning the first error.
+func (rs *ReplicaSet) Close() error {
+	var first error
+	for _, r := range rs.replicas {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// hedgeDelay resolves the current hedge threshold: a fixed override, an
+// unconditional hedge (HedgeAfter < 0), or the configured percentile of
+// the latency window once enough samples exist.
+func (rs *ReplicaSet) hedgeDelay() (time.Duration, bool) {
+	if rs.cfg.HedgeAfter < 0 {
+		return 0, true
+	}
+	if rs.cfg.HedgeAfter > 0 {
+		return rs.cfg.HedgeAfter, true
+	}
+	if rs.cfg.HedgePct <= 0 {
+		return 0, false
+	}
+	min := rs.cfg.MinSamples
+	if min <= 0 {
+		min = 16
+	}
+	return rs.lat.Quantile(rs.cfg.HedgePct, min)
+}
+
+// failoverable reports whether a failed attempt may move to a sibling
+// replica: transient transport faults are; a transport we closed
+// ourselves is not (mirrors the Remote's retry gate).
+func failoverable(err error) bool {
+	return !errors.Is(err, netsim.ErrClosed)
+}
+
+// probe runs one idempotent query against the set: primary by rotation,
+// hedged after the threshold, failed over on transport faults. The
+// winning reply is consumed exactly once; the losing attempt is
+// cancelled when probe returns (the deferred cancel — the PR 3 context
+// plumbing reaches every transport) and its buffered completion is
+// dropped, so no goroutine outlives the probe beyond its cancellation.
+func probe[T any](ctx context.Context, rs *ReplicaSet, f func(ctx context.Context, rem *client.Remote) (T, error)) (T, error) {
+	var zero T
+	n := len(rs.replicas)
+	if n == 1 {
+		return f(ctx, rs.replicas[0])
+	}
+	if err := ctx.Err(); err != nil {
+		return zero, fmt.Errorf("%s: %w", rs.name, err)
+	}
+	start := int(rs.next.Add(1)-1) % n
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		val    T
+		err    error
+		hedged bool
+	}
+	// Buffered to the attempt budget: a losing attempt's completion
+	// never blocks its goroutine, even after probe has returned.
+	ch := make(chan outcome, n)
+	tried, inflight := 0, 0
+	launch := func(hedged bool) {
+		rem := rs.replicas[(start+tried)%n]
+		tried++
+		inflight++
+		actx := pctx
+		if hedged {
+			actx = netsim.WithHedged(pctx)
+			rs.hedges.Add(1)
+		}
+		go func() {
+			t0 := time.Now()
+			v, err := f(actx, rem)
+			if err == nil && !hedged {
+				rs.lat.Add(time.Since(t0))
+			}
+			ch <- outcome{val: v, err: err, hedged: hedged}
+		}()
+	}
+	launch(false)
+	var hedgeC <-chan time.Time
+	hedgeLaunched, hedgeResolved := false, false
+	if d, ok := rs.hedgeDelay(); ok {
+		if d <= 0 {
+			launch(true)
+			hedgeLaunched = true
+		} else {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			hedgeC = t.C
+		}
+	}
+	var firstErr error
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if tried < n {
+				launch(true)
+				hedgeLaunched = true
+			}
+		case out := <-ch:
+			inflight--
+			if out.err == nil {
+				if out.hedged {
+					rs.hedgeWins.Add(1)
+				} else if hedgeLaunched && !hedgeResolved {
+					// The speculative attempt lost the race: it is
+					// cancelled by the deferred cancel and counted here,
+					// exactly once.
+					rs.hedgeLosses.Add(1)
+				}
+				return out.val, nil
+			}
+			if out.hedged {
+				hedgeResolved = true
+				rs.hedgeLosses.Add(1)
+			}
+			if firstErr == nil ||
+				(errors.Is(firstErr, context.Canceled) && !errors.Is(out.err, context.Canceled)) {
+				firstErr = out.err
+			}
+			if ctx.Err() == nil && failoverable(out.err) && tried < n {
+				rs.failovers.Add(1)
+				launch(false)
+			}
+			if inflight == 0 {
+				return zero, firstErr
+			}
+		}
+	}
+}
+
+// --- the Endpoint / core.Probe query surface ------------------------------
+
+// Info returns the shard's advertised metadata (replicas are identical,
+// so any replica's answer is the shard's).
+func (rs *ReplicaSet) Info(ctx context.Context) (wire.Info, error) {
+	return probe(ctx, rs, func(ctx context.Context, rem *client.Remote) (wire.Info, error) {
+		return rem.Info(ctx)
+	})
+}
+
+// Count returns the number of objects intersecting w.
+func (rs *ReplicaSet) Count(ctx context.Context, w geom.Rect) (int, error) {
+	return probe(ctx, rs, func(ctx context.Context, rem *client.Remote) (int, error) {
+		return rem.Count(ctx, w)
+	})
+}
+
+// Window returns all objects intersecting w.
+func (rs *ReplicaSet) Window(ctx context.Context, w geom.Rect) ([]geom.Object, error) {
+	return probe(ctx, rs, func(ctx context.Context, rem *client.Remote) ([]geom.Object, error) {
+		return rem.Window(ctx, w)
+	})
+}
+
+// AvgArea returns the mean MBR area of objects intersecting w.
+func (rs *ReplicaSet) AvgArea(ctx context.Context, w geom.Rect) (float64, error) {
+	return probe(ctx, rs, func(ctx context.Context, rem *client.Remote) (float64, error) {
+		return rem.AvgArea(ctx, w)
+	})
+}
+
+// Range returns the objects within distance eps of p.
+func (rs *ReplicaSet) Range(ctx context.Context, p geom.Point, eps float64) ([]geom.Object, error) {
+	return probe(ctx, rs, func(ctx context.Context, rem *client.Remote) ([]geom.Object, error) {
+		return rem.Range(ctx, p, eps)
+	})
+}
+
+// RangeCount returns the number of objects within distance eps of p.
+func (rs *ReplicaSet) RangeCount(ctx context.Context, p geom.Point, eps float64) (int, error) {
+	return probe(ctx, rs, func(ctx context.Context, rem *client.Remote) (int, error) {
+		return rem.RangeCount(ctx, p, eps)
+	})
+}
+
+// BucketRange submits many ε-range probes at once.
+func (rs *ReplicaSet) BucketRange(ctx context.Context, pts []geom.Point, eps float64) ([][]geom.Object, error) {
+	return probe(ctx, rs, func(ctx context.Context, rem *client.Remote) ([][]geom.Object, error) {
+		return rem.BucketRange(ctx, pts, eps)
+	})
+}
+
+// BucketRangeCount is the aggregate variant of BucketRange.
+func (rs *ReplicaSet) BucketRangeCount(ctx context.Context, pts []geom.Point, eps float64) ([]int64, error) {
+	return probe(ctx, rs, func(ctx context.Context, rem *client.Remote) ([]int64, error) {
+		return rem.BucketRangeCount(ctx, pts, eps)
+	})
+}
+
+// LevelMBRs returns the MBRs of one R-tree level (SemiJoin only).
+func (rs *ReplicaSet) LevelMBRs(ctx context.Context, level int) ([]geom.Rect, error) {
+	return probe(ctx, rs, func(ctx context.Context, rem *client.Remote) ([]geom.Rect, error) {
+		return rem.LevelMBRs(ctx, level)
+	})
+}
+
+// MBRMatch returns the distinct objects intersecting (within eps of)
+// any of the rects (SemiJoin only).
+func (rs *ReplicaSet) MBRMatch(ctx context.Context, rects []geom.Rect, eps float64) ([]geom.Object, error) {
+	return probe(ctx, rs, func(ctx context.Context, rem *client.Remote) ([]geom.Object, error) {
+		return rem.MBRMatch(ctx, rects, eps)
+	})
+}
+
+// UploadJoin ships objects to the shard and returns the join pairs
+// (SemiJoin only; a pure query server-side, so it is as idempotent as
+// the rest of the protocol).
+func (rs *ReplicaSet) UploadJoin(ctx context.Context, objs []geom.Object, eps float64) ([]geom.Pair, error) {
+	return probe(ctx, rs, func(ctx context.Context, rem *client.Remote) ([]geom.Pair, error) {
+		return rem.UploadJoin(ctx, objs, eps)
+	})
+}
+
+// GoBatch routes each pre-encoded probe frame to its rotation-selected
+// primary replica's batcher, so frames bound for the same replica link
+// still coalesce into MsgBatch envelopes there. A failed sub-call fails
+// over to the next replica (the envelope retry inside the Remote runs
+// first; this layer moves to a sibling when the link itself is beyond
+// retry). Batched probes are not hedged — a batcher intentionally
+// delays dispatch, so an in-flight-time threshold would hedge every
+// lingering frame; failover covers the availability story and the
+// synchronous path covers the tail.
+func (rs *ReplicaSet) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call {
+	n := len(rs.replicas)
+	if n == 1 {
+		return rs.replicas[0].GoBatch(ctx, reqs)
+	}
+	calls := make([]*client.Call, len(reqs))
+	for i, req := range reqs {
+		c := client.NewDetachedCall(rs.name)
+		calls[i] = c
+		start := int(rs.next.Add(1)-1) % n
+		// Private copy for failover: submitting a frame passes its
+		// ownership to the batcher, so a retry on a sibling needs its own.
+		spare := append(bufpool.Get(), req...)
+		sub := rs.replicas[start].GoBatch(ctx, [][]byte{req})[0]
+		go func() {
+			resp, err := sub.Frame()
+			for k := 1; err != nil && k < n && ctx.Err() == nil && failoverable(err); k++ {
+				rs.failovers.Add(1)
+				var frame []byte
+				if k == n-1 {
+					frame, spare = spare, nil // last attempt consumes the spare
+				} else {
+					frame = append(bufpool.Get(), spare...)
+				}
+				rem := rs.replicas[(start+k)%n]
+				next := rem.GoBatch(ctx, [][]byte{frame})[0]
+				rem.Flush()
+				resp, err = next.Frame()
+			}
+			if spare != nil {
+				bufpool.Put(spare)
+			}
+			c.CompleteFrame(resp, err)
+		}()
+	}
+	return calls
+}
+
+// Flush dispatches whatever is pending in every replica link's batcher.
+func (rs *ReplicaSet) Flush() {
+	for _, r := range rs.replicas {
+		r.Flush()
+	}
+}

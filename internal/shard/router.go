@@ -15,6 +15,44 @@ import (
 	"repro/internal/wire"
 )
 
+// Endpoint is the query surface the router scatters over — the same
+// method set client.Remote exposes (and core.Probe demands). Two
+// implementations exist: *client.Remote (one shard behind one metered
+// link, the PR 5 shape) and *ReplicaSet (one shard behind N replica
+// links with load balancing, hedging, and failover). The router is
+// indifferent: scatter–gather, routing pruning, and batched multiplexing
+// compose identically over either.
+type Endpoint interface {
+	Name() string
+	Info(ctx context.Context) (wire.Info, error)
+	Count(ctx context.Context, w geom.Rect) (int, error)
+	Window(ctx context.Context, w geom.Rect) ([]geom.Object, error)
+	AvgArea(ctx context.Context, w geom.Rect) (float64, error)
+	Range(ctx context.Context, p geom.Point, eps float64) ([]geom.Object, error)
+	RangeCount(ctx context.Context, p geom.Point, eps float64) (int, error)
+	BucketRange(ctx context.Context, pts []geom.Point, eps float64) ([][]geom.Object, error)
+	BucketRangeCount(ctx context.Context, pts []geom.Point, eps float64) ([]int64, error)
+	LevelMBRs(ctx context.Context, level int) ([]geom.Rect, error)
+	MBRMatch(ctx context.Context, rects []geom.Rect, eps float64) ([]geom.Object, error)
+	UploadJoin(ctx context.Context, objs []geom.Object, eps float64) ([]geom.Pair, error)
+	GoBatch(ctx context.Context, reqs [][]byte) []*client.Call
+	Flush()
+	Usage() netsim.Usage
+	PricePerByte() float64
+	Retries() int64
+	Close() error
+}
+
+// Remotes adapts a slice of shard remotes to the Endpoint slice
+// NewRouter consumes (the replica-free wiring).
+func Remotes(rems []*client.Remote) []Endpoint {
+	out := make([]Endpoint, len(rems))
+	for i, r := range rems {
+		out[i] = r
+	}
+	return out
+}
+
 // Router presents N shard servers as one logical relation: it implements
 // the same query surface as client.Remote (core.Probe), so every core
 // algorithm runs unmodified against a sharded relation. Queries scatter
@@ -48,7 +86,7 @@ import (
 // both.
 type Router struct {
 	name   string
-	shards []*client.Remote
+	shards []Endpoint
 	par    int // max concurrent sub-queries per scatter; 0 = all shards
 
 	// Shard metadata for routing, fetched once (one INFO per shard link,
@@ -73,11 +111,12 @@ func WithParallelism(n int) RouterOption {
 	return func(r *Router) { r.par = n }
 }
 
-// NewRouter assembles a router named name over the given shard remotes.
-// All shard links must share one per-byte tariff: the money-cost account
-// (Eq. 1 × price) is computed from the merged usage, which is only exact
-// under a uniform price.
-func NewRouter(name string, shards []*client.Remote, opts ...RouterOption) (*Router, error) {
+// NewRouter assembles a router named name over the given shard
+// endpoints (plain remotes or replica sets — see Remotes for the
+// former). All shard links must share one per-byte tariff: the
+// money-cost account (Eq. 1 × price) is computed from the merged usage,
+// which is only exact under a uniform price.
+func NewRouter(name string, shards []Endpoint, opts ...RouterOption) (*Router, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("shard: router %s needs at least one shard", name)
 	}
@@ -98,8 +137,8 @@ func NewRouter(name string, shards []*client.Remote, opts ...RouterOption) (*Rou
 // Name returns the router's diagnostic name.
 func (r *Router) Name() string { return r.name }
 
-// Shards exposes the shard remotes (tests and diagnostics).
-func (r *Router) Shards() []*client.Remote { return r.shards }
+// Shards exposes the shard endpoints (tests and diagnostics).
+func (r *Router) Shards() []Endpoint { return r.shards }
 
 // NumShards returns the shard count.
 func (r *Router) NumShards() int { return len(r.shards) }

@@ -36,7 +36,7 @@ func newTestRouter(t testing.TB, objs []geom.Object, n int, copts []client.Optio
 		}
 		rems[i] = rem
 	}
-	router, err := NewRouter("D", rems, ropts...)
+	router, err := NewRouter("D", Remotes(rems), ropts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +430,7 @@ func TestRouterShardFailureSurfacesRootCause(t *testing.T) {
 		}
 		rems[i] = rem
 	}
-	router, err := NewRouter("D", rems)
+	router, err := NewRouter("D", Remotes(rems))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,7 +500,7 @@ func TestRouterCancelMidScatter(t *testing.T) {
 		}
 		rems[i] = rem
 	}
-	router, err := NewRouter("D", rems)
+	router, err := NewRouter("D", Remotes(rems))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -564,7 +564,7 @@ func TestRouterRejectsMixedTariffs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	if _, err := NewRouter("D", []*client.Remote{a, b}); err == nil {
+	if _, err := NewRouter("D", Remotes([]*client.Remote{a, b})); err == nil {
 		t.Fatal("NewRouter accepted mixed tariffs")
 	}
 	if _, err := NewRouter("D", nil); err == nil {

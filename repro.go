@@ -192,6 +192,23 @@ type SessionConfig struct {
 	// (one link per shard, its own INFO, per-shard pruning) and are pinned
 	// by their own golden test.
 	Shards int
+	// Replicas, when > 1, serves every shard (or the whole relation when
+	// unsharded) from this many identical replica servers behind a
+	// shard.ReplicaSet: probes load-balance round-robin across the
+	// replica links, fail over to a sibling replica on transport faults
+	// (after the per-link Retry policy is exhausted), and — with HedgePct
+	// set — hedge stragglers against a second replica. 0 or 1 keeps one
+	// server per shard. Each probe still travels exactly one replica link
+	// (absent hedges), so the summed byte totals match the unreplicated
+	// goldens bit for bit.
+	Replicas int
+	// HedgePct, when > 0 (e.g. 95), arms hedged reads on every replica
+	// set: a probe still in flight past that percentile of the recent
+	// attempt-latency window is raced against the next replica,
+	// fastest-of-two, loser cancelled. Hedge traffic costs real bytes and
+	// is sub-accounted in Stats (Usage.HedgedWireBytes). Ignored unless
+	// Replicas > 1.
+	HedgePct float64
 }
 
 // Session is a ready-to-run device↔servers assembly using in-process
@@ -231,15 +248,23 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: cfg.BatchSize}))
 	}
 	var remR, remS core.Probe
-	if cfg.Shards >= 1 {
-		// The relation is served sharded: cfg.Shards partition servers
-		// behind a scatter–gather router (the 1-shard router is a pure
+	if cfg.Shards >= 1 || cfg.Replicas > 1 {
+		// The relation is served sharded and/or replicated: partition
+		// servers behind a scatter–gather router, each shard optionally a
+		// replica set (the 1-shard, 1-replica router is a pure
 		// pass-through, bit-identical on the wire to a direct remote).
-		routerR, err := shard.ServeLocal("R", cfg.R, cfg.Shards, workers, link, cfg.PriceR, opts, copts)
+		lcfg := shard.LocalConfig{
+			Shards: cfg.Shards, Replicas: cfg.Replicas, Workers: workers,
+			HedgePct: cfg.HedgePct, Link: link,
+			ServerOpts: opts, ClientOpts: copts,
+		}
+		lcfg.Price = cfg.PriceR
+		routerR, err := shard.ServeLocal("R", cfg.R, lcfg)
 		if err != nil {
 			return nil, fmt.Errorf("repro: %w", err)
 		}
-		routerS, err := shard.ServeLocal("S", cfg.S, cfg.Shards, workers, link, cfg.PriceS, opts, copts)
+		lcfg.Price = cfg.PriceS
+		routerS, err := shard.ServeLocal("S", cfg.S, lcfg)
 		if err != nil {
 			routerR.Close()
 			return nil, fmt.Errorf("repro: %w", err)

@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
 # End-to-end smoke: build the binaries, boot two spatialserve instances
-# (plus a 2×2 sharded fleet), run spatialjoin against them over real TCP
-# — unsharded, batched, and sharded, all producing the identical pair set
-# — then SIGTERM every server and assert a clean drain. CI runs this on
-# every push; it is also the quickest local sanity check that the
-# deployable stack works.
+# (plus a 2×2 sharded fleet and a 2-shard × 2-replica fleet), run
+# spatialjoin against them over real TCP — unsharded, batched, sharded,
+# and replicated with one replica SIGKILLed mid-join, all producing the
+# identical pair set — then SIGTERM every surviving server and assert a
+# clean drain. CI runs this on every push; it is also the quickest local
+# sanity check that the deployable stack works.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 declare -a pids=()
+victim_pid=""
 cleanup() {
   for pid in "${pids[@]:-}"; do
     kill -9 "$pid" 2>/dev/null || true
   done
+  [ -n "$victim_pid" ] && kill -9 "$victim_pid" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -99,6 +102,60 @@ diff -u "$workdir/pairs.plain" "$workdir/pairs.sharded" \
   || { echo "sharded join diverged from unsharded result"; exit 1; }
 echo "sharded result identical ($(wc -l < "$workdir/pairs.sharded") pairs)"
 
+echo "== boot 2-shard x 2-replica fleet"
+# Every shard of both relations is served by two replica processes with
+# identical data (-replica r/M is a name-only label); spatialjoin joins
+# the replica addresses of one shard with "+". The second replica of R's
+# first shard is the designated victim: it is SIGKILLed while the join is
+# running, and the replica set must fail the affected probes over to its
+# sibling without changing a single result pair.
+declare -A rep_addr=(
+  [r1a]=127.0.0.1:7467 [r1b]=127.0.0.1:7468
+  [r2a]=127.0.0.1:7469 [r2b]=127.0.0.1:7470
+  [s1a]=127.0.0.1:7471 [s1b]=127.0.0.1:7472
+  [s2a]=127.0.0.1:7473 [s2b]=127.0.0.1:7474
+)
+for rep in r1a r1b r2a r2b s1a s1b s2a s2b; do
+  rel=${rep:0:1}; sh=${rep:1:1}
+  case ${rep:2:1} in a) rr=1 ;; *) rr=2 ;; esac
+  "$workdir/bin/spatialserve" -data "$workdir/$rel.spd" -shard "$sh/2" -replica "$rr/2" \
+    -addr "${rep_addr[$rep]}" >"$workdir/$rep.log" 2>&1 &
+  if [ "$rep" = r1b ]; then
+    victim_pid=$!
+    disown "$victim_pid" # silence bash's job-control notice when it is SIGKILLed
+  else
+    pids+=($!)
+  fi
+done
+for i in $(seq 1 100); do
+  up=1
+  for rep in r1a r1b r2a r2b s1a s1b s2a s2b; do
+    grep -q "serving" "$workdir/$rep.log" || up=0
+  done
+  [ "$up" = 1 ] && break
+  sleep 0.05
+done
+for rep in r1a r1b r2a r2b s1a s1b s2a s2b; do
+  grep -q "serving" "$workdir/$rep.log" || { echo "replica server $rep never came up"; cat "$workdir/$rep.log"; exit 1; }
+done
+
+echo "== replicated join with one replica SIGKILLed mid-join is oracle-equal"
+"$workdir/bin/spatialjoin" \
+  -shards-r "${rep_addr[r1a]}+${rep_addr[r1b]},${rep_addr[r2a]}+${rep_addr[r2b]}" \
+  -shards-s "${rep_addr[s1a]}+${rep_addr[s1b]},${rep_addr[s2a]}+${rep_addr[s2b]}" \
+  -alg naive -kind distance -eps 75 -buffer 500 -timeout 60s -pairs -hedge-pct 99 \
+  > "$workdir/join.replicated" 2>&1 &
+join_pid=$!
+sleep 0.05
+kill -9 "$victim_pid"
+if ! wait "$join_pid"; then
+  echo "replicated join failed after replica kill"; cat "$workdir/join.replicated"; exit 1
+fi
+grep -E '^  ' "$workdir/join.replicated" > "$workdir/pairs.replicated"
+diff -u "$workdir/pairs.plain" "$workdir/pairs.replicated" \
+  || { echo "replicated join diverged after replica kill"; cat "$workdir/join.replicated"; exit 1; }
+echo "replicated result identical ($(wc -l < "$workdir/pairs.replicated") pairs, replica r1b killed)"
+
 echo "== SIGTERM drain"
 for pid in "${pids[@]}"; do
   kill -TERM "$pid"
@@ -111,7 +168,10 @@ for pid in "${pids[@]}"; do
 done
 pids=()
 [ "$status" -eq 0 ] || { echo "a server exited non-zero on SIGTERM"; cat "$workdir"/*.log; exit 1; }
-for log in r s r1 r2 s1 s2; do
+# Every server except the SIGKILLed victim (r1b) must report a clean
+# drain — including the replicas that absorbed the victim's failed-over
+# probes.
+for log in r s r1 r2 s1 s2 r1a r2a r2b s1a s1b s2a s2b; do
   grep -q "drained cleanly" "$workdir/$log.log" \
     || { echo "$log did not drain cleanly"; cat "$workdir/$log.log"; exit 1; }
 done

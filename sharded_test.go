@@ -204,7 +204,7 @@ func shardedChaosEnv(t *testing.T, robjs, sobjs []Object, par int, seed int64) *
 			}
 			rems[i] = rem
 		}
-		router, err := shard.NewRouter(name, rems, shard.WithParallelism(workers))
+		router, err := shard.NewRouter(name, shard.Remotes(rems), shard.WithParallelism(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -301,7 +301,7 @@ func TestShardedKillOneServerMidJoin(t *testing.T) {
 				}
 				rems[i] = rem
 			}
-			router, err := shard.NewRouter(name, rems, shard.WithParallelism(workers))
+			router, err := shard.NewRouter(name, shard.Remotes(rems), shard.WithParallelism(workers))
 			if err != nil {
 				t.Fatal(err)
 			}
