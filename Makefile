@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race bench bench-smoke bench-compare fuzz smoke cover test-flaky fmt vet
+.PHONY: all build test race bench bench-smoke bench-compare fuzz smoke cover test-flaky chaos fmt vet
 
 all: build test
 
@@ -68,6 +68,16 @@ smoke:
 # deterministic by construction.
 test-flaky:
 	$(GO) test -race -count 5 -run 'TestReplicated|TestReplica|TestShardedChaos|TestShardedKill' . ./internal/shard
+
+# chaos replays every committed chaos scenario file
+# (internal/harness/testdata/scenarios/*.json) under the race detector
+# and asserts each scenario's declared expectations: completeness (exact
+# vs. which shards may be missing), oracle equivalence, wall-time bounds,
+# proactive breaker skips, breaker re-close after revival, and zero
+# goroutine leaks. New scenario = new JSON file, not new code — see
+# docs/CHAOS.md for the format.
+chaos:
+	$(GO) test -race -count 1 -run 'TestChaos' ./internal/harness
 
 # cover is the coverage gate CI runs: the full test suite with
 # -coverprofile, failing when total statement coverage drops below the

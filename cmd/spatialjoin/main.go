@@ -17,6 +17,15 @@
 // The device then scatter–gathers every query across the shard links
 // (COUNTs sum, window replies merge) and the join result is identical to
 // the unsharded run.
+//
+// -breakers arms circuit breakers on a+b replica groups, -budget bounds
+// each logical query end-to-end, and -allow-partial turns a run with
+// unreachable shards into a degraded success: the result is a lower
+// bound, a completeness report is printed, and the process exits 3.
+//
+// Exit codes: 0 — exact result; 1 — failure; 2 — usage error;
+// 3 — partial result (only with -allow-partial; the printed completeness
+// report lists the unreachable shards).
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/geom"
+	"repro/internal/health"
 	"repro/internal/netsim"
 	"repro/internal/shard"
 )
@@ -63,7 +73,12 @@ func parseWindow(s string) (geom.Rect, error) {
 // ("a+b,c+d" = two shards, two replicas each): the replicas are wired
 // behind a shard.ReplicaSet that load-balances, fails over, and — with
 // hedgePct > 0 — hedges straggling probes against a sibling replica.
-func dialProbe(name, addr, shardList string, conns int, price, hedgePct float64, copts []client.Option) (core.Probe, error) {
+// With reg non-nil, replica groups get circuit breakers; budget bounds
+// each logical probe end-to-end; solo forces even a single server behind
+// a one-shard router so degraded partial-result mode has an absorbing
+// scatter layer to record gaps in.
+func dialProbe(name, addr, shardList string, conns int, price, hedgePct float64,
+	reg *health.Registry, budget time.Duration, solo bool, copts []client.Option) (core.Probe, error) {
 	dial := func(label, a string) (*client.Remote, error) {
 		tr, err := netsim.DialTCPPool(a, conns)
 		if err != nil {
@@ -77,7 +92,16 @@ func dialProbe(name, addr, shardList string, conns int, price, hedgePct float64,
 		return rem, nil
 	}
 	if shardList == "" {
-		return dial(name+"("+addr+")", addr)
+		rem, err := dial(name+"("+addr+")", addr)
+		if err != nil || !solo {
+			return rem, err
+		}
+		router, err := shard.NewRouter(name, []shard.Endpoint{rem}, shard.WithParallelism(conns))
+		if err != nil {
+			rem.Close()
+			return nil, err
+		}
+		return router, nil
 	}
 	groups := strings.Split(shardList, ",")
 	eps := make([]shard.Endpoint, 0, len(groups))
@@ -117,6 +141,8 @@ func dialProbe(name, addr, shardList string, conns int, price, hedgePct float64,
 		rset, err := shard.NewReplicaSet(sname, rems, shard.ReplicaConfig{
 			HedgePct: hedgePct,
 			Seed:     int64(i),
+			Health:   reg,
+			Budget:   budget,
 		})
 		if err != nil {
 			for _, r := range rems {
@@ -170,6 +196,9 @@ func main() {
 		tryTO    = flag.Duration("try-timeout", 0, "per-query attempt deadline (0 = none)")
 		retries  = flag.Int("retries", 4, "max attempts per query over the real, lossy link (1 = fail fast)")
 		hedgePct = flag.Float64("hedge-pct", 0, "hedge a probe past this latency percentile of its replica set (0 = off; needs a+b replica groups)")
+		budget   = flag.Duration("budget", 0, "per-query deadline budget shared by retries, hedges and failovers (0 = none)")
+		breakers = flag.Bool("breakers", false, "arm circuit breakers on a+b replica groups: skip open-circuit replicas before probing, recover via background INFO probes")
+		partial  = flag.Bool("allow-partial", false, "return a lower-bound result when shards stay unreachable, with a completeness report and exit code 3")
 	)
 	flag.Parse()
 	if (*rAddr == "" && *rShards == "") || (*sAddr == "" && *sShards == "") {
@@ -212,17 +241,27 @@ func main() {
 		MaxAttempts:   *retries,
 		Backoff:       5 * time.Millisecond,
 		PerTryTimeout: *tryTO,
+		Budget:        *budget,
 	}
 	copts := []client.Option{client.WithRetry(policy)}
 	if *batch > 1 {
 		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: *batch}))
 	}
-	remR, err := dialProbe("R", *rAddr, *rShards, conns, *priceR, *hedgePct, copts)
+	var reg *health.Registry
+	if *breakers {
+		reg = health.NewRegistry(health.Config{})
+	}
+	remR, err := dialProbe("R", *rAddr, *rShards, conns, *priceR, *hedgePct, reg, *budget, *partial, copts)
 	fatal(err)
 	defer remR.Close()
-	remS, err := dialProbe("S", *sAddr, *sShards, conns, *priceS, *hedgePct, copts)
+	remS, err := dialProbe("S", *sAddr, *sShards, conns, *priceS, *hedgePct, reg, *budget, *partial, copts)
 	fatal(err)
 	defer remS.Close()
+	if reg != nil {
+		// Deferred after the remotes so it runs first: the recovery
+		// probers must stop before the transports they probe close.
+		defer reg.Close()
+	}
 
 	model := costmodel.Default()
 	model.Bucket = *bucket
@@ -230,6 +269,7 @@ func main() {
 	env := core.NewEnv(remR, remS, client.Device{BufferObjects: *buffer}, model, win)
 	env.Parallelism = *parallel
 	env.BatchSize = *batch
+	env.AllowPartial = *partial
 
 	res, err := a.Run(ctx, env, spec)
 	fatal(err)
@@ -261,6 +301,21 @@ func main() {
 	if h := st.R.HedgedWireBytes + st.S.HedgedWireBytes; h > 0 {
 		fmt.Printf("hedged: %d speculative frames, %d wire bytes (included in the totals)\n",
 			st.R.HedgedMessages+st.S.HedgedMessages, h)
+	}
+	if o, k := st.R.BreakerOpens+st.S.BreakerOpens, st.R.BreakerSkips+st.S.BreakerSkips; o+k > 0 {
+		fmt.Printf("breakers: %d circuit(s) opened, %d probe(s) skipped proactively\n", o, k)
+	}
+	if comp := res.Completeness; comp != nil && !comp.Complete() {
+		// The pairs above are a lower bound: every reported pair is real,
+		// but contributions from the listed shards are missing. Exit 3
+		// distinguishes a degraded success from a failure (1).
+		fmt.Printf("completeness: %d/%d shards answered — the result is a lower bound\n",
+			comp.ShardsAnswered, comp.ShardsTotal)
+		for _, g := range comp.Gaps {
+			fmt.Printf("  missing %s/%s: ≤%d objects unaccounted, %d queries absorbed: %s\n",
+				g.Relation, g.Shard, g.Count, g.Queries, g.Reason)
+		}
+		os.Exit(3)
 	}
 }
 

@@ -32,10 +32,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -61,6 +63,24 @@ func parseShard(s string) (i, n int, err error) {
 	return i, n, nil
 }
 
+// stallHandler wraps h so a seeded fraction of requests sleeps for d
+// before being served. The schedule is drawn per request under a lock,
+// so it is deterministic for a sequential client; the sleep itself runs
+// unlocked and never blocks other workers.
+func stallHandler(h netsim.Handler, prob float64, d time.Duration, seed int64) netsim.Handler {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return netsim.HandlerFunc(func(req []byte) []byte {
+		mu.Lock()
+		stall := rng.Float64() < prob
+		mu.Unlock()
+		if stall {
+			time.Sleep(d)
+		}
+		return h.Handle(req)
+	})
+}
+
 func main() {
 	var (
 		data    = flag.String("data", "", "dataset file from datagen (required)")
@@ -70,6 +90,15 @@ func main() {
 		drain   = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on shutdown")
 		shardNo = flag.String("shard", "", "serve shard i of N of the dataset, as \"i/N\" (1-based; default: whole dataset)")
 		replica = flag.String("replica", "", "label this process replica r of M of its shard, as \"r/M\" (name-only: replicas serve identical data)")
+
+		// Chaos drills against live TCP servers: stall a seeded fraction
+		// of requests before answering. Combined with the client's
+		// -try-timeout/-budget/-breakers this exercises hedging, failover
+		// and breaker trips over real sockets (frame drops and severs are
+		// modeled client-side by the chaos harness).
+		chaosProb  = flag.Float64("chaos-delay-prob", 0, "stall this fraction of requests by -chaos-delay (0 = off)")
+		chaosDelay = flag.Duration("chaos-delay", 0, "how long a stalled request sleeps before being served")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the stall schedule")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -105,7 +134,11 @@ func main() {
 	if *publish {
 		opts = append(opts, server.PublishIndex())
 	}
-	srv, err := netsim.ListenAndServe(*addr, server.New(*name, objs, opts...))
+	var h netsim.Handler = server.New(*name, objs, opts...)
+	if *chaosProb > 0 && *chaosDelay > 0 {
+		h = stallHandler(h, *chaosProb, *chaosDelay, *chaosSeed)
+	}
+	srv, err := netsim.ListenAndServe(*addr, h)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spatialserve: %v\n", err)
 		os.Exit(1)

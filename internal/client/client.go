@@ -53,6 +53,13 @@ type RetryPolicy struct {
 	// still bounds the query as a whole). Zero applies no per-attempt
 	// deadline.
 	PerTryTimeout time.Duration
+	// Budget, when positive, bounds one logical query end-to-end: every
+	// attempt, backoff sleep, and per-try timeout draws from the same
+	// deadline instead of stacking PerTryTimeout × MaxAttempts. The worst
+	// case of a query is then Budget, whatever the retry schedule — the
+	// guarantee flat per-try timeouts cannot give. Zero applies no
+	// budget.
+	Budget time.Duration
 }
 
 // DefaultRetry is a sane policy for real, lossy links: four attempts with
@@ -162,6 +169,13 @@ func retryable(err error) bool {
 // aliasing guard makes sure the shared backing is then released exactly
 // once (as the response), never double-Put.
 func (r *Remote) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
+	if r.retry.Budget > 0 {
+		// One deadline for the whole attempt loop: retries and backoffs
+		// spend from it rather than stacking their own timeouts.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.retry.Budget)
+		defer cancel()
+	}
 	attempts := r.retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1

@@ -29,6 +29,7 @@ import (
 	"slices"
 
 	"repro/internal/geom"
+	"repro/internal/health"
 	"repro/internal/memjoin"
 	"repro/internal/netsim"
 )
@@ -126,6 +127,11 @@ type Result struct {
 	// Objects holds the qualifying R objects for IcebergSemi, sorted by ID.
 	Objects []geom.Object
 	Stats   Stats
+	// Completeness describes which shards contributed, set only on runs
+	// with Env.AllowPartial. Complete() reports a full answer; with gaps
+	// the pairs are a lower bound (every reported pair is real; pairs
+	// touching the unreachable shards are missing).
+	Completeness *health.Completeness
 }
 
 // Algorithm is one join evaluation strategy.

@@ -117,6 +117,14 @@ type Env struct {
 	// Under Parallelism > 1 the callback may fire from several goroutines
 	// at once and must be safe for concurrent calls.
 	Trace func(format string, args ...any)
+	// AllowPartial opts a run into degraded partial results: when a
+	// shard is unreachable (every replica open-circuit, or its sub-query
+	// exhausted its retries), the routers record the gap and the run
+	// completes over the shards that answered instead of failing. The
+	// Result then carries a Completeness report and its pairs are a
+	// lower bound on the true join. Off (the default), any shard failure
+	// fails the run — bit-identical behavior to before this knob existed.
+	AllowPartial bool
 
 	infoR, infoS wire.Info
 	prepared     bool
@@ -199,13 +207,17 @@ func (e *Env) statsSince(r0, s0 netsim.Usage, dec *decisions) Stats {
 	r1, s1 := e.R.Usage(), e.S.Usage()
 	diff := func(a, b netsim.Usage) netsim.Usage {
 		return netsim.Usage{
-			Messages:      a.Messages - b.Messages,
-			PayloadBytes:  a.PayloadBytes - b.PayloadBytes,
-			WireBytes:     a.WireBytes - b.WireBytes,
-			Packets:       a.Packets - b.Packets,
-			UpWireBytes:   a.UpWireBytes - b.UpWireBytes,
-			DownWireBytes: a.DownWireBytes - b.DownWireBytes,
-			Queries:       a.Queries - b.Queries,
+			Messages:        a.Messages - b.Messages,
+			PayloadBytes:    a.PayloadBytes - b.PayloadBytes,
+			WireBytes:       a.WireBytes - b.WireBytes,
+			Packets:         a.Packets - b.Packets,
+			UpWireBytes:     a.UpWireBytes - b.UpWireBytes,
+			DownWireBytes:   a.DownWireBytes - b.DownWireBytes,
+			Queries:         a.Queries - b.Queries,
+			HedgedMessages:  a.HedgedMessages - b.HedgedMessages,
+			HedgedWireBytes: a.HedgedWireBytes - b.HedgedWireBytes,
+			BreakerOpens:    a.BreakerOpens - b.BreakerOpens,
+			BreakerSkips:    a.BreakerSkips - b.BreakerSkips,
 		}
 	}
 	ru, su := diff(r1, r0), diff(s1, s0)

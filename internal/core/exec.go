@@ -9,6 +9,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/costmodel"
 	"repro/internal/geom"
+	"repro/internal/health"
 	"repro/internal/memjoin"
 	"repro/internal/wire"
 )
@@ -48,6 +49,10 @@ type exec struct {
 	// that reference points on the window hull are not lost. Oracle
 	// applies the same expansion.
 	window geom.Rect
+	// rep collects the completeness gaps of a degraded run. Non-nil only
+	// under Env.AllowPartial; it rides in ctx (health.WithReport) so the
+	// shard routers can record the shards they routed around.
+	rep *health.Report
 
 	// failMu guards failErr, the first non-cancellation error of the run
 	// (the root cause reported by Run when secondary workers fail with
@@ -70,6 +75,13 @@ func newExec(ctx context.Context, env *Env, spec Spec) (*exec, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	var rep *health.Report
+	if env.AllowPartial {
+		// Installed before prepare so even the INFO fetch may degrade:
+		// every query of the run (prepare included) carries the collector.
+		rep = health.NewReport()
+		ctx = health.WithReport(ctx, rep)
+	}
 	if err := env.prepare(ctx); err != nil {
 		return nil, err
 	}
@@ -79,6 +91,7 @@ func newExec(ctx context.Context, env *Env, spec Spec) (*exec, error) {
 		pred:  spec.pred(),
 		par:   newGate(env.Parallelism),
 		robjs: make(map[uint32]geom.Object),
+		rep:   rep,
 	}
 	x.ctx, x.cancelRun = context.WithCancel(ctx)
 	x.window = env.Window
@@ -387,7 +400,25 @@ func (x *exec) result() *Result {
 	default:
 		res.Pairs = pairs
 	}
+	if x.rep != nil {
+		gaps := x.rep.Gaps()
+		total := probeShards(x.env.R) + probeShards(x.env.S)
+		res.Completeness = &health.Completeness{
+			ShardsTotal:    total,
+			ShardsAnswered: total - len(gaps),
+			Gaps:           gaps,
+		}
+	}
 	return res
+}
+
+// probeShards counts the failure domains behind one relation endpoint: a
+// router reports its shard count, a bare remote is one domain.
+func probeShards(p Probe) int {
+	if ns, ok := p.(interface{ NumShards() int }); ok {
+		return ns.NumShards()
+	}
+	return 1
 }
 
 // --- cost-model adapters ---------------------------------------------------

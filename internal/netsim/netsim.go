@@ -118,6 +118,16 @@ type Usage struct {
 	// insurance cost".
 	HedgedMessages  int
 	HedgedWireBytes int
+	// BreakerOpens and BreakerSkips surface the endpoint's circuit-
+	// breaker activity (internal/health) in the same additive snapshot
+	// the experiments already report: how often a replica link was
+	// declared dead, and how many attempts were routed around it while
+	// open — each skip a probe (and its Eq. 1 bytes) saved versus
+	// reactive failover. The Meter never writes them; replica sets and
+	// routers fold their breakers' counters in when exporting Usage, so
+	// unarmed stacks report zero and stay bit-identical to the goldens.
+	BreakerOpens int
+	BreakerSkips int
 }
 
 // Add returns the element-wise sum of two usage snapshots.
@@ -132,6 +142,8 @@ func (u Usage) Add(v Usage) Usage {
 		Queries:         u.Queries + v.Queries,
 		HedgedMessages:  u.HedgedMessages + v.HedgedMessages,
 		HedgedWireBytes: u.HedgedWireBytes + v.HedgedWireBytes,
+		BreakerOpens:    u.BreakerOpens + v.BreakerOpens,
+		BreakerSkips:    u.BreakerSkips + v.BreakerSkips,
 	}
 }
 

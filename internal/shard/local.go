@@ -2,9 +2,11 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/geom"
+	"repro/internal/health"
 	"repro/internal/netsim"
 	"repro/internal/server"
 )
@@ -29,6 +31,20 @@ type LocalConfig struct {
 	// ServerOpts and ClientOpts apply to every server and remote.
 	ServerOpts []server.Option
 	ClientOpts []client.Option
+	// Health, when non-nil, arms a circuit breaker per replica endpoint
+	// in that registry: known-dead replicas are skipped before a probe is
+	// wasted and recovered by the registry's background INFO probers.
+	// Nil leaves the fleet breaker-free (bit-identical to before).
+	Health *health.Registry
+	// Budget, when > 0, bounds each ReplicaSet probe end to end:
+	// retries, hedges, and failovers all draw from this one deadline
+	// instead of stacking flat per-try timeouts.
+	Budget time.Duration
+	// WrapTransport, when non-nil, wraps each replica server's transport
+	// (named as the replica endpoint) before the metered link is layered
+	// on top — the chaos harness injects kill switches and lossy links
+	// here, so faulted requests are still charged like real ones.
+	WrapTransport func(name string, rt netsim.RoundTripper) netsim.RoundTripper
 }
 
 // ServeLocal boots one relation's in-process sharded serving stack: the
@@ -56,7 +72,10 @@ func ServeLocal(name string, objs []geom.Object, cfg LocalConfig) (*Router, erro
 		return nil, err
 	}
 	boot := func(sname string, part []geom.Object) (*client.Remote, error) {
-		rt := netsim.ServeParallel(server.New(sname, part, cfg.ServerOpts...), workers)
+		var rt netsim.RoundTripper = netsim.ServeParallel(server.New(sname, part, cfg.ServerOpts...), workers)
+		if cfg.WrapTransport != nil {
+			rt = cfg.WrapTransport(sname, rt)
+		}
 		rem, err := client.NewRemote(sname, rt, cfg.Link, cfg.Price, cfg.ClientOpts...)
 		if err != nil {
 			rt.Close()
@@ -94,6 +113,8 @@ func ServeLocal(name string, objs []geom.Object, cfg LocalConfig) (*Router, erro
 		rset, err := NewReplicaSet(sname, rems, ReplicaConfig{
 			HedgePct: cfg.HedgePct,
 			Seed:     int64(i),
+			Health:   cfg.Health,
+			Budget:   cfg.Budget,
 		})
 		if err != nil {
 			for _, r := range rems {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/bufpool"
 	"repro/internal/client"
 	"repro/internal/geom"
+	"repro/internal/health"
 	"repro/internal/netsim"
 	"repro/internal/wire"
 )
@@ -65,6 +66,19 @@ type ReplicaConfig struct {
 	// Seed offsets the round-robin rotation, so the primary-selection
 	// schedule is a pure function of (Seed, probe sequence).
 	Seed int64
+	// Health, when non-nil, arms one circuit breaker per replica from
+	// the registry (keyed by the replica's name, with a cheap INFO round
+	// trip as its background recovery probe). Selection then skips
+	// replicas whose breaker is open — a known-dead replica costs zero
+	// probes until it recovers — and every attempt outcome feeds the
+	// breaker's EWMA score. Nil keeps the pre-breaker behaviour exactly:
+	// every failure is re-discovered by a live attempt.
+	Health *health.Registry
+	// Budget, when positive, bounds each logical probe end-to-end: the
+	// primary attempt, failovers, and any hedge all draw from one
+	// deadline, so the worst case of a probe is Budget regardless of how
+	// many replicas it walks. Zero applies no budget.
+	Budget time.Duration
 }
 
 // ReplicaStats counts the replica-layer decisions of one set. Every
@@ -93,6 +107,13 @@ type ReplicaSet struct {
 	cfg      ReplicaConfig
 	next     atomic.Uint64
 	lat      *client.LatencyTracker
+	// brk holds one breaker per replica when cfg.Health armed them
+	// (nil otherwise — the unarmed fast path is byte-identical to the
+	// pre-breaker code).
+	brk []*health.Breaker
+	// setSkips counts whole-set skips: sub-queries a router routed
+	// around this shard because no replica admitted traffic.
+	setSkips atomic.Int64
 
 	hedges, hedgeWins, hedgeLosses, failovers atomic.Int64
 }
@@ -115,6 +136,16 @@ func NewReplicaSet(name string, replicas []*client.Remote, cfg ReplicaConfig) (*
 		lat: client.NewLatencyTracker(0)}
 	n := int64(len(replicas))
 	rs.next.Store(uint64(((cfg.Seed % n) + n) % n))
+	if cfg.Health != nil {
+		rs.brk = make([]*health.Breaker, len(replicas))
+		for i, rem := range replicas {
+			rem := rem
+			rs.brk[i] = cfg.Health.Breaker(rem.Name(), func(ctx context.Context) error {
+				_, err := rem.Info(ctx)
+				return err
+			})
+		}
+	}
 	return rs, nil
 }
 
@@ -146,7 +177,62 @@ func (rs *ReplicaSet) Usage() netsim.Usage {
 	for _, r := range rs.replicas {
 		sum = sum.Add(r.Usage())
 	}
+	for _, b := range rs.brk {
+		st := b.Stats()
+		sum.BreakerOpens += int(st.Opens)
+		sum.BreakerSkips += int(st.Skips)
+	}
+	sum.BreakerSkips += int(rs.setSkips.Load())
 	return sum
+}
+
+// Healthy reports whether at least one replica currently admits traffic
+// (always true unarmed). The router's scatter consults it under partial
+// mode to route around a whole-dead shard before wasting a probe.
+func (rs *ReplicaSet) Healthy() bool {
+	if rs.brk == nil {
+		return true
+	}
+	for _, b := range rs.brk {
+		if b.Admits() {
+			return true
+		}
+	}
+	return false
+}
+
+// RoutedAround records that a caller skipped this whole shard because no
+// replica admitted traffic — one sub-query saved, surfaced in the
+// Usage breaker-skip column.
+func (rs *ReplicaSet) RoutedAround() { rs.setSkips.Add(1) }
+
+// Breakers exposes the per-replica breakers (nil unarmed; tests and
+// diagnostics).
+func (rs *ReplicaSet) Breakers() []*health.Breaker { return rs.brk }
+
+// allow reports whether replica i's breaker admits an attempt now
+// (always true unarmed). May transition the breaker to half-open.
+func (rs *ReplicaSet) allow(i int) bool {
+	return rs.brk == nil || rs.brk[i].Allow()
+}
+
+// score feeds one attempt outcome to replica i's breaker. Failures the
+// endpoint is innocent of are excluded: our own cancellation (a lost
+// hedge race, a spent budget — actx is the attempt's context) and a
+// transport we closed. A per-try timeout inside the Remote does count:
+// the attempt context was alive, the endpoint just never answered.
+func (rs *ReplicaSet) score(i int, err error, d time.Duration, actx context.Context) {
+	if rs.brk == nil {
+		return
+	}
+	if err == nil {
+		rs.brk[i].ReportSuccess(d)
+		return
+	}
+	if actx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, netsim.ErrClosed) {
+		return
+	}
+	rs.brk[i].ReportFailure(err)
 }
 
 // PricePerByte returns the shared per-byte tariff of the replica links.
@@ -207,9 +293,26 @@ func failoverable(err error) bool {
 // dropped, so no goroutine outlives the probe beyond its cancellation.
 func probe[T any](ctx context.Context, rs *ReplicaSet, f func(ctx context.Context, rem *client.Remote) (T, error)) (T, error) {
 	var zero T
+	if rs.cfg.Budget > 0 {
+		// One deadline for the whole probe: primary, failovers, and the
+		// hedge all spend from it, so the probe's worst case is Budget
+		// however many replicas it walks.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rs.cfg.Budget)
+		defer cancel()
+	}
 	n := len(rs.replicas)
 	if n == 1 {
-		return f(ctx, rs.replicas[0])
+		if rs.brk == nil {
+			return f(ctx, rs.replicas[0])
+		}
+		// A lone replica is probed regardless of its breaker (there is
+		// nowhere else to go), but the outcome still feeds the score so
+		// Healthy() and the recovery prober see reality.
+		t0 := time.Now()
+		v, err := f(ctx, rs.replicas[0])
+		rs.score(0, err, time.Since(t0), ctx)
+		return v, err
 	}
 	if err := ctx.Err(); err != nil {
 		return zero, fmt.Errorf("%s: %w", rs.name, err)
@@ -221,15 +324,60 @@ func probe[T any](ctx context.Context, rs *ReplicaSet, f func(ctx context.Contex
 	type outcome struct {
 		val    T
 		err    error
+		idx    int
 		hedged bool
 	}
 	// Buffered to the attempt budget: a losing attempt's completion
 	// never blocks its goroutine, even after probe has returned.
 	ch := make(chan outcome, n)
 	tried, inflight := 0, 0
-	launch := func(hedged bool) {
-		rem := rs.replicas[(start+tried)%n]
-		tried++
+	// forced queues the breaker-open replicas a primary or failover may
+	// be forced onto when no admitted replica remains: the probe has to
+	// go somewhere, and a forced trial doubles as the half-open recovery
+	// attempt. Hedges never draw from it — a speculative attempt against
+	// a known-dead replica is pure waste (the hedge-skip satellite).
+	var forced []int
+	// pick returns the next attempt's replica: the rotation order with
+	// open-circuit replicas skipped before any frame is spent on them.
+	// Each skip-over of an open replica in favour of an admitted one is
+	// counted on its breaker — that is the probe saved versus reactive
+	// failover. Unarmed (rs.brk == nil) this is exactly the pre-breaker
+	// rotation.
+	pick := func(hedged bool) int {
+		var skippedNow []int
+		for tried < n {
+			idx := (start + tried) % n
+			tried++
+			if rs.allow(idx) {
+				for _, s := range skippedNow {
+					rs.brk[s].Skip()
+				}
+				forced = append(forced, skippedNow...)
+				return idx
+			}
+			skippedNow = append(skippedNow, idx)
+		}
+		if hedged {
+			for _, s := range skippedNow {
+				rs.brk[s].Skip()
+			}
+			forced = append(forced, skippedNow...)
+			return -1
+		}
+		forced = append(forced, skippedNow...)
+		if len(forced) > 0 {
+			idx := forced[0]
+			forced = forced[1:]
+			return idx
+		}
+		return -1
+	}
+	launch := func(hedged bool) bool {
+		idx := pick(hedged)
+		if idx < 0 {
+			return false
+		}
+		rem := rs.replicas[idx]
 		inflight++
 		actx := pctx
 		if hedged {
@@ -242,16 +390,17 @@ func probe[T any](ctx context.Context, rs *ReplicaSet, f func(ctx context.Contex
 			if err == nil && !hedged {
 				rs.lat.Add(time.Since(t0))
 			}
-			ch <- outcome{val: v, err: err, hedged: hedged}
+			rs.score(idx, err, time.Since(t0), actx)
+			ch <- outcome{val: v, err: err, idx: idx, hedged: hedged}
 		}()
+		return true
 	}
 	launch(false)
 	var hedgeC <-chan time.Time
 	hedgeLaunched, hedgeResolved := false, false
 	if d, ok := rs.hedgeDelay(); ok {
 		if d <= 0 {
-			launch(true)
-			hedgeLaunched = true
+			hedgeLaunched = launch(true)
 		} else {
 			t := time.NewTimer(d)
 			defer t.Stop()
@@ -263,8 +412,7 @@ func probe[T any](ctx context.Context, rs *ReplicaSet, f func(ctx context.Contex
 		select {
 		case <-hedgeC:
 			hedgeC = nil
-			if tried < n {
-				launch(true)
+			if launch(true) {
 				hedgeLaunched = true
 			}
 		case out := <-ch:
@@ -288,9 +436,8 @@ func probe[T any](ctx context.Context, rs *ReplicaSet, f func(ctx context.Contex
 				(errors.Is(firstErr, context.Canceled) && !errors.Is(out.err, context.Canceled)) {
 				firstErr = out.err
 			}
-			if ctx.Err() == nil && failoverable(out.err) && tried < n {
+			if ctx.Err() == nil && failoverable(out.err) && launch(false) {
 				rs.failovers.Add(1)
-				launch(false)
 			}
 			if inflight == 0 {
 				return zero, firstErr
@@ -400,13 +547,14 @@ func (rs *ReplicaSet) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call
 	for i, req := range reqs {
 		c := client.NewDetachedCall(rs.name)
 		calls[i] = c
-		start := int(rs.next.Add(1)-1) % n
+		start := rs.batchStart(n)
 		// Private copy for failover: submitting a frame passes its
 		// ownership to the batcher, so a retry on a sibling needs its own.
 		spare := append(bufpool.Get(), req...)
 		sub := rs.replicas[start].GoBatch(ctx, [][]byte{req})[0]
 		go func() {
 			resp, err := sub.Frame()
+			rs.score(start, err, 0, ctx)
 			for k := 1; err != nil && k < n && ctx.Err() == nil && failoverable(err); k++ {
 				rs.failovers.Add(1)
 				var frame []byte
@@ -415,10 +563,12 @@ func (rs *ReplicaSet) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call
 				} else {
 					frame = append(bufpool.Get(), spare...)
 				}
-				rem := rs.replicas[(start+k)%n]
+				idx := (start + k) % n
+				rem := rs.replicas[idx]
 				next := rem.GoBatch(ctx, [][]byte{frame})[0]
 				rem.Flush()
 				resp, err = next.Frame()
+				rs.score(idx, err, 0, ctx)
 			}
 			if spare != nil {
 				bufpool.Put(spare)
@@ -427,6 +577,31 @@ func (rs *ReplicaSet) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call
 		}()
 	}
 	return calls
+}
+
+// batchStart picks the rotation-selected primary replica for one batched
+// frame, advancing past replicas whose breaker is open (each advance a
+// skip: a frame not spent on a known-dead link). When every replica is
+// open it falls back to the plain rotation choice — the frame has to go
+// somewhere, and the attempt doubles as the recovery trial. Failover
+// then walks the rotation from there regardless of breakers: the sibling
+// frames are already paid for, and their outcomes re-score the breakers
+// either way.
+func (rs *ReplicaSet) batchStart(n int) int {
+	start := int(rs.next.Add(1)-1) % n
+	if rs.brk == nil {
+		return start
+	}
+	for k := 0; k < n; k++ {
+		idx := (start + k) % n
+		if rs.brk[idx].Allow() {
+			for j := 0; j < k; j++ {
+				rs.brk[(start+j)%n].Skip()
+			}
+			return idx
+		}
+	}
+	return start
 }
 
 // Flush dispatches whatever is pending in every replica link's batcher.

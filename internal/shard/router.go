@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/bufpool"
 	"repro/internal/client"
 	"repro/internal/geom"
+	"repro/internal/health"
 	"repro/internal/netsim"
 	"repro/internal/wire"
 )
@@ -92,12 +94,38 @@ type Router struct {
 	// Shard metadata for routing, fetched once (one INFO per shard link,
 	// metered like any query) on first use. Guarded by mu rather than a
 	// sync.Once so a transient failure does not poison the router for
-	// the session's later runs.
-	mu     sync.Mutex
-	ready  bool
-	infos  []wire.Info
-	merged wire.Info
+	// the session's later runs. Under partial mode the cache may be
+	// partial: infoOK marks the shards whose INFO arrived, infoErr keeps
+	// each dead shard's root cause for gap reports, and infoRetryAt
+	// spaces re-probes of the dead shards so each query does not pay a
+	// fresh timeout against a still-dead shard.
+	mu          sync.Mutex
+	ready       bool
+	infos       []wire.Info
+	infoOK      []bool
+	infoErr     []error
+	infoRetryAt time.Time
+	merged      wire.Info
 }
+
+// infoRetryCooldown spaces INFO re-probes of a dead shard under partial
+// mode. A revived shard rejoins routing at the first query after the
+// cooldown; until then its absence is reported as a gap, not re-paid.
+const infoRetryCooldown = 250 * time.Millisecond
+
+// healthChecked is implemented by endpoints that track their own
+// liveness (*ReplicaSet with breakers armed). Under partial mode the
+// router consults Healthy before scattering to a shard, so a shard whose
+// every replica is open-circuit is routed around — gap recorded, probe
+// saved — instead of re-discovered by a doomed attempt.
+type healthChecked interface {
+	Healthy() bool
+	RoutedAround()
+}
+
+// errAllOpen reports a shard skipped because no replica admits
+// traffic (every breaker open).
+var errAllOpen = errors.New("shard: all replicas open-circuit")
 
 // RouterOption configures a Router at construction.
 type RouterOption func(*Router)
@@ -193,31 +221,172 @@ func (r *Router) solo() bool { return len(r.shards) == 1 }
 // and caches the per-shard metadata that routing decisions read. Safe
 // for concurrent callers; a failure leaves the router un-poisoned so the
 // next call retries.
+//
+// Under partial mode (a health.Report in ctx) a shard whose INFO fails
+// is absorbed instead of failing the fetch: the live shards' metadata is
+// cached and served, the dead shard is reported as a gap by every query
+// until it answers, and its INFO is re-probed after infoRetryCooldown so
+// a revived shard rejoins routing without each query paying the
+// discovery.
 func (r *Router) ensureInfo(ctx context.Context) error {
+	rep := health.ReportFrom(ctx)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.ready {
 		return nil
 	}
-	infos := make([]wire.Info, len(r.shards))
-	all := make([]int, len(r.shards))
-	for i := range all {
-		all[i] = i
+	n := len(r.shards)
+	if r.infos == nil {
+		r.infos = make([]wire.Info, n)
+		r.infoOK = make([]bool, n)
+		r.infoErr = make([]error, n)
 	}
-	err := r.scatter(ctx, all, func(ctx context.Context, i int) error {
+	var missing []int
+	for i, ok := range r.infoOK {
+		if !ok {
+			missing = append(missing, i)
+		}
+	}
+	if rep != nil && !r.infoRetryAt.IsZero() && time.Now().Before(r.infoRetryAt) {
+		// Cooldown: serve the cached partial metadata; the dead shards'
+		// absence is a gap for this query, re-probed later.
+		r.recordInfoGapsLocked(rep)
+		return nil
+	}
+	// Per-index slots written by the scatter goroutines, folded into the
+	// shared cache only after scatter has joined (r.mu is held, but the
+	// closures run on other goroutines).
+	got := make([]wire.Info, n)
+	ok := make([]bool, n)
+	errs := make([]error, n)
+	scatterErr := r.scatter(ctx, missing, func(ctx context.Context, i int) error {
 		info, err := r.shards[i].Info(ctx)
 		if err != nil {
+			if rep != nil && ctx.Err() == nil {
+				errs[i] = err // absorbed: the sibling INFOs continue
+				return nil
+			}
 			return err
 		}
-		infos[i] = info
+		got[i], ok[i] = info, true
 		return nil
 	})
+	if scatterErr != nil {
+		return scatterErr
+	}
+	allOK := true
+	for _, i := range missing {
+		if ok[i] {
+			r.infos[i], r.infoOK[i], r.infoErr[i] = got[i], true, nil
+		} else {
+			r.infoErr[i] = errs[i]
+			allOK = false
+		}
+	}
+	// Dead shards hold the zero Info (count 0), so merging the whole
+	// cache covers exactly the shards that answered.
+	r.merged = mergeInfos(r.infos)
+	if allOK {
+		r.ready = true
+		r.infoRetryAt = time.Time{}
+		return nil
+	}
+	r.infoRetryAt = time.Now().Add(infoRetryCooldown)
+	r.recordInfoGapsLocked(rep)
+	return nil
+}
+
+// recordInfoGapsLocked records one gap per INFO-dead shard for the
+// calling query. Caller holds r.mu; rep is non-nil (the partial path is
+// the only one that leaves shards INFO-dead).
+func (r *Router) recordInfoGapsLocked(rep *health.Report) {
+	for i, ok := range r.infoOK {
+		if ok {
+			continue
+		}
+		reason := "info unavailable"
+		if r.infoErr[i] != nil {
+			reason = r.infoErr[i].Error()
+		}
+		rep.Record(r.name, r.shards[i].Name(), geom.Rect{}, 0, reason)
+	}
+}
+
+// snapshotInfos returns a stable copy of the per-shard routing metadata.
+// Under partial mode the cache mutates between queries (dead shards
+// re-probe after the cooldown), so routing works on a snapshot instead
+// of racing the refresh.
+func (r *Router) snapshotInfos() []wire.Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return slices.Clone(r.infos)
+}
+
+// gap records shard i's missing contribution for one sub-query, with
+// the shard's advertised bounds and cardinality when its INFO was
+// fetched before it died.
+func (r *Router) gap(rep *health.Report, i int, err error) {
+	var bounds geom.Rect
+	var count int64
+	r.mu.Lock()
+	if r.infoOK != nil && r.infoOK[i] {
+		bounds, count = r.infos[i].Bounds, int64(r.infos[i].Count)
+	}
+	r.mu.Unlock()
+	reason := "unreachable"
 	if err != nil {
+		reason = err.Error()
+	}
+	rep.Record(r.name, r.shards[i].Name(), bounds, count, reason)
+}
+
+// absorb wraps a per-shard scatter func for partial mode: a shard whose
+// every replica is open-circuit is skipped before any probe is spent on
+// it, and a sub-query failure (parent context still alive) records a
+// completeness gap instead of cancelling the sibling sub-queries. With
+// no collector in ctx it returns f unchanged, so the fail-fast path is
+// exactly the pre-partial code.
+func (r *Router) absorb(rep *health.Report, f func(ctx context.Context, i int) error) func(ctx context.Context, i int) error {
+	if rep == nil {
+		return f
+	}
+	return func(ctx context.Context, i int) error {
+		if h, ok := r.shards[i].(healthChecked); ok && !h.Healthy() {
+			h.RoutedAround()
+			r.gap(rep, i, errAllOpen)
+			return nil
+		}
+		err := f(ctx, i)
+		if err == nil || ctx.Err() != nil {
+			return err
+		}
+		r.gap(rep, i, err)
+		return nil
+	}
+}
+
+// soloSkip reports whether the lone shard of a pass-through router is
+// known-dead under partial mode (gap recorded, probe saved).
+func (r *Router) soloSkip(rep *health.Report) bool {
+	if rep == nil {
+		return false
+	}
+	h, ok := r.shards[0].(healthChecked)
+	if !ok || h.Healthy() {
+		return false
+	}
+	h.RoutedAround()
+	r.gap(rep, 0, errAllOpen)
+	return true
+}
+
+// soloErr absorbs a solo pass-through failure under partial mode: the
+// gap is recorded and the query answers empty instead of failing.
+func (r *Router) soloErr(ctx context.Context, rep *health.Report, err error) error {
+	if err == nil || rep == nil || ctx.Err() != nil {
 		return err
 	}
-	r.infos = infos
-	r.merged = mergeInfos(infos)
-	r.ready = true
+	r.gap(rep, 0, err)
 	return nil
 }
 
@@ -317,10 +486,13 @@ func (r *Router) scatter(ctx context.Context, targets []int, f func(ctx context.
 // rectTargets returns the shards whose advertised bounds intersect w
 // (empty shards never qualify). Pruned shards cannot hold a qualifying
 // object, so skipping them is exact — and free: no bytes cross their
-// links.
-func (r *Router) rectTargets(w geom.Rect) []int {
+// links. The helpers take an infos snapshot (see snapshotInfos) so
+// routing never races a partial-mode cache refresh; an INFO-dead shard
+// holds the zero Info and is pruned like an empty one (its gap was
+// already recorded by ensureInfo).
+func rectTargets(infos []wire.Info, w geom.Rect) []int {
 	var out []int
-	for i, info := range r.infos {
+	for i, info := range infos {
 		if info.Count > 0 && info.Bounds.Intersects(w) {
 			out = append(out, i)
 		}
@@ -329,9 +501,9 @@ func (r *Router) rectTargets(w geom.Rect) []int {
 }
 
 // pointTargets returns the shards whose bounds lie within eps of p.
-func (r *Router) pointTargets(p geom.Point, eps float64) []int {
+func pointTargets(infos []wire.Info, p geom.Point, eps float64) []int {
 	var out []int
-	for i, info := range r.infos {
+	for i, info := range infos {
 		if info.Count > 0 && info.Bounds.DistToPoint(p) <= eps {
 			out = append(out, i)
 		}
@@ -340,9 +512,9 @@ func (r *Router) pointTargets(p geom.Point, eps float64) []int {
 }
 
 // nonEmptyTargets returns every shard holding at least one object.
-func (r *Router) nonEmptyTargets() []int {
+func nonEmptyTargets(infos []wire.Info) []int {
 	var out []int
-	for i, info := range r.infos {
+	for i, info := range infos {
 		if info.Count > 0 {
 			out = append(out, i)
 		}
@@ -363,11 +535,21 @@ func sortObjects(objs []geom.Object) {
 // per-shard INFOs on first use).
 func (r *Router) Info(ctx context.Context) (wire.Info, error) {
 	if r.solo() {
-		return r.shards[0].Info(ctx)
+		rep := health.ReportFrom(ctx)
+		if r.soloSkip(rep) {
+			return wire.Info{}, nil
+		}
+		info, err := r.shards[0].Info(ctx)
+		if err := r.soloErr(ctx, rep, err); err != nil {
+			return wire.Info{}, err
+		}
+		return info, nil
 	}
 	if err := r.ensureInfo(ctx); err != nil {
 		return wire.Info{}, err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.merged, nil
 }
 
@@ -375,18 +557,27 @@ func (r *Router) Info(ctx context.Context) (wire.Info, error) {
 // overlapping shards' disjoint COUNT answers.
 func (r *Router) Count(ctx context.Context, w geom.Rect) (int, error) {
 	if r.solo() {
-		return r.shards[0].Count(ctx, w)
+		rep := health.ReportFrom(ctx)
+		if r.soloSkip(rep) {
+			return 0, nil
+		}
+		n, err := r.shards[0].Count(ctx, w)
+		if err := r.soloErr(ctx, rep, err); err != nil {
+			return 0, err
+		}
+		return n, nil
 	}
+	rep := health.ReportFrom(ctx)
 	if err := r.ensureInfo(ctx); err != nil {
 		return 0, err
 	}
-	targets := r.rectTargets(w)
+	targets := rectTargets(r.snapshotInfos(), w)
 	counts := make([]int, len(r.shards))
-	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+	err := r.scatter(ctx, targets, r.absorb(rep, func(ctx context.Context, i int) error {
 		n, err := r.shards[i].Count(ctx, w)
 		counts[i] = n
 		return err
-	})
+	}))
 	if err != nil {
 		return 0, err
 	}
@@ -401,18 +592,27 @@ func (r *Router) Count(ctx context.Context, w geom.Rect) (int, error) {
 // overlapping shards and merged in ID order.
 func (r *Router) Window(ctx context.Context, w geom.Rect) ([]geom.Object, error) {
 	if r.solo() {
-		return r.shards[0].Window(ctx, w)
+		rep := health.ReportFrom(ctx)
+		if r.soloSkip(rep) {
+			return nil, nil
+		}
+		objs, err := r.shards[0].Window(ctx, w)
+		if err := r.soloErr(ctx, rep, err); err != nil {
+			return nil, err
+		}
+		return objs, nil
 	}
+	rep := health.ReportFrom(ctx)
 	if err := r.ensureInfo(ctx); err != nil {
 		return nil, err
 	}
-	targets := r.rectTargets(w)
+	targets := rectTargets(r.snapshotInfos(), w)
 	parts := make([][]geom.Object, len(r.shards))
-	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+	err := r.scatter(ctx, targets, r.absorb(rep, func(ctx context.Context, i int) error {
 		objs, err := r.shards[i].Window(ctx, w)
 		parts[i] = objs
 		return err
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -425,15 +625,24 @@ func (r *Router) Window(ctx context.Context, w geom.Rect) ([]geom.Object, error)
 // companion query).
 func (r *Router) AvgArea(ctx context.Context, w geom.Rect) (float64, error) {
 	if r.solo() {
-		return r.shards[0].AvgArea(ctx, w)
+		rep := health.ReportFrom(ctx)
+		if r.soloSkip(rep) {
+			return 0, nil
+		}
+		a, err := r.shards[0].AvgArea(ctx, w)
+		if err := r.soloErr(ctx, rep, err); err != nil {
+			return 0, err
+		}
+		return a, nil
 	}
+	rep := health.ReportFrom(ctx)
 	if err := r.ensureInfo(ctx); err != nil {
 		return 0, err
 	}
-	targets := r.rectTargets(w)
+	targets := rectTargets(r.snapshotInfos(), w)
 	counts := make([]int, len(r.shards))
 	avgs := make([]float64, len(r.shards))
-	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+	err := r.scatter(ctx, targets, r.absorb(rep, func(ctx context.Context, i int) error {
 		n, err := r.shards[i].Count(ctx, w)
 		if err != nil {
 			return err
@@ -444,7 +653,7 @@ func (r *Router) AvgArea(ctx context.Context, w geom.Rect) (float64, error) {
 		}
 		counts[i], avgs[i] = n, a
 		return nil
-	})
+	}))
 	if err != nil {
 		return 0, err
 	}
@@ -462,18 +671,27 @@ func (r *Router) AvgArea(ctx context.Context, w geom.Rect) (float64, error) {
 // Range returns the objects within eps of p, merged in ID order.
 func (r *Router) Range(ctx context.Context, p geom.Point, eps float64) ([]geom.Object, error) {
 	if r.solo() {
-		return r.shards[0].Range(ctx, p, eps)
+		rep := health.ReportFrom(ctx)
+		if r.soloSkip(rep) {
+			return nil, nil
+		}
+		objs, err := r.shards[0].Range(ctx, p, eps)
+		if err := r.soloErr(ctx, rep, err); err != nil {
+			return nil, err
+		}
+		return objs, nil
 	}
+	rep := health.ReportFrom(ctx)
 	if err := r.ensureInfo(ctx); err != nil {
 		return nil, err
 	}
-	targets := r.pointTargets(p, eps)
+	targets := pointTargets(r.snapshotInfos(), p, eps)
 	parts := make([][]geom.Object, len(r.shards))
-	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+	err := r.scatter(ctx, targets, r.absorb(rep, func(ctx context.Context, i int) error {
 		objs, err := r.shards[i].Range(ctx, p, eps)
 		parts[i] = objs
 		return err
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -484,18 +702,27 @@ func (r *Router) Range(ctx context.Context, p geom.Point, eps float64) ([]geom.O
 // the shards within reach.
 func (r *Router) RangeCount(ctx context.Context, p geom.Point, eps float64) (int, error) {
 	if r.solo() {
-		return r.shards[0].RangeCount(ctx, p, eps)
+		rep := health.ReportFrom(ctx)
+		if r.soloSkip(rep) {
+			return 0, nil
+		}
+		n, err := r.shards[0].RangeCount(ctx, p, eps)
+		if err := r.soloErr(ctx, rep, err); err != nil {
+			return 0, err
+		}
+		return n, nil
 	}
+	rep := health.ReportFrom(ctx)
 	if err := r.ensureInfo(ctx); err != nil {
 		return 0, err
 	}
-	targets := r.pointTargets(p, eps)
+	targets := pointTargets(r.snapshotInfos(), p, eps)
 	counts := make([]int, len(r.shards))
-	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+	err := r.scatter(ctx, targets, r.absorb(rep, func(ctx context.Context, i int) error {
 		n, err := r.shards[i].RangeCount(ctx, p, eps)
 		counts[i] = n
 		return err
-	})
+	}))
 	if err != nil {
 		return 0, err
 	}
@@ -511,15 +738,27 @@ func (r *Router) RangeCount(ctx context.Context, p geom.Point, eps float64) (int
 // reassemble in probe order, each group merged in ID order.
 func (r *Router) BucketRange(ctx context.Context, pts []geom.Point, eps float64) ([][]geom.Object, error) {
 	if r.solo() {
-		return r.shards[0].BucketRange(ctx, pts, eps)
+		rep := health.ReportFrom(ctx)
+		if r.soloSkip(rep) {
+			return make([][]geom.Object, len(pts)), nil
+		}
+		groups, err := r.shards[0].BucketRange(ctx, pts, eps)
+		if err := r.soloErr(ctx, rep, err); err != nil {
+			return nil, err
+		}
+		if groups == nil {
+			groups = make([][]geom.Object, len(pts))
+		}
+		return groups, nil
 	}
+	rep := health.ReportFrom(ctx)
 	if err := r.ensureInfo(ctx); err != nil {
 		return nil, err
 	}
-	targets, idxs := r.bucketTargets(pts, eps)
+	targets, idxs := bucketTargets(r.snapshotInfos(), pts, eps)
 	out := make([][]geom.Object, len(pts))
 	var mu sync.Mutex
-	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+	err := r.scatter(ctx, targets, r.absorb(rep, func(ctx context.Context, i int) error {
 		sub := make([]geom.Point, len(idxs[i]))
 		for k, pi := range idxs[i] {
 			sub[k] = pts[pi]
@@ -538,7 +777,7 @@ func (r *Router) BucketRange(ctx context.Context, pts []geom.Point, eps float64)
 		}
 		mu.Unlock()
 		return nil
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -552,15 +791,27 @@ func (r *Router) BucketRange(ctx context.Context, pts []geom.Point, eps float64)
 // counts summed across the shards within reach of each probe.
 func (r *Router) BucketRangeCount(ctx context.Context, pts []geom.Point, eps float64) ([]int64, error) {
 	if r.solo() {
-		return r.shards[0].BucketRangeCount(ctx, pts, eps)
+		rep := health.ReportFrom(ctx)
+		if r.soloSkip(rep) {
+			return make([]int64, len(pts)), nil
+		}
+		ns, err := r.shards[0].BucketRangeCount(ctx, pts, eps)
+		if err := r.soloErr(ctx, rep, err); err != nil {
+			return nil, err
+		}
+		if ns == nil {
+			ns = make([]int64, len(pts))
+		}
+		return ns, nil
 	}
+	rep := health.ReportFrom(ctx)
 	if err := r.ensureInfo(ctx); err != nil {
 		return nil, err
 	}
-	targets, idxs := r.bucketTargets(pts, eps)
+	targets, idxs := bucketTargets(r.snapshotInfos(), pts, eps)
 	out := make([]int64, len(pts))
 	var mu sync.Mutex
-	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+	err := r.scatter(ctx, targets, r.absorb(rep, func(ctx context.Context, i int) error {
 		sub := make([]geom.Point, len(idxs[i]))
 		for k, pi := range idxs[i] {
 			sub[k] = pts[pi]
@@ -579,7 +830,7 @@ func (r *Router) BucketRangeCount(ctx context.Context, pts []geom.Point, eps flo
 		}
 		mu.Unlock()
 		return nil
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -589,9 +840,9 @@ func (r *Router) BucketRangeCount(ctx context.Context, pts []geom.Point, eps flo
 // bucketTargets plans a bucket scatter: for each shard, the indices of
 // the probes within eps of its bounds; targets lists the shards with at
 // least one probe to answer.
-func (r *Router) bucketTargets(pts []geom.Point, eps float64) (targets []int, idxs [][]int) {
-	idxs = make([][]int, len(r.shards))
-	for i, info := range r.infos {
+func bucketTargets(infos []wire.Info, pts []geom.Point, eps float64) (targets []int, idxs [][]int) {
+	idxs = make([][]int, len(infos))
+	for i, info := range infos {
 		if info.Count == 0 {
 			continue
 		}
@@ -613,22 +864,32 @@ func (r *Router) bucketTargets(pts []geom.Point, eps float64) (targets []int, id
 // merged (minimum) height is valid everywhere.
 func (r *Router) LevelMBRs(ctx context.Context, level int) ([]geom.Rect, error) {
 	if r.solo() {
-		return r.shards[0].LevelMBRs(ctx, level)
+		rep := health.ReportFrom(ctx)
+		if r.soloSkip(rep) {
+			return nil, nil
+		}
+		rects, err := r.shards[0].LevelMBRs(ctx, level)
+		if err := r.soloErr(ctx, rep, err); err != nil {
+			return nil, err
+		}
+		return rects, nil
 	}
+	rep := health.ReportFrom(ctx)
 	if err := r.ensureInfo(ctx); err != nil {
 		return nil, err
 	}
-	targets := r.nonEmptyTargets()
+	infos := r.snapshotInfos()
+	targets := nonEmptyTargets(infos)
 	parts := make([][]geom.Rect, len(r.shards))
-	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+	err := r.scatter(ctx, targets, r.absorb(rep, func(ctx context.Context, i int) error {
 		lvl := level
-		if h := int(r.infos[i].TreeHeight); h > 0 && lvl >= h {
+		if h := int(infos[i].TreeHeight); h > 0 && lvl >= h {
 			lvl = h - 1
 		}
 		rects, err := r.shards[i].LevelMBRs(ctx, lvl)
 		parts[i] = rects
 		return err
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -646,14 +907,23 @@ func (r *Router) LevelMBRs(ctx context.Context, level int) ([]geom.Rect, error) 
 // answer).
 func (r *Router) MBRMatch(ctx context.Context, rects []geom.Rect, eps float64) ([]geom.Object, error) {
 	if r.solo() {
-		return r.shards[0].MBRMatch(ctx, rects, eps)
+		rep := health.ReportFrom(ctx)
+		if r.soloSkip(rep) {
+			return nil, nil
+		}
+		objs, err := r.shards[0].MBRMatch(ctx, rects, eps)
+		if err := r.soloErr(ctx, rep, err); err != nil {
+			return nil, err
+		}
+		return objs, nil
 	}
+	rep := health.ReportFrom(ctx)
 	if err := r.ensureInfo(ctx); err != nil {
 		return nil, err
 	}
 	subs := make([][]geom.Rect, len(r.shards))
 	var targets []int
-	for i, info := range r.infos {
+	for i, info := range r.snapshotInfos() {
 		if info.Count == 0 {
 			continue
 		}
@@ -667,11 +937,11 @@ func (r *Router) MBRMatch(ctx context.Context, rects []geom.Rect, eps float64) (
 		}
 	}
 	parts := make([][]geom.Object, len(r.shards))
-	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+	err := r.scatter(ctx, targets, r.absorb(rep, func(ctx context.Context, i int) error {
 		objs, err := r.shards[i].MBRMatch(ctx, subs[i], eps)
 		parts[i] = objs
 		return err
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -684,14 +954,23 @@ func (r *Router) MBRMatch(ctx context.Context, rects []geom.Rect, eps float64) (
 // matched ID) order.
 func (r *Router) UploadJoin(ctx context.Context, objs []geom.Object, eps float64) ([]geom.Pair, error) {
 	if r.solo() {
-		return r.shards[0].UploadJoin(ctx, objs, eps)
+		rep := health.ReportFrom(ctx)
+		if r.soloSkip(rep) {
+			return nil, nil
+		}
+		pairs, err := r.shards[0].UploadJoin(ctx, objs, eps)
+		if err := r.soloErr(ctx, rep, err); err != nil {
+			return nil, err
+		}
+		return pairs, nil
 	}
+	rep := health.ReportFrom(ctx)
 	if err := r.ensureInfo(ctx); err != nil {
 		return nil, err
 	}
 	subs := make([][]geom.Object, len(r.shards))
 	var targets []int
-	for i, info := range r.infos {
+	for i, info := range r.snapshotInfos() {
 		if info.Count == 0 {
 			continue
 		}
@@ -705,11 +984,11 @@ func (r *Router) UploadJoin(ctx context.Context, objs []geom.Object, eps float64
 		}
 	}
 	parts := make([][]geom.Pair, len(r.shards))
-	err := r.scatter(ctx, targets, func(ctx context.Context, i int) error {
+	err := r.scatter(ctx, targets, r.absorb(rep, func(ctx context.Context, i int) error {
 		pairs, err := r.shards[i].UploadJoin(ctx, subs[i], eps)
 		parts[i] = pairs
 		return err
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -747,8 +1026,32 @@ func mergeObjects(parts [][]geom.Object) []geom.Object {
 // objects), re-encoded as a response frame so the standard accessors
 // decode it. A probe with no overlapping shard completes locally with the
 // empty answer, costing zero bytes.
+//
+// Under partial mode a shard whose every replica is open-circuit is
+// dropped from each probe's target list before any frame ships (gap
+// recorded, probes saved), and a sub-call failure with the parent
+// context still alive contributes a gap instead of failing the merged
+// call — the lower-bound answer assembles from the shards that replied.
 func (r *Router) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call {
+	rep := health.ReportFrom(ctx)
 	if r.solo() {
+		if r.soloSkip(rep) {
+			// Known-dead lone shard: answer every probe empty locally.
+			calls := make([]*client.Call, len(reqs))
+			for i, req := range reqs {
+				calls[i] = client.NewDetachedCall(r.name)
+				buf := bufpool.Get()
+				switch wire.Type(req) {
+				case wire.MsgWindow, wire.MsgRange:
+					buf = wire.AppendObjects(buf, nil)
+				default:
+					buf = wire.AppendCountReply(buf, 0)
+				}
+				bufpool.Put(req)
+				calls[i].CompleteFrame(buf, nil)
+			}
+			return calls
+		}
 		return r.shards[0].GoBatch(ctx, reqs)
 	}
 	calls := make([]*client.Call, len(reqs))
@@ -762,13 +1065,29 @@ func (r *Router) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call {
 		}
 		return calls
 	}
+	infos := r.snapshotInfos()
+	// Shards with no admitting replica right now: routed around for this
+	// whole batch (one gap per absorbed probe, no frames shipped).
+	down := make([]bool, len(r.shards))
+	if rep != nil {
+		for i, s := range r.shards {
+			if h, ok := s.(healthChecked); ok && !h.Healthy() {
+				down[i] = true
+			}
+		}
+	}
 	// Routing plan: per shard, the sub-request frames (private copies —
 	// one original may fan out to several shards) and the index of the
-	// router call each answers.
+	// router call each answers. Each wait keeps its shard index so a
+	// gather failure can be attributed as that shard's gap.
+	type subWait struct {
+		c     *client.Call
+		shard int
+	}
 	perShard := make([][][]byte, len(r.shards))
 	perShardCall := make([][]int, len(r.shards))
 	objects := make([]bool, len(reqs)) // merge mode per call: objects vs count
-	waits := make([][]*client.Call, len(reqs))
+	waits := make([][]subWait, len(reqs))
 	for qi, req := range reqs {
 		var targets []int
 		switch wire.Type(req) {
@@ -779,7 +1098,7 @@ func (r *Router) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call {
 				calls[qi].CompleteFrame(nil, fmt.Errorf("%s: %w", r.name, err))
 				continue
 			}
-			targets = r.rectTargets(w)
+			targets = rectTargets(infos, w)
 		case wire.MsgWindow:
 			w, err := wire.DecodeWindowLike(req, wire.MsgWindow)
 			if err != nil {
@@ -788,7 +1107,7 @@ func (r *Router) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call {
 				continue
 			}
 			objects[qi] = true
-			targets = r.rectTargets(w)
+			targets = rectTargets(infos, w)
 		case wire.MsgRange, wire.MsgRangeCount:
 			t := wire.Type(req)
 			p, eps, err := wire.DecodeRangeLike(req, t)
@@ -798,11 +1117,25 @@ func (r *Router) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call {
 				continue
 			}
 			objects[qi] = t == wire.MsgRange
-			targets = r.pointTargets(p, eps)
+			targets = pointTargets(infos, p, eps)
 		default:
 			bufpool.Put(req)
 			calls[qi].CompleteFrame(nil, fmt.Errorf("shard: %s: cannot route batched %v", r.name, wire.Type(req)))
 			continue
+		}
+		if rep != nil {
+			kept := targets[:0]
+			for _, t := range targets {
+				if down[t] {
+					if h, ok := r.shards[t].(healthChecked); ok {
+						h.RoutedAround()
+					}
+					r.gap(rep, t, errAllOpen)
+					continue
+				}
+				kept = append(kept, t)
+			}
+			targets = kept
 		}
 		if len(targets) == 0 {
 			// No shard can contribute: answer the empty result locally.
@@ -832,27 +1165,35 @@ func (r *Router) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call {
 		subCalls := r.shards[t].GoBatch(ctx, frames)
 		for k, c := range subCalls {
 			qi := perShardCall[t][k]
-			waits[qi] = append(waits[qi], c)
+			waits[qi] = append(waits[qi], subWait{c: c, shard: t})
 		}
 	}
 	// Gather: one goroutine per router call waits on its shard sub-calls
 	// and completes the detached call with the merged reply. Every
 	// sub-call is drained even after a failure so its pooled reply frame
-	// is recycled.
+	// is recycled. Under partial mode a failed sub-call becomes its
+	// shard's gap and the merge proceeds without its contribution.
 	for qi := range reqs {
 		if len(waits[qi]) == 0 {
 			continue // already completed locally above
 		}
 		go func(qi int) {
 			var firstErr error
+			fail := func(w subWait, err error) {
+				if rep != nil && ctx.Err() == nil {
+					r.gap(rep, w.shard, err)
+					return
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
 			if objects[qi] {
 				var all []geom.Object
-				for _, c := range waits[qi] {
-					objs, err := c.Objects()
+				for _, w := range waits[qi] {
+					objs, err := w.c.Objects()
 					if err != nil {
-						if firstErr == nil {
-							firstErr = err
-						}
+						fail(w, err)
 						continue
 					}
 					all = append(all, objs...)
@@ -866,12 +1207,10 @@ func (r *Router) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call {
 				return
 			}
 			sum := int64(0)
-			for _, c := range waits[qi] {
-				n, err := c.Count()
+			for _, w := range waits[qi] {
+				n, err := w.c.Count()
 				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
+					fail(w, err)
 					continue
 				}
 				sum += int64(n)

@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"testing"
+)
+
+// TestAllowPartialIsFreeWithoutFaults pins the degraded-mode opt-in's
+// zero-cost guarantee: on a fault-free fleet, AllowPartial changes
+// nothing on the wire — byte accounting, query counts, and the result
+// set are identical to a strict run, and the Completeness report says
+// "complete". Only when shards actually die does the mode change
+// behavior.
+func TestAllowPartialIsFreeWithoutFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  SessionConfig
+	}{
+		{"unsharded", SessionConfig{}},
+		{"sharded", SessionConfig{Shards: 2}},
+		{"replicated", SessionConfig{Shards: 2, Replicas: 2}},
+		{"replicated-breakers", SessionConfig{Shards: 2, Replicas: 2, Breakers: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(partial bool) *Result {
+				cfg := tc.cfg
+				cfg.R = GaussianClusters(400, 4, 250, World, 5)
+				cfg.S = GaussianClusters(400, 4, 250, World, 6)
+				cfg.Buffer = 400
+				cfg.Seed = 9
+				cfg.AllowPartial = partial
+				sess := newTestSession(t, cfg)
+				res, err := sess.Run(UpJoin{}, Spec{Kind: Distance, Eps: 75})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			strict := run(false)
+			partial := run(true)
+			if strict.Stats.TotalBytes() != partial.Stats.TotalBytes() ||
+				strict.Stats.TotalQueries() != partial.Stats.TotalQueries() {
+				t.Fatalf("AllowPartial changed fault-free accounting: %d bytes/%d queries vs %d/%d",
+					strict.Stats.TotalBytes(), strict.Stats.TotalQueries(),
+					partial.Stats.TotalBytes(), partial.Stats.TotalQueries())
+			}
+			if len(strict.Pairs) != len(partial.Pairs) {
+				t.Fatalf("AllowPartial changed fault-free results: %d vs %d pairs",
+					len(strict.Pairs), len(partial.Pairs))
+			}
+			for i := range strict.Pairs {
+				if strict.Pairs[i] != partial.Pairs[i] {
+					t.Fatalf("pair %d differs: %v vs %v", i, strict.Pairs[i], partial.Pairs[i])
+				}
+			}
+			if strict.Completeness != nil {
+				t.Fatalf("strict run carries a Completeness report: %v", strict.Completeness)
+			}
+			if partial.Completeness == nil || !partial.Completeness.Complete() {
+				t.Fatalf("fault-free partial run not reported complete: %v", partial.Completeness)
+			}
+		})
+	}
+}
+
+// TestAllowPartialQueryBudget pins that a session-level QueryBudget does
+// not change fault-free results either — the budget only bites when
+// retries, hedges, or failovers would otherwise stack past it.
+func TestAllowPartialQueryBudget(t *testing.T) {
+	run := func(cfg SessionConfig) *Result {
+		cfg.R = GaussianClusters(300, 4, 250, World, 7)
+		cfg.S = GaussianClusters(300, 4, 250, World, 8)
+		cfg.Buffer = 400
+		cfg.Seed = 3
+		sess := newTestSession(t, cfg)
+		res, err := sess.Run(UpJoin{}, Spec{Kind: Distance, Eps: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(SessionConfig{Shards: 2, Replicas: 2})
+	budgeted := run(SessionConfig{Shards: 2, Replicas: 2, QueryBudget: 1e9})
+	if plain.Stats.TotalBytes() != budgeted.Stats.TotalBytes() {
+		t.Fatalf("QueryBudget changed fault-free accounting: %d vs %d",
+			plain.Stats.TotalBytes(), budgeted.Stats.TotalBytes())
+	}
+	if len(plain.Pairs) != len(budgeted.Pairs) {
+		t.Fatalf("QueryBudget changed fault-free results")
+	}
+}

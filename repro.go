@@ -39,6 +39,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/health"
 	"repro/internal/netsim"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -209,7 +210,43 @@ type SessionConfig struct {
 	// is sub-accounted in Stats (Usage.HedgedWireBytes). Ignored unless
 	// Replicas > 1.
 	HedgePct float64
+	// Breakers arms a circuit breaker per replica endpoint (Replicas > 1
+	// only): a replica whose link keeps failing is declared dead after a
+	// few consecutive failures, skipped by selection and hedging before
+	// any probe is wasted on it, and re-closed by cheap background INFO
+	// probes once it answers again. Breaker activity is exported in
+	// Stats (Usage.BreakerOpens / BreakerSkips). With BreakerConfig's
+	// zero fields the health.Config defaults apply.
+	Breakers bool
+	// Breaker tunes the armed breakers (thresholds, cool-down, probe
+	// cadence); ignored unless Breakers is set.
+	Breaker BreakerConfig
+	// AllowPartial opts runs into degraded partial results: when a shard
+	// is unreachable (every replica open-circuit, or its sub-query
+	// exhausted its retries), the run completes over the shards that
+	// answered and Result.Completeness reports the gaps — answered/total
+	// shards, the unreachable shards' advertised bounds and cardinality,
+	// and the affected query count. The pairs of a partial result are a
+	// lower bound: every reported pair is real. Off (the default), any
+	// shard failure fails the run — bit-identical to before.
+	AllowPartial bool
+	// QueryBudget, when positive, bounds each logical probe end to end:
+	// its retries, backoffs, hedges, and failovers all draw from this one
+	// deadline instead of stacking flat per-try timeouts. Applied to both
+	// the per-link retry loop and the replica-set probe loop.
+	QueryBudget time.Duration
 }
+
+// BreakerConfig re-exports the circuit-breaker tuning knobs
+// (health.Config): failure thresholds, open cool-down, and the recovery
+// prober's cadence and budget.
+type BreakerConfig = health.Config
+
+// Completeness describes which shards contributed to a partial result.
+type Completeness = health.Completeness
+
+// Gap is one unreachable shard's missing contribution.
+type Gap = health.Gap
 
 // Session is a ready-to-run device↔servers assembly using in-process
 // goroutine servers. Create one per joined dataset pair; run as many
@@ -217,6 +254,7 @@ type SessionConfig struct {
 type Session struct {
 	env        *core.Env
 	remR, remS core.Probe
+	reg        *health.Registry // nil unless Breakers armed
 	runTimeout time.Duration
 }
 
@@ -243,30 +281,47 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	copts := []client.Option{client.WithRetry(cfg.Retry)}
+	retry := cfg.Retry
+	if cfg.QueryBudget > 0 {
+		retry.Budget = cfg.QueryBudget
+	}
+	copts := []client.Option{client.WithRetry(retry)}
 	if cfg.BatchSize > 1 {
 		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: cfg.BatchSize}))
 	}
+	var reg *health.Registry
+	if cfg.Breakers && cfg.Replicas > 1 {
+		reg = health.NewRegistry(cfg.Breaker)
+	}
 	var remR, remS core.Probe
-	if cfg.Shards >= 1 || cfg.Replicas > 1 {
+	if cfg.Shards >= 1 || cfg.Replicas > 1 || cfg.AllowPartial {
 		// The relation is served sharded and/or replicated: partition
 		// servers behind a scatter–gather router, each shard optionally a
 		// replica set (the 1-shard, 1-replica router is a pure
 		// pass-through, bit-identical on the wire to a direct remote).
+		// AllowPartial routes through here too — the router is the layer
+		// that absorbs sub-query failures into completeness gaps.
 		lcfg := shard.LocalConfig{
 			Shards: cfg.Shards, Replicas: cfg.Replicas, Workers: workers,
 			HedgePct: cfg.HedgePct, Link: link,
 			ServerOpts: opts, ClientOpts: copts,
+			Health: reg, Budget: cfg.QueryBudget,
 		}
 		lcfg.Price = cfg.PriceR
 		routerR, err := shard.ServeLocal("R", cfg.R, lcfg)
 		if err != nil {
+			if reg != nil {
+				reg.Close()
+			}
 			return nil, fmt.Errorf("repro: %w", err)
 		}
 		lcfg.Price = cfg.PriceS
 		routerS, err := shard.ServeLocal("S", cfg.S, lcfg)
 		if err != nil {
 			routerR.Close()
+			if reg != nil {
+				reg.Close()
+			}
 			return nil, fmt.Errorf("repro: %w", err)
 		}
 		remR, remS = routerR, routerS
@@ -296,8 +351,9 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	env.Seed = cfg.Seed
 	env.Parallelism = cfg.Parallelism
 	env.BatchSize = cfg.BatchSize
+	env.AllowPartial = cfg.AllowPartial
 	return &Session{
-		env: env, remR: remR, remS: remS,
+		env: env, remR: remR, remS: remS, reg: reg,
 		runTimeout: cfg.RunTimeout,
 	}, nil
 }
@@ -331,8 +387,13 @@ func (s *Session) RunContext(ctx context.Context, alg Algorithm, spec Spec) (*Re
 // algorithms, inspecting meters).
 func (s *Session) Env() *Env { return s.env }
 
-// Close shuts down the server goroutines.
+// Close shuts down the server goroutines. The breaker registry's
+// recovery probers are stopped first — and waited for — so no background
+// INFO probe outlives the session or races a closing transport.
 func (s *Session) Close() error {
+	if s.reg != nil {
+		s.reg.Close()
+	}
 	err1 := s.remR.Close()
 	err2 := s.remS.Close()
 	if err1 != nil {
