@@ -3,7 +3,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race bench bench-smoke bench-compare fuzz smoke cover test-flaky chaos fmt vet
+.PHONY: all build test race bench bench-smoke bench-compare fuzz smoke cover test-flaky chaos fmt vet lint
 
 all: build test
 
@@ -35,14 +35,20 @@ bench-smoke:
 
 # bench-compare is the regression gate: run a quick fresh pass of the
 # tracked benchmarks and diff the medians against BENCH_baseline.json.
-# Exits 1 when any median regresses beyond the threshold. CI runs this
-# as a non-blocking signal (shared runners are noisy); locally it is the
-# fastest "did I slow something down" check.
+# Exits 1 when any time or allocation median regresses beyond
+# BENCH_THRESHOLD percent (default 30 — generous on purpose: shared CI
+# runners are noisy, and the gate exists to catch order-of-magnitude
+# mistakes, not 5% drift). The hedged-replica benchmarks race real
+# wall-clock timers, so their medians move with machine load: they are
+# reported but excluded from the gate (-skip Hedged). CI runs this as a
+# blocking job; locally it is the fastest "did I slow something down"
+# check.
+BENCH_THRESHOLD ?= 30
 bench-compare:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.2s ./bench > bench.cmp.tmp
 	$(GO) run ./cmd/benchjson < bench.cmp.tmp > bench.cmp.json
 	@rm -f bench.cmp.tmp
-	$(GO) run ./cmd/benchjson -compare -threshold 30 BENCH_baseline.json bench.cmp.json; \
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) -skip Hedged BENCH_baseline.json bench.cmp.json; \
 	  status=$$?; rm -f bench.cmp.json; exit $$status
 
 # fuzz runs every fuzz target briefly — the codec-hardening pass CI runs
@@ -90,3 +96,19 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the static analyzers CI enforces (staticcheck, govulncheck).
+# Locally the tools may be absent — this target never installs anything;
+# it skips gracefully with a note so offline machines stay green, while
+# the CI jobs install pinned versions and fail for real.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+	  staticcheck ./...; \
+	else \
+	  echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+	  govulncheck ./...; \
+	else \
+	  echo "lint: govulncheck not installed, skipping (CI runs it)"; \
+	fi

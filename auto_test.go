@@ -1,0 +1,173 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// autoWorkloads are the dataset shapes the competitive sweep runs: the
+// golden clustered workload (4 tight clusters per side, independent
+// centers) and a near-uniform scatter (128 loose clusters).
+var autoWorkloads = map[string]struct{ k int }{
+	"clustered": {k: 4},
+	"scattered": {k: 128},
+}
+
+var autoSpecs = map[string]Spec{
+	"intersection": {Kind: Intersection},
+	"distance":     {Kind: Distance, Eps: 75},
+	"iceberg":      {Kind: IcebergSemi, Eps: 75, MinMatches: 2},
+}
+
+var autoLinks = map[string]LinkConfig{
+	"wifi":   {},
+	"dialup": DialupLink(),
+}
+
+// TestAutoMatchesOracle: whatever operator the planner commits (or
+// switches to mid-join), the result must be exactly the oracle's — the
+// planner optimizes bytes, never correctness.
+func TestAutoMatchesOracle(t *testing.T) {
+	robjs := GaussianClusters(400, 4, 250, World, 61)
+	sobjs := GaussianClusters(400, 4, 250, World, 62)
+	for name, spec := range autoSpecs {
+		t.Run(name, func(t *testing.T) {
+			sess := newTestSession(t, SessionConfig{
+				R: robjs, S: sobjs, Buffer: 300, Window: World, Seed: 7, PublishIndexes: true,
+			})
+			res, err := sess.Run(Auto{}, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Oracle(robjs, sobjs, spec, World)
+			assertShardedResult(t, "auto/"+name, spec, res, want)
+			if res.Explain == nil {
+				t.Fatal("auto must attach an Explain report")
+			}
+			if res.Explain.Chosen == "" || len(res.Explain.Candidates) == 0 {
+				t.Fatalf("Explain incomplete: chosen %q, %d candidates",
+					res.Explain.Chosen, len(res.Explain.Candidates))
+			}
+			if len(res.Explain.Phases) == 0 {
+				t.Fatal("Explain carries no phase log")
+			}
+			// The phase log must account for the metered traffic: the last
+			// recorded cumulative wire count cannot exceed the run total.
+			last := res.Explain.Phases[len(res.Explain.Phases)-1]
+			if total := res.Stats.TotalBytes(); last.WireBytes > total {
+				t.Fatalf("phase log claims %d cumulative wire bytes, run metered %d",
+					last.WireBytes, total)
+			}
+			var sb strings.Builder
+			res.Explain.Render(&sb)
+			if !strings.Contains(sb.String(), res.Explain.Chosen) {
+				t.Fatalf("rendered explain does not mention the chosen operator %q:\n%s",
+					res.Explain.Chosen, sb.String())
+			}
+		})
+	}
+}
+
+// TestAutoCompetitiveSweep is the tentpole's acceptance sweep: on every
+// workload shape × join kind × link configuration, auto's metered bytes
+// must land within 10% (plus a small constant for the two root COUNTs)
+// of the best fixed algorithm's.
+func TestAutoCompetitiveSweep(t *testing.T) {
+	fixed := map[string]Algorithm{
+		"naive":    Naive{},
+		"grid":     Grid{},
+		"mobiJoin": MobiJoin{},
+		"upJoin":   UpJoin{},
+		"srJoin":   SrJoin{},
+		"semiJoin": SemiJoin{},
+	}
+	for wlName, wl := range autoWorkloads {
+		robjs := GaussianClusters(600, wl.k, 250, World, 101)
+		sobjs := GaussianClusters(600, wl.k, 250, World, 102)
+		for specName, spec := range autoSpecs {
+			for linkName, link := range autoLinks {
+				name := wlName + "/" + specName + "/" + linkName
+				t.Run(name, func(t *testing.T) {
+					run := func(alg Algorithm) int {
+						t.Helper()
+						sess := newTestSession(t, SessionConfig{
+							R: robjs, S: sobjs, Buffer: 500, Window: World, Seed: 7,
+							PublishIndexes: true, Link: link,
+						})
+						res, err := sess.Run(alg, spec)
+						if err != nil {
+							t.Fatalf("%s: %v", alg.Name(), err)
+						}
+						return res.Stats.TotalBytes()
+					}
+					best := 0
+					bestName := ""
+					for algName, alg := range fixed {
+						if spec.Kind == IcebergSemi && algName == "semiJoin" {
+							continue // semiJoin has no iceberg mode
+						}
+						b := run(alg)
+						if best == 0 || b < best {
+							best, bestName = b, algName
+						}
+					}
+					got := run(Auto{})
+					// 10% plus the two root COUNT round trips (the only
+					// observation a fixed algorithm could not also need).
+					limit := int(1.10*float64(best)) + 2*230
+					t.Logf("%s: auto %d vs best fixed %s %d (limit %d)",
+						name, got, bestName, best, limit)
+					if got > limit {
+						t.Fatalf("auto metered %d bytes, best fixed (%s) %d — over the 10%% bound (limit %d)",
+							got, bestName, best, limit)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAutoMidJoinReplan pins the re-planning behaviour the phase seam
+// exists for: a committed NLSJ discovers — from the inner side's measured
+// quadrant densities, after its outer window is already on the device —
+// that finishing the probe phase is dearer than downloading the inner
+// windows per quadrant, and switches operators mid-join. The workload
+// makes the uniform plan-time estimate wrong on purpose: the inner
+// relation is one broad cluster and most outer objects sit inside it
+// (seeded identically), but a few stray outers stretch the join window
+// across the whole space — so plan-time uniformity prices the probes
+// low, and only the checkpoint's measured quadrant counts reveal that
+// nearly every probe lands in the one dense quadrant.
+func TestAutoMidJoinReplan(t *testing.T) {
+	robjs := GaussianClusters(26, 1, 400, World, 9)
+	for i, o := range GaussianClusters(4, 4, 1, World, 77) {
+		o.ID = 100000 + uint32(i) // keep IDs disjoint from the cluster's
+		robjs = append(robjs, o)
+	}
+	sobjs := GaussianClusters(300, 1, 400, World, 9)
+	spec := Spec{Kind: Distance, Eps: 600}
+	sess := newTestSession(t, SessionConfig{R: robjs, S: sobjs, Buffer: 320, Window: World, Seed: 7})
+	res, err := sess.Run(Auto{Planner: plan.Planner{CommitMargin: 1}}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain == nil || res.Explain.Replans == 0 {
+		t.Fatalf("expected a mid-join re-plan, got explain %+v", res.Explain)
+	}
+	var sawReplan bool
+	for _, p := range res.Explain.Phases {
+		if p.Kind == PhaseReplan {
+			sawReplan = true
+		}
+	}
+	if !sawReplan {
+		t.Fatal("no PhaseReplan event in the phase log")
+	}
+	want := Oracle(robjs, sobjs, spec, World)
+	assertShardedResult(t, "auto/replan", spec, res, want)
+	if len(want.Pairs) == 0 {
+		t.Fatal("vacuous workload: oracle found no pairs")
+	}
+}

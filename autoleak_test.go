@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestAutoObserverNoLeak runs the online planner with live link-stats
+// observers on a parallel session and verifies that everything — worker
+// pools, shard servers, and the lock-free stats plumbing — drains when
+// the session closes. Mirrors the PR 5/7 sharded leak checks.
+func TestAutoObserverNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	robjs := GaussianClusters(400, 4, 250, World, 61)
+	sobjs := GaussianClusters(400, 4, 250, World, 62)
+	link := DialupLink()
+	link.RTT = time.Millisecond
+	sess := newTestSession(t, SessionConfig{
+		R: robjs, S: sobjs, Buffer: 300, Window: World, Seed: 7,
+		PublishIndexes: true, Parallelism: 4, Link: link,
+	})
+	res, err := sess.Run(Auto{}, Spec{Kind: Distance, Eps: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain == nil {
+		t.Fatal("auto returned no explain report")
+	}
+	sess.Close()
+	waitShardedGoroutines(t, baseline)
+}
+
+// TestAutoCancelMidReplanNoLeak cancels an auto run while its phase
+// machine is mid-flight — between the observe, transfer, and re-plan
+// phases — and requires a prompt contextual error with no goroutine left
+// behind. The workload is the mid-join re-plan demo's, so cancellation
+// points cover the NLSJ checkpoint and the operator switch.
+func TestAutoCancelMidReplanNoLeak(t *testing.T) {
+	robjs := GaussianClusters(26, 1, 400, World, 9)
+	for i, o := range GaussianClusters(4, 4, 1, World, 77) {
+		o.ID = 100000 + uint32(i)
+		robjs = append(robjs, o)
+	}
+	sobjs := GaussianClusters(300, 1, 400, World, 9)
+	spec := Spec{Kind: Distance, Eps: 600}
+
+	// Sweep the cancellation point across the run: delay 0 cancels before
+	// the first observation, later delays land inside transfer phases and
+	// the checkpoint re-plan.
+	for _, delay := range []time.Duration{0, 500 * time.Microsecond, 2 * time.Millisecond} {
+		baseline := runtime.NumGoroutine()
+		link := DefaultLink()
+		link.RTT = 500 * time.Microsecond
+		sess := newTestSession(t, SessionConfig{
+			R: robjs, S: sobjs, Buffer: 320, Window: World, Seed: 7,
+			Parallelism: 4, Link: link,
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		if delay == 0 {
+			cancel()
+		} else {
+			time.AfterFunc(delay, cancel)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := sess.RunContext(ctx, Auto{}, spec)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			// A fast scheduler can finish before a late cancel lands; that
+			// is fine — only a wrong error class is a failure.
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("delay %v: err = %v, want context.Canceled as root cause", delay, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delay %v: auto did not return after cancellation", delay)
+		}
+		cancel()
+		sess.Close()
+		waitShardedGoroutines(t, baseline)
+	}
+}

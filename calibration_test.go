@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+)
+
+// TestCostModelCalibration pins how well the §3.1 estimates (Eq. 1–8, as
+// hydrated by the online planner) predict the *metered* bytes of each
+// fixed algorithm on the golden workload. The predictions are plan-time
+// quantities — uniform inside quadrants, self-similar skew below them —
+// so they are not expected to be exact; what this test freezes is the
+// calibration envelope: each algorithm × kind's predicted/metered ratio
+// must stay inside its pinned window. A model or estimator change that
+// silently degrades (or accidentally "improves") the fit fails here,
+// next to TestGoldenByteAccounting, which pins the metered side itself.
+func TestCostModelCalibration(t *testing.T) {
+	robjs := GaussianClusters(600, 4, 250, World, 101)
+	sobjs := GaussianClusters(600, 4, 250, World, 102)
+	specs := map[string]Spec{
+		"intersection": {Kind: Intersection},
+		"distance":     {Kind: Distance, Eps: 75},
+		"iceberg":      {Kind: IcebergSemi, Eps: 75, MinMatches: 2},
+	}
+
+	quadCount := func(objs []Object, eps float64) *[4]int {
+		var q [4]int
+		for i, quad := range World.Quadrants() {
+			w := quad.Expand(eps / 2)
+			for _, o := range objs {
+				if o.MBR.Intersects(w) {
+					q[i]++
+				}
+			}
+		}
+		return &q
+	}
+
+	// Pinned predicted/metered ratio windows. The loose entries are
+	// documented conservatisms: the partition estimate cannot see
+	// within-quadrant anti-location (independent cluster centres), so it
+	// over-predicts SrJoin's pruning-heavy runs; the semi-join estimate
+	// assumes every target object matches some source MBR.
+	type window struct{ lo, hi float64 }
+	windows := map[string]window{
+		"naive/intersection": {0.85, 1.0},
+		"naive/distance":     {0.85, 1.0},
+		"naive/iceberg":      {0.85, 1.0},
+		"grid/intersection":  {1.0, 1.4},
+		"grid/distance":      {1.0, 1.4},
+		"grid/iceberg":       {1.0, 1.4},
+		// Eq. 8 is deliberately blind to skew; the real run prunes what
+		// the uniform recursion cannot, so it over-predicts ~2.7×.
+		"mobiJoin/intersection": {2.2, 3.2},
+		"mobiJoin/distance":     {2.2, 3.2},
+		"mobiJoin/iceberg":      {2.2, 3.2},
+		"upJoin/intersection":   {1.5, 3.0},
+		"upJoin/distance":       {1.5, 3.0},
+		"upJoin/iceberg":        {1.5, 3.0},
+		"srJoin/intersection":   {2.0, 4.5},
+		"srJoin/distance":       {2.0, 4.5},
+		"srJoin/iceberg":        {2.0, 4.5},
+		"semiJoin/intersection": {3.0, 5.0},
+		"semiJoin/distance":     {3.0, 5.0},
+	}
+
+	for specName, spec := range specs {
+		obs := plan.Observations{
+			Window: World, NR: len(robjs), NS: len(sobjs),
+			Eps: spec.Eps, Iceberg: spec.Kind == IcebergSemi,
+			CountProbeR: spec.Kind == IcebergSemi,
+			TreeHeightR: 2, TreeHeightS: 2, WholeSpace: true,
+			Buffer: 500,
+			QuadR:  quadCount(robjs, spec.Eps),
+			QuadS:  quadCount(sobjs, spec.Eps),
+		}
+		d := plan.Planner{}.Choose(obs)
+		byOp := map[plan.Op]plan.Candidate{}
+		for _, c := range d.Candidates {
+			byOp[c.Op] = c
+		}
+
+		// Naive has no planner candidate: it is the unbuffered HBSJ of
+		// Eq. 2 — download both windows whole, join on the device.
+		unit := d.Params
+		unit.PriceR, unit.PriceS = 1, 1
+		unit.Buffer = 0
+		naiveSt := costmodel.Stats{W: World, NR: len(robjs), NS: len(sobjs), Eps: spec.Eps}
+		naivePred := unit.C1(naiveSt)
+
+		// MobiJoin follows Eq. 8's uniform recursion (2 levels) after its
+		// root COUNTs.
+		mobiPred := unit.C4Uniform(naiveSt, 2) + 2*unit.Taq()
+
+		preds := map[string]float64{
+			"naive":    naivePred,
+			"grid":     byOp[plan.OpGrid].Bytes,
+			"mobiJoin": mobiPred,
+			"upJoin":   byOp[plan.OpPartition].Bytes,
+			"srJoin":   byOp[plan.OpPartition].Bytes,
+		}
+		if c, ok := byOp[plan.OpSemiJoin]; ok {
+			preds["semiJoin"] = c.Bytes
+		}
+
+		for alg, pred := range preds {
+			key := alg + "/" + specName
+			metered, ok := goldenBytes[key]
+			if !ok {
+				continue
+			}
+			win, ok := windows[key]
+			if !ok {
+				t.Errorf("%s: no calibration window pinned", key)
+				continue
+			}
+			total := float64(metered[0] + metered[1])
+			ratio := pred / total
+			t.Logf("%-22s predicted %8.0f metered %6.0f ratio %5.2f (window [%.2f, %.2f])",
+				key, pred, total, ratio, win.lo, win.hi)
+			if ratio < win.lo || ratio > win.hi {
+				t.Errorf("%s: predicted/metered ratio %.3f outside pinned window [%.2f, %.2f]",
+					key, ratio, win.lo, win.hi)
+			}
+		}
+	}
+}

@@ -8,12 +8,14 @@
 //	go test -run '^$' -bench . -benchmem -count 6 ./bench | benchjson
 //
 // With -compare it instead diffs two such documents and reports per-
-// benchmark deltas, exiting 1 when any time regression exceeds the
-// threshold — the regression gate behind `make bench-compare` (CI runs
-// it as a non-blocking signal; benchmark noise on shared runners makes
-// it advisory there):
+// benchmark deltas, exiting 1 when any time or allocation regression
+// exceeds the threshold — the blocking regression gate behind
+// `make bench-compare`. Benchmarks matching -skip are still printed but
+// never gate: use it for timing-dependent benchmarks (hedging races
+// real timers, so their medians — and even their allocation counts —
+// swing with machine load):
 //
-//	benchjson -compare -threshold 25 BENCH_baseline.json BENCH_new.json
+//	benchjson -compare -threshold 25 -skip Hedged BENCH_baseline.json BENCH_new.json
 package main
 
 import (
@@ -66,11 +68,15 @@ func readReport(path string) (Report, error) {
 	return r, nil
 }
 
-// compare diffs new against old and returns the number of time
-// regressions beyond threshold percent. Benchmarks present on only one
+// compare diffs new against old and returns the number of regressions
+// beyond threshold percent — in time, or in allocations (allocation
+// medians are stable for compute-bound benchmarks but not perfectly so
+// for scheduling-driven ones, hence the same percentage tolerance
+// rather than an any-increase rule). Benchmarks present on only one
 // side are reported but never counted as regressions (new benchmarks
-// appear legitimately as the suite grows).
-func compare(old, cur Report, threshold float64, w *bufio.Writer) int {
+// appear legitimately as the suite grows), and benchmarks matching skip
+// are informational only.
+func compare(old, cur Report, threshold float64, skip *regexp.Regexp, w *bufio.Writer) int {
 	defer w.Flush()
 	oldBy := map[string]Result{}
 	for _, r := range old.Benchmarks {
@@ -86,22 +92,33 @@ func compare(old, cur Report, threshold float64, w *bufio.Writer) int {
 			fmt.Fprintf(w, "%-40s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
 			continue
 		}
+		gated := skip == nil || !skip.MatchString(nr.Name)
 		delta := 0.0
 		if or.NsPerOp > 0 {
 			delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
 		}
 		mark := ""
-		if delta > threshold {
+		switch {
+		case delta > threshold && gated:
 			mark = "  REGRESSION"
 			regressions++
-		} else if delta < -threshold {
+		case delta > threshold:
+			mark = "  (skipped)"
+		case delta < -threshold:
 			mark = "  improved"
 		}
 		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+8.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, mark)
-		if or.AllocsPerOp != nil && nr.AllocsPerOp != nil && *nr.AllocsPerOp > *or.AllocsPerOp {
-			fmt.Fprintf(w, "%-40s %14.0f %14.0f %9s  REGRESSION (allocs)\n",
-				nr.Name+" [allocs]", *or.AllocsPerOp, *nr.AllocsPerOp, "")
-			regressions++
+		if or.AllocsPerOp != nil && nr.AllocsPerOp != nil && *or.AllocsPerOp > 0 {
+			if d := (*nr.AllocsPerOp - *or.AllocsPerOp) / *or.AllocsPerOp * 100; d > threshold {
+				mark := "  REGRESSION (allocs)"
+				if gated {
+					regressions++
+				} else {
+					mark = "  (skipped allocs)"
+				}
+				fmt.Fprintf(w, "%-40s %14.0f %14.0f %+8.1f%%%s\n",
+					nr.Name+" [allocs]", *or.AllocsPerOp, *nr.AllocsPerOp, d, mark)
+			}
 		}
 	}
 	for _, or := range old.Benchmarks {
@@ -115,7 +132,15 @@ func compare(old, cur Report, threshold float64, w *bufio.Writer) int {
 	return regressions
 }
 
-func runCompare(oldPath, newPath string, threshold float64) int {
+func runCompare(oldPath, newPath string, threshold float64, skipPat string) int {
+	var skip *regexp.Regexp
+	if skipPat != "" {
+		var err error
+		if skip, err = regexp.Compile(skipPat); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -skip pattern: %v\n", err)
+			return 2
+		}
+	}
 	old, err := readReport(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -126,7 +151,7 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
 	}
-	if compare(old, cur, threshold, bufio.NewWriter(os.Stdout)) > 0 {
+	if compare(old, cur, threshold, skip, bufio.NewWriter(os.Stdout)) > 0 {
 		return 1
 	}
 	return 0
@@ -148,6 +173,7 @@ func main() {
 	var (
 		comparePair = flag.Bool("compare", false, "compare two benchjson files: benchjson -compare old.json new.json")
 		threshold   = flag.Float64("threshold", 25, "regression threshold in percent for -compare")
+		skipPat     = flag.String("skip", "", "regexp of benchmarks reported but not gated by -compare")
 	)
 	flag.Parse()
 	if *comparePair {
@@ -155,7 +181,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, *skipPat))
 	}
 
 	report := Report{Date: time.Now().UTC().Format("2006-01-02")}

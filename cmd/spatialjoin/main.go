@@ -36,6 +36,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -170,6 +171,8 @@ func algorithm(name string) (core.Algorithm, error) {
 		return core.SrJoin{}, nil
 	case "semijoin", "semi":
 		return core.SemiJoin{}, nil
+	case "auto":
+		return core.Auto{}, nil
 	}
 	return nil, fmt.Errorf("unknown algorithm %q", name)
 }
@@ -180,7 +183,9 @@ func main() {
 		sAddr    = flag.String("s", "", "address of the S server (required unless -shards-s)")
 		rShards  = flag.String("shards-r", "", "comma-separated shard server addresses for R (overrides -r; a+b lists replicas of one shard)")
 		sShards  = flag.String("shards-s", "", "comma-separated shard server addresses for S (overrides -s; a+b lists replicas of one shard)")
-		alg      = flag.String("alg", "upjoin", "naive, grid, mobijoin, upjoin, srjoin, semijoin")
+		alg      = flag.String("alg", "upjoin", "naive, grid, mobijoin, upjoin, srjoin, semijoin, auto")
+		algAlias = flag.String("algo", "", "alias for -alg")
+		explain  = flag.Bool("explain", false, "print the planner's phase-by-phase report (candidate table, estimated vs metered bytes, re-plans); richest with -alg auto")
 		kind     = flag.String("kind", "distance", "intersection, distance, iceberg")
 		eps      = flag.Float64("eps", 150, "distance threshold")
 		m        = flag.Int("m", 10, "iceberg minimum matches")
@@ -216,7 +221,11 @@ func main() {
 		defer cancel()
 	}
 
-	a, err := algorithm(*alg)
+	algName := *alg
+	if *algAlias != "" {
+		algName = *algAlias
+	}
+	a, err := algorithm(algName)
 	fatal(err)
 	win, err := parseWindow(*window)
 	fatal(err)
@@ -271,8 +280,25 @@ func main() {
 	env.BatchSize = *batch
 	env.AllowPartial = *partial
 
+	// -explain with a fixed algorithm streams the phase events live (the
+	// fixed algorithms build no Explain of their own); Auto's structured
+	// report prints after the run either way.
+	var phaseMu sync.Mutex
+	if *explain {
+		env.Observer = func(e core.PhaseEvent) {
+			phaseMu.Lock()
+			defer phaseMu.Unlock()
+			fmt.Printf("phase %-8s %-28s nr=%-6d ns=%-6d est=%-10.0f wire=%-10d %s\n",
+				e.Kind, e.Name, e.NR, e.NS, e.EstBytes, e.WireBytes, e.Note)
+		}
+	}
+
 	res, err := a.Run(ctx, env, spec)
 	fatal(err)
+
+	if *explain && res.Explain != nil {
+		res.Explain.Render(os.Stdout)
+	}
 
 	st := res.Stats
 	if spec.Kind == core.IcebergSemi {

@@ -97,6 +97,7 @@ type Remote struct {
 	retry    RetryPolicy
 	retries  atomic.Int64
 	lat      *LatencyTracker
+	stats    *netsim.LinkStats
 	batchCfg BatchConfig
 	b        *batcher // nil when batching is disabled
 }
@@ -109,8 +110,10 @@ func NewRemote(name string, rt netsim.RoundTripper, link netsim.LinkConfig, pric
 	if err != nil {
 		return nil, fmt.Errorf("client: remote %s: %w", name, err)
 	}
-	r := &Remote{name: name, conn: netsim.NewMetered(rt, m), m: m,
-		lat: NewLatencyTracker(0)}
+	conn := netsim.NewMetered(rt, m)
+	r := &Remote{name: name, conn: conn, m: m,
+		lat: NewLatencyTracker(0), stats: &netsim.LinkStats{}}
+	conn.SetStats(r.stats)
 	for _, o := range opts {
 		o(r)
 	}
@@ -140,6 +143,18 @@ func (r *Remote) Retries() int64 { return r.retries.Load() }
 // replica layer reads a high quantile off it as the hedge threshold;
 // diagnostics may report p50/p99 from the same window.
 func (r *Remote) Latency() *LatencyTracker { return r.lat }
+
+// LinkStats returns the live link observation of this remote: the link
+// parameters its meter charges against plus the measured RTT EWMA fed by
+// every successful round trip. The online planner (package plan) reads
+// it to hydrate the cost model from reality instead of static defaults.
+func (r *Remote) LinkStats() netsim.LinkSnapshot {
+	return netsim.LinkSnapshot{
+		Config:  r.m.Link(),
+		RTT:     r.stats.RTT(),
+		Samples: r.stats.Samples(),
+	}
+}
 
 // Close releases the underlying transport.
 func (r *Remote) Close() error { return r.conn.Close() }

@@ -132,6 +132,10 @@ type Result struct {
 	// the pairs are a lower bound (every reported pair is real; pairs
 	// touching the unreachable shards are missing).
 	Completeness *health.Completeness
+	// Explain is the online planner's phase-by-phase account (candidate
+	// table, estimated vs metered bytes, re-plans). Set only by the Auto
+	// algorithm; nil for the fixed algorithms.
+	Explain *Explain
 }
 
 // Algorithm is one join evaluation strategy.

@@ -117,6 +117,14 @@ type Env struct {
 	// Under Parallelism > 1 the callback may fire from several goroutines
 	// at once and must be safe for concurrent calls.
 	Trace func(format string, args ...any)
+	// Observer, when non-nil, receives one PhaseEvent at every phase
+	// boundary of a run: observation phases (COUNT statistics), plan
+	// decisions, transfers, and re-plans, each carrying the cost model's
+	// estimate next to the bytes metered so far. Purely diagnostic — the
+	// fixed algorithms issue the same requests with or without it. Under
+	// Parallelism > 1 the callback may fire from several goroutines at
+	// once and must be safe for concurrent calls.
+	Observer func(PhaseEvent)
 	// AllowPartial opts a run into degraded partial results: when a
 	// shard is unreachable (every replica open-circuit, or its sub-query
 	// exhausted its retries), the routers record the gap and the run

@@ -11,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/health"
 	"repro/internal/memjoin"
+	"repro/internal/netsim"
 	"repro/internal/wire"
 )
 
@@ -38,6 +39,16 @@ type exec struct {
 	pred memjoin.Pred
 	dec  decisions
 	par  *gate // nil = sequential execution
+	// alg is the running algorithm's name, stamped on phase events.
+	alg string
+	// r0 and s0 are the meter snapshots taken when the run began (after
+	// prepare), so Stats and phase events cover exactly this run.
+	r0, s0 netsim.Usage
+	// explain, non-nil only for the adaptive algorithm, accumulates the
+	// phase-by-phase estimated-vs-metered report attached to the Result.
+	// Its phase log is appended from concurrent workers under explainMu.
+	explain   *Explain
+	explainMu sync.Mutex
 	// ctx is the run's context: a cancellable child of the caller's
 	// context. The first error anywhere in the run cancels it, so every
 	// sibling probe or download in flight is interrupted instead of
@@ -68,7 +79,7 @@ type exec struct {
 	probed map[uint32]bool        // iceberg: R ids already count-probed
 }
 
-func newExec(ctx context.Context, env *Env, spec Spec) (*exec, error) {
+func newExec(ctx context.Context, env *Env, spec Spec, alg string) (*exec, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -90,9 +101,14 @@ func newExec(ctx context.Context, env *Env, spec Spec) (*exec, error) {
 		spec:  spec,
 		pred:  spec.pred(),
 		par:   newGate(env.Parallelism),
+		alg:   alg,
 		robjs: make(map[uint32]geom.Object),
 		rep:   rep,
 	}
+	// Snapshot the meters after prepare: INFO traffic belongs to the
+	// environment, not to any one run, exactly as when the algorithms
+	// snapshotted around newExec themselves.
+	x.r0, x.s0 = env.Usage()
 	x.ctx, x.cancelRun = context.WithCancel(ctx)
 	x.window = env.Window
 	if spec.Eps > 0 {
@@ -409,6 +425,16 @@ func (x *exec) result() *Result {
 			Gaps:           gaps,
 		}
 	}
+	return res
+}
+
+// finish assembles the Result with this run's traffic stats (and, for
+// adaptive runs, the explain report). It must be called only after every
+// worker of the run has joined.
+func (x *exec) finish() *Result {
+	res := x.result()
+	res.Stats = x.env.statsSince(x.r0, x.s0, &x.dec)
+	res.Explain = x.explain
 	return res
 }
 

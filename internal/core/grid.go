@@ -25,55 +25,81 @@ func (g Grid) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
 	if k <= 0 {
 		k = 4
 	}
-	x, err := newExec(ctx, env, spec)
+	x, err := newExec(ctx, env, spec, "grid")
 	if err != nil {
 		return nil, err
 	}
 	defer x.close()
-	r0, s0 := env.Usage()
 	cells := x.window.Grid(k)
-	// Grid cells are independent subproblems: the worker pool processes
-	// them concurrently, overlapping one cell's download/join with its
-	// neighbours' COUNT probes. A batching run multiplexes the COUNT
-	// phases instead.
+	// Both paths run the same two-phase graph — a COUNT sweep that
+	// observes every cell, then a transfer phase over the surviving cells
+	// — differing only in how the count queries are framed (individual
+	// frames vs MsgBatch envelopes).
 	if x.batching() {
 		err = gridBatched(x, cells)
 	} else {
-		err = x.fanoutSiblings(len(cells), func(i int) error {
-			return gridCell(x, cells[i])
-		})
+		err = gridSweep(x, cells)
 	}
 	if err != nil {
 		return nil, err
 	}
-	res := x.result()
-	res.Stats = env.statsSince(r0, s0, &x.dec)
-	return res, nil
+	return x.finish(), nil
 }
 
-func gridCell(x *exec, w geom.Rect) error {
-	// The S-side COUNT is skipped when R is empty, so the two probes stay
-	// sequential within a cell — parallelizing them would issue requests
-	// the sequential plan avoids, breaking byte-for-byte equivalence.
-	nr, err := x.count(sideR, w)
+// gridSweep is the unbatched two-phase grid. Phase one observes: one R
+// COUNT per cell, then one S COUNT per cell R left non-empty — exactly
+// the request set of the historical per-cell loop (the S count was always
+// conditional on the R count), so the metered totals are unchanged; only
+// the order moves, and byte accounting is order-independent. Phase two
+// transfers: every surviving cell joins via doHBSJ. The seam between the
+// phases is what the online planner observes and resumes from.
+func gridSweep(x *exec, cells []geom.Rect) error {
+	nr := make([]int, len(cells))
+	err := x.fanout(len(cells), func(i int) error {
+		n, err := x.count(sideR, cells[i])
+		if err != nil {
+			return err
+		}
+		nr[i] = n
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	if nr == 0 {
-		x.dec.pruned.Add(1)
+	var alive []int
+	for i, n := range nr {
+		if n == 0 {
+			x.dec.pruned.Add(1)
+		} else {
+			alive = append(alive, i)
+		}
+	}
+	x.emit(PhaseObserve, "observe/grid-counts-r", x.window, 0, 0,
+		float64(len(cells))*x.bytesModel().Taq(), "")
+	if len(alive) == 0 {
 		return nil
 	}
-	ns, err := x.count(sideS, w)
+	ns := make([]int, len(alive))
+	err = x.fanout(len(alive), func(i int) error {
+		n, err := x.count(sideS, cells[alive[i]])
+		if err != nil {
+			return err
+		}
+		ns[i] = n
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	if ns == 0 {
-		x.dec.pruned.Add(1)
-		return nil
-	}
-	// doHBSJ splits recursively (with pruning) when the cell exceeds the
-	// device buffer.
-	return x.doHBSJ(w, exact(nr), exact(ns), 1)
+	x.emit(PhaseObserve, "observe/grid-counts-s", x.window, 0, 0,
+		float64(len(alive))*x.bytesModel().Taq(), "")
+	return x.fanoutSiblings(len(alive), func(i int) error {
+		if ns[i] == 0 {
+			x.dec.pruned.Add(1)
+			return nil
+		}
+		return x.doHBSJ(cells[alive[i]], exact(nr[alive[i]]), exact(ns[i]), 1)
+	})
 }
 
 // gridBatched issues exactly the COUNT query set of the sequential grid

@@ -20,7 +20,7 @@ import (
 func upStateForTest(t *testing.T, alpha float64) *upState {
 	t.Helper()
 	env := testEnv(t, dataset.Uniform(10, dataset.World, 1), dataset.Uniform(10, dataset.World, 2), 100)
-	x, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 10})
+	x, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 10}, "test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestRandomQuadrantWindowInsideParent(t *testing.T) {
 
 func TestSrJoinBitmap(t *testing.T) {
 	env := testEnv(t, dataset.Uniform(10, dataset.World, 1), dataset.Uniform(10, dataset.World, 2), 100)
-	x, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 10})
+	x, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 10}, "test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestSrJoinBitmap(t *testing.T) {
 
 func TestSplittableStopsAtEpsScale(t *testing.T) {
 	env := testEnv(t, dataset.Uniform(10, dataset.World, 1), dataset.Uniform(10, dataset.World, 2), 100)
-	x, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 100})
+	x, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 100}, "test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestSplittableStopsAtEpsScale(t *testing.T) {
 		t.Fatal("depth bound must stop splitting")
 	}
 	// ε = 0: only the depth bound applies.
-	x0, err := newExec(context.Background(), env, Spec{Kind: Intersection})
+	x0, err := newExec(context.Background(), env, Spec{Kind: Intersection}, "test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestQuadrantCountDerivation(t *testing.T) {
 	objs := dataset.Uniform(400, dataset.World, 31)
 	env := testEnv(t, objs, objs, 100)
 	// ε = 0: derivation is exact and costs 3 queries per side.
-	x, err := newExec(context.Background(), env, Spec{Kind: Intersection})
+	x, err := newExec(context.Background(), env, Spec{Kind: Intersection}, "test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestQuadrantCountDerivation(t *testing.T) {
 	}
 
 	// ε > 0: the derived fourth count is approximate.
-	xd, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 50})
+	xd, err := newExec(context.Background(), env, Spec{Kind: Distance, Eps: 50}, "test")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,12 +25,11 @@ func (MobiJoin) Name() string { return "mobiJoin" }
 
 // Run implements Algorithm.
 func (MobiJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
-	x, err := newExec(ctx, env, spec)
+	x, err := newExec(ctx, env, spec, "mobiJoin")
 	if err != nil {
 		return nil, err
 	}
 	defer x.close()
-	r0, s0 := env.Usage()
 	nr, ns, err := x.countBoth(x.window)
 	if err != nil {
 		return nil, err
@@ -38,9 +37,7 @@ func (MobiJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
 	if err := mobiJoin(x, x.window, nr, ns, 0); err != nil {
 		return nil, err
 	}
-	res := x.result()
-	res.Stats = env.statsSince(r0, s0, &x.dec)
-	return res, nil
+	return x.finish(), nil
 }
 
 func mobiJoin(x *exec, w geom.Rect, nr, ns cnt, depth int) error {

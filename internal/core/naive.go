@@ -18,18 +18,15 @@ func (Naive) Name() string { return "naive" }
 
 // Run implements Algorithm.
 func (Naive) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
-	x, err := newExec(ctx, env, spec)
+	x, err := newExec(ctx, env, spec, "naive")
 	if err != nil {
 		return nil, err
 	}
 	defer x.close()
-	r0, s0 := env.Usage()
 	if err := naiveWindow(x, x.window, 0); err != nil {
 		return nil, err
 	}
-	res := x.result()
-	res.Stats = env.statsSince(r0, s0, &x.dec)
-	return res, nil
+	return x.finish(), nil
 }
 
 func naiveWindow(x *exec, w geom.Rect, depth int) error {

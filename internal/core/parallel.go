@@ -205,6 +205,9 @@ func (x *exec) countBoth(w geom.Rect) (nr, ns cnt, err error) {
 			return err
 		},
 	)
+	if err == nil && x.observing() {
+		x.emit(PhaseObserve, "observe/count", w, nr.n, ns.n, 2*x.bytesModel().Taq(), "")
+	}
 	return nr, ns, err
 }
 
@@ -241,6 +244,9 @@ func (x *exec) quadrantCountsBoth(w geom.Rect, nr, ns cnt) (qr, qs [4]cnt, err e
 			return err
 		},
 	)
+	if err == nil && x.observing() {
+		x.emit(PhaseObserve, "observe/quadrants", w, nr.n, ns.n, 8*x.bytesModel().Taq(), "")
+	}
 	return qr, qs, err
 }
 

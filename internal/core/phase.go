@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/geom"
+)
+
+// This file is the observable-phase seam of the execution engine. Every
+// algorithm's run decomposes into the same three phase families —
+// observation (COUNT/INFO statistics), planning (cost-model decisions),
+// and transfer (object movement) — and the engine reports each phase
+// boundary to Env.Observer as a PhaseEvent carrying both the model's
+// estimate and the bytes actually metered so far. The online planner
+// (internal/plan, driven by the Auto algorithm) consumes the same seam:
+// observation phases feed it live statistics, and because their results
+// (counts, quadrant counts, downloaded outer objects) are returned as
+// values rather than buried in a monolithic Run, a later phase can
+// resume from them after a re-plan instead of re-paying for them.
+
+// PhaseKind classifies a phase boundary.
+type PhaseKind int
+
+// Phase kinds.
+const (
+	// PhaseObserve is a statistics phase: COUNT/RANGE-COUNT/INFO queries
+	// whose answers feed the cost model, never the result.
+	PhaseObserve PhaseKind = iota
+	// PhasePlan is a planning decision: no traffic of its own, records the
+	// operator chosen and the estimate it was chosen on.
+	PhasePlan
+	// PhaseTransfer is an object-moving phase: window downloads, probe
+	// streams, semi-join relays.
+	PhaseTransfer
+	// PhaseReplan marks a revision of an earlier plan: a repartition forced
+	// by the buffer, or the online planner switching operators mid-join
+	// after an observation contradicted the estimate it committed on.
+	PhaseReplan
+)
+
+// String implements fmt.Stringer.
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseObserve:
+		return "observe"
+	case PhasePlan:
+		return "plan"
+	case PhaseTransfer:
+		return "transfer"
+	case PhaseReplan:
+		return "replan"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// PhaseEvent is one phase boundary of a run, reported to Env.Observer.
+type PhaseEvent struct {
+	// Algorithm is the running algorithm's name.
+	Algorithm string
+	// Kind classifies the phase.
+	Kind PhaseKind
+	// Name identifies the phase within its kind, e.g. "observe/quadrants"
+	// or "transfer/nlsj-probes".
+	Name string
+	// Window is the partition the phase acted on.
+	Window geom.Rect
+	// NR and NS are the window's per-side counts as known at emission
+	// (zero when unknown).
+	NR, NS int
+	// EstBytes is the cost model's unpriced wire-byte estimate for the
+	// phase (Eq. 1–8), zero when no estimate applies.
+	EstBytes float64
+	// WireBytes is the run's metered wire bytes over both links at
+	// emission, so consecutive events bracket each phase's real cost.
+	WireBytes int
+	// Note carries free-form detail (chosen operator, re-plan reason).
+	Note string
+}
+
+// PhaseReport is one phase of an Explain: the model's estimate against
+// the bytes the meter recorded while the phase ran.
+type PhaseReport struct {
+	Name      string
+	Kind      PhaseKind
+	EstBytes  float64
+	WireBytes int
+	Note      string
+}
+
+// CandidateReport is one scored operator of the online planner's
+// candidate table, retained for Explain.
+type CandidateReport struct {
+	Op       string
+	Cost     float64
+	Bytes    float64
+	Queries  float64
+	Feasible bool
+	Note     string
+}
+
+// Explain is the planner's account of an adaptive run: the candidate
+// table the plan was chosen from, the phases executed, and any mid-join
+// re-plans. Attached to Result by the Auto algorithm (nil otherwise).
+type Explain struct {
+	// Algorithm is the adaptive algorithm's name ("auto").
+	Algorithm string
+	// Chosen is the operator the plan committed to (the final one, after
+	// any re-plan).
+	Chosen string
+	// Replans counts mid-join operator switches.
+	Replans int
+	// Phases lists the executed phases in emission order. EstBytes is the
+	// model's estimate for the phase; WireBytes is the run's cumulative
+	// metered total at emission, so consecutive entries bracket each
+	// phase's real cost.
+	Phases []PhaseReport
+	// PhasesDropped counts phase events beyond the log cap (deep
+	// recursions emit one transfer per leaf).
+	PhasesDropped int
+	// Candidates is the scored operator table of the (last) plan phase,
+	// cheapest first.
+	Candidates []CandidateReport
+}
+
+// Render writes the explain report as fixed-width text.
+func (e *Explain) Render(w interface{ Write([]byte) (int, error) }) {
+	fmt.Fprintf(w, "plan: %s chose %s (%d re-plan(s))\n", e.Algorithm, e.Chosen, e.Replans)
+	if len(e.Candidates) > 0 {
+		fmt.Fprintf(w, "  %-12s %12s %12s %9s  %s\n", "candidate", "est cost", "est bytes", "queries", "note")
+		for _, c := range e.Candidates {
+			feas := ""
+			if !c.Feasible {
+				feas = " (infeasible)"
+			}
+			fmt.Fprintf(w, "  %-12s %12.0f %12.0f %9.0f  %s%s\n", c.Op, c.Cost, c.Bytes, c.Queries, c.Note, feas)
+		}
+	}
+	if len(e.Phases) > 0 {
+		fmt.Fprintf(w, "  %-28s %12s %12s %12s  %s\n", "phase", "est bytes", "phase wire", "total wire", "note")
+		prev := 0
+		for _, p := range e.Phases {
+			est := "-"
+			if p.EstBytes > 0 {
+				est = fmt.Sprintf("%.0f", p.EstBytes)
+			}
+			fmt.Fprintf(w, "  %-28s %12s %12d %12d  %s\n", p.Name, est, p.WireBytes-prev, p.WireBytes, p.Note)
+			prev = p.WireBytes
+		}
+		if e.PhasesDropped > 0 {
+			fmt.Fprintf(w, "  ... %d further phase event(s) beyond the log cap\n", e.PhasesDropped)
+		}
+	}
+}
+
+// observing reports whether this run has a phase observer attached (or an
+// explain report being assembled).
+func (x *exec) observing() bool { return x.env.Observer != nil || x.explain != nil }
+
+// wireSince returns the run's metered wire bytes over both links so far.
+// Meters may still be hot when called mid-phase under parallelism; the
+// value is a monotone snapshot, exact at phase boundaries where the
+// engine is quiescent.
+func (x *exec) wireSince() int {
+	r, s := x.env.Usage()
+	return r.WireBytes - x.r0.WireBytes + s.WireBytes - x.s0.WireBytes
+}
+
+// maxExplainPhases caps the phase log of an Explain: deep recursions emit
+// one transfer event per leaf partition, and an unbounded log would turn
+// the diagnostic into the memory hog.
+const maxExplainPhases = 96
+
+// emit reports one phase boundary to the observer and, on adaptive runs,
+// appends it to the Explain's phase log. A no-op for fixed algorithms
+// without an observer, so they pay nothing for the seam.
+func (x *exec) emit(kind PhaseKind, name string, w geom.Rect, nr, ns int, est float64, note string) {
+	if x.env.Observer == nil && x.explain == nil {
+		return
+	}
+	wire := x.wireSince()
+	if x.env.Observer != nil {
+		x.env.Observer(PhaseEvent{
+			Algorithm: x.alg,
+			Kind:      kind,
+			Name:      name,
+			Window:    w,
+			NR:        nr,
+			NS:        ns,
+			EstBytes:  est,
+			WireBytes: wire,
+			Note:      note,
+		})
+	}
+	if x.explain != nil {
+		x.explainMu.Lock()
+		if len(x.explain.Phases) < maxExplainPhases {
+			x.explain.Phases = append(x.explain.Phases, PhaseReport{
+				Name: name, Kind: kind, EstBytes: est, WireBytes: wire, Note: note,
+			})
+		} else {
+			x.explain.PhasesDropped++
+		}
+		x.explainMu.Unlock()
+	}
+}
+
+// bytesModel returns the run's cost model with unit tariffs: estimates in
+// plain wire bytes, directly comparable to the meter.
+func (x *exec) bytesModel() costmodel.Params {
+	p := x.env.Model
+	p.PriceR, p.PriceS = 1, 1
+	return p
+}

@@ -67,6 +67,7 @@ func (x *exec) doHBSJ(w geom.Rect, nr, ns cnt, depth int) error {
 			return x.doNLSJ(w, outer, nr, ns)
 		}
 		x.dec.repart.Add(1)
+		x.emit(PhaseReplan, "replan/hbsj-split", w, nr.n, ns.n, 0, "buffer exceeded, splitting")
 		qr, qs, err := x.quadrantCountsBoth(w, nr, ns)
 		if err != nil {
 			return err
@@ -78,6 +79,9 @@ func (x *exec) doHBSJ(w geom.Rect, nr, ns cnt, depth int) error {
 	}
 
 	x.dec.hbsj.Add(1)
+	if x.observing() {
+		x.emit(PhaseTransfer, "transfer/hbsj", w, nr.n, ns.n, x.bytesModel().C1(x.modelStats(w, nr, ns)), "")
+	}
 	var robjs, sobjs []geom.Object
 	err = x.both(
 		func() error {
@@ -114,39 +118,60 @@ func (x *exec) joinLocal(robjs, sobjs []geom.Object) {
 }
 
 // doNLSJ executes the nested-loop spatial join on partition w with the
-// given outer side: download the outer window, then probe the inner
-// server once per outer object (or in buckets, Eq. 6, when the model is
-// configured for bucket submission). Under a parallel environment the
-// per-object probes are spread over the worker pool; each probe is an
-// independent request, so the probe set — and the metered bytes — do not
-// depend on scheduling.
+// given outer side: an outer phase that downloads the outer window,
+// then a probe phase querying the inner server once per outer object
+// (or in buckets, Eq. 6, when the model is configured for bucket
+// submission). The two phases are separate methods so the online
+// planner can insert a density checkpoint between them — the downloaded
+// outer objects are a resumable observation, reused whichever operator
+// finishes the window. Under a parallel environment the per-object
+// probes are spread over the worker pool; each probe is an independent
+// request, so the probe set — and the metered bytes — do not depend on
+// scheduling.
 //
 // For iceberg semi-joins with outer R over a whole-space window, probes
 // are aggregate RANGE-COUNT queries: only the per-object match count is
 // transferred, never the matching objects.
 func (x *exec) doNLSJ(w geom.Rect, outer side, nr, ns cnt) error {
-	var err error
-	if nr, ns, err = x.ensureExactBoth(w, nr, ns); err != nil {
+	outerObjs, done, err := x.nlsjOuterPhase(w, outer, nr, ns)
+	if done || err != nil {
 		return err
+	}
+	return x.nlsjProbePhase(w, outer, outerObjs)
+}
+
+// nlsjOuterPhase is NLSJ's first phase: confirm the counts, prune empty
+// windows, and download the outer relation's window. done reports that
+// the window needs no probe phase (pruned or empty download).
+func (x *exec) nlsjOuterPhase(w geom.Rect, outer side, nr, ns cnt) (outerObjs []geom.Object, done bool, err error) {
+	if nr, ns, err = x.ensureExactBoth(w, nr, ns); err != nil {
+		return nil, true, err
 	}
 	if nr.n == 0 || ns.n == 0 {
 		x.dec.pruned.Add(1)
-		return nil
+		return nil, true, nil
 	}
 	x.dec.nlsj.Add(1)
 
+	outerObjs, err = x.remote(outer).Window(x.ctx, x.fetchWindow(outer, w))
+	if err != nil {
+		return nil, true, err
+	}
+	if x.observing() {
+		p := x.bytesModel()
+		x.emit(PhaseTransfer, "transfer/nlsj-outer", w, nr.n, ns.n,
+			p.QueryBytes()+p.TB(len(outerObjs)*p.BObj), "outer window downloaded")
+	}
+	return outerObjs, len(outerObjs) == 0, nil
+}
+
+// nlsjProbePhase is NLSJ's second phase: probe the inner server with the
+// outer objects downloaded by nlsjOuterPhase.
+func (x *exec) nlsjProbePhase(w geom.Rect, outer side, outerObjs []geom.Object) error {
 	inner := sideS
 	if outer == sideS {
 		inner = sideR
 	}
-	outerObjs, err := x.remote(outer).Window(x.ctx, x.fetchWindow(outer, w))
-	if err != nil {
-		return err
-	}
-	if len(outerObjs) == 0 {
-		return nil
-	}
-
 	if x.spec.Kind == IcebergSemi && outer == sideR && x.icebergCountable() {
 		return x.icebergCountProbes(outerObjs)
 	}

@@ -34,22 +34,32 @@ func (SemiJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
 	if spec.Kind == IcebergSemi {
 		return nil, fmt.Errorf("core: semiJoin does not support iceberg semantics")
 	}
-	x, err := newExec(ctx, env, spec)
+	x, err := newExec(ctx, env, spec, "semiJoin")
 	if err != nil {
 		return nil, err
 	}
 	defer x.close()
-	r0, s0 := env.Usage()
+	if err := semiJoinRun(x); err != nil {
+		return nil, err
+	}
+	return x.finish(), nil
+}
 
+// semiJoinRun is the three-phase semi-join body, shared between the fixed
+// SemiJoin algorithm and the online planner's OpSemiJoin delegation:
+// level download, MBR match, upload join — each an observable transfer
+// phase.
+func semiJoinRun(x *exec) error {
+	env, spec := x.env, x.spec
 	infoR, infoS := env.infoR, env.infoS
 	if infoR.TreeHeight == 0 || infoS.TreeHeight == 0 {
-		return nil, fmt.Errorf("core: semiJoin requires both servers to publish their index")
+		return fmt.Errorf("core: semiJoin requires both servers to publish their index")
 	}
 	// SemiJoin moves whole-dataset structure, so it evaluates the join
 	// over the entire data space; restricted query windows would need
 	// object geometry the protocol does not relay.
 	if !env.Window.Contains(infoR.Bounds.Union(infoS.Bounds)) {
-		return nil, fmt.Errorf("core: semiJoin supports whole-space windows only")
+		return fmt.Errorf("core: semiJoin supports whole-space windows only")
 	}
 
 	// The source contributes the MBR level; it is the *larger* dataset
@@ -71,21 +81,24 @@ func (SemiJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
 	}
 	mbrs, err := x.remote(source).LevelMBRs(x.ctx, level)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	x.emit(PhaseTransfer, "transfer/semijoin-mbrs", x.window, 0, 0, 0, "level MBRs downloaded")
 
 	// Relay the MBRs to the target: the upload is metered as part of the
 	// MBR-MATCH request, whose response is the qualifying target objects.
 	targetObjs, err := x.remote(target).MBRMatch(x.ctx, mbrs, spec.Eps)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	x.emit(PhaseTransfer, "transfer/semijoin-match", x.window, 0, 0, 0, "MBR match relayed")
 
 	// Relay the qualifying objects to the source for the final join.
 	pairs, err := x.remote(source).UploadJoin(x.ctx, targetObjs, spec.Eps)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	x.emit(PhaseTransfer, "transfer/semijoin-upload", x.window, 0, 0, 0, "upload join done")
 
 	// UploadJoin returns pairs with the uploaded (target) ID first;
 	// normalize so RID is always the R-side object.
@@ -106,8 +119,5 @@ func (SemiJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
 		}
 	}
 	x.addPairs(norm, rGeom)
-
-	res := x.result()
-	res.Stats = env.statsSince(r0, s0, &x.dec)
-	return res, nil
+	return nil
 }

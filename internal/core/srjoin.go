@@ -34,12 +34,11 @@ func (s SrJoin) rho() float64 {
 
 // Run implements Algorithm.
 func (s SrJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
-	x, err := newExec(ctx, env, spec)
+	x, err := newExec(ctx, env, spec, "srJoin")
 	if err != nil {
 		return nil, err
 	}
 	defer x.close()
-	r0, s0 := env.Usage()
 	nr, ns, err := x.countBoth(x.window)
 	if err != nil {
 		return nil, err
@@ -50,9 +49,7 @@ func (s SrJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
 	} else if err := sr.join(x.window, nr, ns, 0); err != nil {
 		return nil, err
 	}
-	res := x.result()
-	res.Stats = env.statsSince(r0, s0, &x.dec)
-	return res, nil
+	return x.finish(), nil
 }
 
 type srState struct {
@@ -79,6 +76,13 @@ func (s *srState) join(w geom.Rect, nr, ns cnt, depth int) error {
 	if err != nil {
 		return err
 	}
+	return s.joinWithQuads(w, nr, ns, qr, qs, depth)
+}
+
+// joinWithQuads is join resumed after the observation phase: the caller
+// already holds the window's quadrant counts (its own, or inherited from
+// the online planner's observe phase), so no aggregate query is re-paid.
+func (s *srState) joinWithQuads(w geom.Rect, nr, ns cnt, qr, qs [4]cnt, depth int) error {
 	similar := s.bitmap(nr.n, qr) == s.bitmap(ns.n, qs)
 	quads := w.Quadrants()
 

@@ -36,12 +36,11 @@ func (u UpJoin) alpha() float64 {
 
 // Run implements Algorithm.
 func (u UpJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
-	x, err := newExec(ctx, env, spec)
+	x, err := newExec(ctx, env, spec, "upJoin")
 	if err != nil {
 		return nil, err
 	}
 	defer x.close()
-	r0, s0 := env.Usage()
 	nr, ns, err := x.countBoth(x.window)
 	if err != nil {
 		return nil, err
@@ -51,9 +50,7 @@ func (u UpJoin) Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := x.result()
-	res.Stats = env.statsSince(r0, s0, &x.dec)
-	return res, nil
+	return x.finish(), nil
 }
 
 type upState struct {
@@ -123,9 +120,16 @@ func (u *upState) inspect(d side, w geom.Rect, st dsState) (dsState, error) {
 		st.hasQuads = true
 		return st, nil
 	}
-	qs, err := u.quadrantCounts(d, w, st.n)
-	if err != nil {
-		return st, err
+	// Resume from quadrant counts already measured by an earlier phase
+	// (the online planner's observe phase seeds them) instead of paying
+	// for them again; UpJoin's own recursion never pre-sets them.
+	qs := st.quads
+	if !st.hasQuads {
+		var err error
+		qs, err = u.quadrantCounts(d, w, st.n)
+		if err != nil {
+			return st, err
+		}
 	}
 	st.quads, st.hasQuads = qs, true
 	st.tested = true

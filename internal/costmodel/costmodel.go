@@ -35,14 +35,42 @@ type Params struct {
 	Bucket bool
 }
 
+// The record sizes of §3.1, derived from the wire format in exactly one
+// place so a protocol change cannot desynchronize the model from the
+// bytes the meter will actually charge. The compile-time pins below fail
+// the build when the wire layout shifts: that is deliberate — re-derive
+// the golden byte tables and update the pins in the same change, never
+// let the model drift silently.
+const (
+	// BQWire is the size of a window/count query frame: one type byte
+	// plus an encoded rectangle.
+	BQWire = 1 + wire.RectSize
+	// BAWire is the size of an aggregate answer record.
+	BAWire = wire.CountSize
+	// BObjWire is the size of one object record (the paper's BObj = 20).
+	BObjWire = wire.ObjectSize
+)
+
+// Compile-time guards: each pair underflows (negative untyped constant
+// converted to uint) unless the wire constant still has the pinned
+// value the cost model and golden tables were calibrated against.
+const (
+	_ uint = BQWire - 17
+	_ uint = 17 - BQWire
+	_ uint = BAWire - 8
+	_ uint = 8 - BAWire
+	_ uint = BObjWire - 20
+	_ uint = 20 - BObjWire
+)
+
 // Default returns the parameters used throughout the experiments: WiFi
 // link, 20-byte objects, equal unit tariffs, and an 800-object buffer.
 func Default() Params {
 	return Params{
 		Link:   netsim.DefaultLink(),
-		BQ:     wire.RectSize + 1, // a window/count query frame
-		BA:     wire.CountSize,
-		BObj:   wire.ObjectSize,
+		BQ:     BQWire,
+		BA:     BAWire,
+		BObj:   BObjWire,
 		PriceR: 1,
 		PriceS: 1,
 		Buffer: 800,
@@ -79,6 +107,12 @@ type Stats struct {
 	// aggregate RANGE-COUNT queries: each probe's reply is one BA-byte
 	// count instead of the matching objects, which changes C2 radically.
 	CountProbeR bool
+	// DensityFactor inflates the expected per-probe result beyond the
+	// uniformity assumption of Eq. (3): the online planner sets it to the
+	// measured peak-to-mean density ratio (from quadrant counts or
+	// per-shard INFO skew) so NLSJ estimates stop under-pricing probes
+	// that land in clusters. 0 (or 1) keeps the paper's uniform estimate.
+	DensityFactor float64
 }
 
 // probeArea estimates the area of one NLSJ probe's qualifying region
@@ -115,10 +149,21 @@ func (st Stats) expectedProbeResult(inner int, outerAvgArea, innerAvgArea float6
 		return 0
 	}
 	exp := st.probeArea(outerAvgArea, innerAvgArea) / area * float64(inner)
+	if st.DensityFactor > 1 {
+		exp *= st.DensityFactor
+	}
 	if exp > float64(inner) {
 		exp = float64(inner)
 	}
 	return exp
+}
+
+// PerProbeMatches is the exported form of expectedProbeResult for the
+// online planner (package plan): the expected number of inner objects
+// matched by one outer probe, under uniformity inside st.W scaled by
+// st.DensityFactor.
+func (st Stats) PerProbeMatches(inner int, outerAvgArea, innerAvgArea float64) float64 {
+	return st.expectedProbeResult(inner, outerAvgArea, innerAvgArea)
 }
 
 // Infeasible is the cost of operators that cannot run (e.g. HBSJ without

@@ -1,0 +1,66 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/wire"
+)
+
+// TestWireConstantsMatchEncodings closes the loop the compile-time
+// guards cannot: BQ/BA/BObj are pinned to the wire package's declared
+// sizes at compile time, and this test pins the declared sizes to the
+// *actual* encoder output. A codec change that grows a frame without
+// updating its declared size — silently desynchronizing Eq. 1's inputs
+// from what crosses the simulated link — fails here.
+func TestWireConstantsMatchEncodings(t *testing.T) {
+	rect := geom.Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 4}
+	objs := []geom.Object{
+		{ID: 1, MBR: rect},
+		{ID: 2, MBR: rect},
+		{ID: 3, MBR: rect},
+	}
+
+	// BQ: the COUNT/window query frame, type byte included.
+	if got := len(wire.AppendCount(nil, rect)); got != BQWire {
+		t.Errorf("COUNT query encodes to %d bytes, BQWire is %d", got, BQWire)
+	}
+	if got := len(wire.AppendWindow(nil, rect)); got != BQWire {
+		t.Errorf("WINDOW query encodes to %d bytes, BQWire is %d", got, BQWire)
+	}
+
+	// BA: the aggregate answer record (the reply frame adds one type byte).
+	if got := len(wire.AppendCountReply(nil, 42)) - 1; got != BAWire {
+		t.Errorf("COUNT reply record is %d bytes, BAWire is %d", got, BAWire)
+	}
+
+	// BObj: the per-object marginal cost of an object stream.
+	one := len(wire.AppendObjects(nil, objs[:1]))
+	two := len(wire.AppendObjects(nil, objs[:2]))
+	three := len(wire.AppendObjects(nil, objs))
+	if two-one != BObjWire || three-two != BObjWire {
+		t.Errorf("object stream marginal sizes %d/%d bytes, BObjWire is %d",
+			two-one, three-two, BObjWire)
+	}
+
+	// The planner's semi-join estimate prices MBR relays and pair streams
+	// with wire.RectSize and wire.PairSize; pin those to their encoders.
+	oneR := len(wire.AppendRects(nil, []geom.Rect{rect}))
+	twoR := len(wire.AppendRects(nil, []geom.Rect{rect, rect}))
+	if twoR-oneR != wire.RectSize {
+		t.Errorf("rect stream marginal size %d bytes, wire.RectSize is %d", twoR-oneR, wire.RectSize)
+	}
+	pairs := []geom.Pair{{RID: 1, SID: 2}, {RID: 3, SID: 4}}
+	oneP := len(wire.AppendPairs(nil, pairs[:1]))
+	twoP := len(wire.AppendPairs(nil, pairs))
+	if twoP-oneP != wire.PairSize {
+		t.Errorf("pair stream marginal size %d bytes, wire.PairSize is %d", twoP-oneP, wire.PairSize)
+	}
+
+	// Default() must expose exactly the wire-derived trio.
+	d := Default()
+	if d.BQ != BQWire || d.BA != BAWire || d.BObj != BObjWire {
+		t.Errorf("Default() = BQ %d BA %d BObj %d, want %d/%d/%d",
+			d.BQ, d.BA, d.BObj, BQWire, BAWire, BObjWire)
+	}
+}

@@ -226,6 +226,8 @@ func (q ChaosQuery) algorithm() (core.Algorithm, error) {
 		return core.MobiJoin{}, nil
 	case "semijoin":
 		return core.SemiJoin{}, nil
+	case "auto":
+		return core.Auto{}, nil
 	}
 	return nil, fmt.Errorf("harness: unknown algorithm %q", q.Algorithm)
 }

@@ -65,6 +65,18 @@ type Config struct {
 	// sets when > 0 (needs Replicas > 1). Hedge traffic costs real bytes
 	// and shifts measured totals.
 	HedgePct float64
+	// Link selects the physical link parameters of every metered link
+	// (Eq. 1). The zero value means the WiFi default (MTU 1500, BH 40);
+	// netsim.DialupLink() reproduces the paper's dial-up alternative.
+	Link netsim.LinkConfig
+}
+
+// link resolves the configured link, defaulting to WiFi.
+func (c Config) link() netsim.LinkConfig {
+	if c.Link == (netsim.LinkConfig{}) {
+		return netsim.DefaultLink()
+	}
+	return c.Link
 }
 
 // Defaults mirror §5: 1000-point datasets, buffer 800 (40% of total),
@@ -182,6 +194,7 @@ func runOnce(alg core.Algorithm, robjs, sobjs []geom.Object, cfg Config, spec co
 	defer s.Close()
 	model := costmodel.Default()
 	model.Bucket = cfg.Bucket
+	model.Link = cfg.link()
 	env := core.NewEnv(r, s, client.Device{BufferObjects: cfg.Buffer}, model, dataset.World)
 	env.Seed = seed
 	env.Parallelism = cfg.Parallelism
@@ -203,7 +216,7 @@ func runOnce(alg core.Algorithm, robjs, sobjs []geom.Object, cfg Config, spec co
 func serveSide(name string, objs []geom.Object, cfg Config, workers int, sopts []server.Option, copts []client.Option) (core.Probe, error) {
 	if cfg.Shards <= 1 && cfg.Replicas <= 1 {
 		tr := netsim.ServeParallel(server.New(name, objs, sopts...), workers)
-		rem, err := client.NewRemote(name, tr, netsim.DefaultLink(), 1, copts...)
+		rem, err := client.NewRemote(name, tr, cfg.link(), 1, copts...)
 		if err != nil {
 			tr.Close()
 			return nil, err
@@ -212,7 +225,7 @@ func serveSide(name string, objs []geom.Object, cfg Config, workers int, sopts [
 	}
 	return shard.ServeLocal(name, objs, shard.LocalConfig{
 		Shards: cfg.Shards, Replicas: cfg.Replicas, Workers: workers,
-		HedgePct: cfg.HedgePct, Link: netsim.DefaultLink(), Price: 1,
+		HedgePct: cfg.HedgePct, Link: cfg.link(), Price: 1,
 		ServerOpts: sopts, ClientOpts: copts,
 	})
 }

@@ -303,12 +303,21 @@ func IsHedged(ctx context.Context) bool {
 type Metered struct {
 	rt RoundTripper
 	m  *Meter
+	// stats, when non-nil, observes the measured duration of every
+	// successful round trip (lock-free; see LinkStats). Byte accounting
+	// is unaffected — observation is timing-only.
+	stats *LinkStats
 }
 
 // NewMetered wraps rt so that all traffic is charged to meter.
 func NewMetered(rt RoundTripper, meter *Meter) *Metered {
 	return &Metered{rt: rt, m: meter}
 }
+
+// SetStats installs a live link-stats observer: every successful round
+// trip's wall-clock duration is folded into its RTT EWMA. Must be called
+// before the first round trip (it is not synchronized with them).
+func (c *Metered) SetStats(s *LinkStats) { c.stats = s }
 
 // Meter returns the meter charged by this connection.
 func (c *Metered) Meter() *Meter { return c.m }
@@ -320,6 +329,7 @@ func (c *Metered) Meter() *Meter { return c.m }
 // actually arrive.
 func (c *Metered) RoundTrip(ctx context.Context, req []byte) ([]byte, error) {
 	hedged := IsHedged(ctx)
+	start := time.Now()
 	wire := c.m.Charge(len(req), Up)
 	if hedged {
 		c.m.MarkHedged(wire)
@@ -337,6 +347,7 @@ func (c *Metered) RoundTrip(ctx context.Context, req []byte) ([]byte, error) {
 	if hedged {
 		c.m.MarkHedged(wire)
 	}
+	c.stats.ObserveRTT(time.Since(start))
 	return resp, nil
 }
 

@@ -238,6 +238,16 @@ func (rs *ReplicaSet) score(i int, err error, d time.Duration, actx context.Cont
 // PricePerByte returns the shared per-byte tariff of the replica links.
 func (rs *ReplicaSet) PricePerByte() float64 { return rs.replicas[0].PricePerByte() }
 
+// LinkStats merges the live link observations of every replica link
+// (sample-weighted RTT EWMA), for the online planner.
+func (rs *ReplicaSet) LinkStats() netsim.LinkSnapshot {
+	var snap netsim.LinkSnapshot
+	for _, r := range rs.replicas {
+		snap = snap.Merge(r.LinkStats())
+	}
+	return snap
+}
+
 // Retries sums the re-issued attempts across all replica links.
 func (rs *ReplicaSet) Retries() int64 {
 	var n int64

@@ -194,6 +194,33 @@ func (r *Router) Usage() netsim.Usage {
 // PricePerByte returns the shared per-byte tariff of the shard links.
 func (r *Router) PricePerByte() float64 { return r.shards[0].PricePerByte() }
 
+// LinkStats merges the live link observations of every shard endpoint
+// (sample-weighted RTT EWMA, first shard's link parameters standing for
+// the homogeneous fleet). Endpoints without an observer contribute
+// nothing.
+func (r *Router) LinkStats() netsim.LinkSnapshot {
+	var snap netsim.LinkSnapshot
+	for _, s := range r.shards {
+		if ls, ok := s.(interface{ LinkStats() netsim.LinkSnapshot }); ok {
+			snap = snap.Merge(ls.LinkStats())
+		}
+	}
+	return snap
+}
+
+// ShardInfos returns every shard's advertised metadata in shard order,
+// fetching (and caching) the INFO fan-out if it has not happened yet.
+// The online planner reads it to measure placement skew: a relation
+// whose objects pile onto few shards violates the cost model's
+// uniformity assumption at the fleet level, exactly like a dense
+// quadrant does at the window level.
+func (r *Router) ShardInfos(ctx context.Context) ([]wire.Info, error) {
+	if err := r.ensureInfo(ctx); err != nil {
+		return nil, err
+	}
+	return r.snapshotInfos(), nil
+}
+
 // Retries sums the re-issued attempts across all shard links.
 func (r *Router) Retries() int64 {
 	var n int64

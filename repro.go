@@ -113,6 +113,36 @@ type (
 	SrJoin = core.SrJoin
 	// SemiJoin is the cooperative indexed comparator (§5.3).
 	SemiJoin = core.SemiJoin
+	// Auto is the online cost-based planner: it observes first (COUNTs,
+	// live link stats, shard skew), scores every candidate operator with
+	// the §3.1 model hydrated from those observations, commits the
+	// cheapest, and can re-plan mid-join when a measurement contradicts
+	// the estimate it committed on. Result.Explain carries its account.
+	Auto = core.Auto
+)
+
+// Observability of the execution engine: every run decomposes into
+// observe/plan/transfer/re-plan phases, reported to Env.Observer.
+type (
+	// PhaseEvent is one phase boundary of a run (see Env.Observer).
+	PhaseEvent = core.PhaseEvent
+	// PhaseKind classifies a phase boundary.
+	PhaseKind = core.PhaseKind
+	// Explain is the online planner's phase-by-phase account, attached to
+	// Result.Explain by the Auto algorithm.
+	Explain = core.Explain
+)
+
+// Phase kinds.
+const (
+	// PhaseObserve is a statistics phase (COUNT/INFO queries).
+	PhaseObserve = core.PhaseObserve
+	// PhasePlan is a planning decision.
+	PhasePlan = core.PhasePlan
+	// PhaseTransfer is an object-moving phase.
+	PhaseTransfer = core.PhaseTransfer
+	// PhaseReplan marks a mid-join revision of an earlier plan.
+	PhaseReplan = core.PhaseReplan
 )
 
 // Dataset helpers.
@@ -346,6 +376,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	}
 	model := costmodel.Default()
 	model.Bucket = cfg.Bucket
+	model.Link = link
 	model.PriceR, model.PriceS = cfg.PriceR, cfg.PriceS
 	env := core.NewEnv(remR, remS, client.Device{BufferObjects: cfg.Buffer}, model, cfg.Window)
 	env.Seed = cfg.Seed

@@ -100,7 +100,7 @@ func TestSessionParallelismMatchesSequential(t *testing.T) {
 	r := GaussianClusters(400, 4, 250, World, 11)
 	s := GaussianClusters(400, 4, 250, World, 12)
 	spec := Spec{Kind: Distance, Eps: 120}
-	for _, alg := range []Algorithm{Naive{}, Grid{}, MobiJoin{}, UpJoin{}, SrJoin{}} {
+	for _, alg := range []Algorithm{Naive{}, Grid{}, MobiJoin{}, UpJoin{}, SrJoin{}, Auto{}} {
 		seqSess := newTestSession(t, SessionConfig{R: r, S: s, Buffer: 300})
 		seq, err := seqSess.Run(alg, spec)
 		if err != nil {
