@@ -16,7 +16,11 @@
 //
 // The device then scatter–gathers every query across the shard links
 // (COUNTs sum, window replies merge) and the join result is identical to
-// the unsharded run.
+// the unsharded run. With -tree-fanout N (N >= 2) the shard endpoints
+// stack under a hierarchical aggregation tree: interior nodes partially
+// merge replies so the root link carries O(N) frames per query instead
+// of O(shards) — same results, per-level byte breakdown printed when the
+// tree is deeper than one level.
 //
 // -breakers arms circuit breakers on a+b replica groups, -budget bounds
 // each logical query end-to-end, and -allow-partial turns a run with
@@ -77,8 +81,12 @@ func parseWindow(s string) (geom.Rect, error) {
 // With reg non-nil, replica groups get circuit breakers; budget bounds
 // each logical probe end-to-end; solo forces even a single server behind
 // a one-shard router so degraded partial-result mode has an absorbing
-// scatter layer to record gaps in.
-func dialProbe(name, addr, shardList string, conns int, price, hedgePct float64,
+// scatter layer to record gaps in. treeFanout >= 2 stacks the shard
+// endpoints under a hierarchical aggregation tree on the device: groups
+// of that many consecutive shards sit behind interior Aggregator nodes
+// that partially merge replies, so the root link carries O(fanout)
+// frames per query instead of O(shards).
+func dialProbe(name, addr, shardList string, conns, treeFanout int, price, hedgePct float64,
 	reg *health.Registry, budget time.Duration, solo bool, copts []client.Option) (core.Probe, error) {
 	dial := func(label, a string) (*client.Remote, error) {
 		tr, err := netsim.DialTCPPool(a, conns)
@@ -154,6 +162,9 @@ func dialProbe(name, addr, shardList string, conns int, price, hedgePct float64,
 		}
 		eps = append(eps, rset)
 	}
+	if treeFanout >= 2 {
+		return shard.NewTree(name, eps, treeFanout, netsim.DefaultLink(), shard.WithParallelism(conns))
+	}
 	return shard.NewRouter(name, eps, shard.WithParallelism(conns))
 }
 
@@ -203,6 +214,7 @@ func main() {
 		hedgePct = flag.Float64("hedge-pct", 0, "hedge a probe past this latency percentile of its replica set (0 = off; needs a+b replica groups)")
 		budget   = flag.Duration("budget", 0, "per-query deadline budget shared by retries, hedges and failovers (0 = none)")
 		breakers = flag.Bool("breakers", false, "arm circuit breakers on a+b replica groups: skip open-circuit replicas before probing, recover via background INFO probes")
+		fanout   = flag.Int("tree-fanout", 0, "stack shard endpoints under a hierarchical aggregation tree with this fanout per interior node (0 = flat scatter; needs -shards-r/-shards-s)")
 		partial  = flag.Bool("allow-partial", false, "return a lower-bound result when shards stay unreachable, with a completeness report and exit code 3")
 	)
 	flag.Parse()
@@ -260,10 +272,10 @@ func main() {
 	if *breakers {
 		reg = health.NewRegistry(health.Config{})
 	}
-	remR, err := dialProbe("R", *rAddr, *rShards, conns, *priceR, *hedgePct, reg, *budget, *partial, copts)
+	remR, err := dialProbe("R", *rAddr, *rShards, conns, *fanout, *priceR, *hedgePct, reg, *budget, *partial, copts)
 	fatal(err)
 	defer remR.Close()
-	remS, err := dialProbe("S", *sAddr, *sShards, conns, *priceS, *hedgePct, reg, *budget, *partial, copts)
+	remS, err := dialProbe("S", *sAddr, *sShards, conns, *fanout, *priceS, *hedgePct, reg, *budget, *partial, copts)
 	fatal(err)
 	defer remS.Close()
 	if reg != nil {
@@ -321,6 +333,9 @@ func main() {
 	fmt.Printf("decisions: HBSJ %d, NLSJ %d, repartitions %d, pruned %d\n",
 		st.HBSJ, st.NLSJ, st.Repartitions, st.Pruned)
 	fmt.Printf("monetary cost: %.6f\n", st.MoneyCost)
+	if len(st.RLevels) > 1 || len(st.SLevels) > 1 {
+		fmt.Printf("tree levels (wire bytes, root first): R %v / S %v\n", st.RLevels, st.SLevels)
+	}
 	if n := remR.Retries() + remS.Retries(); n > 0 {
 		fmt.Printf("retries: %d re-issued requests (retransmissions metered)\n", n)
 	}

@@ -110,6 +110,13 @@ type Stats struct {
 	HBSJ, NLSJ, Repartitions, Pruned int
 	// MoneyCost is Σ price × wire bytes over both links.
 	MoneyCost float64
+	// RLevels and SLevels break each relation's wire bytes out per
+	// hierarchical-aggregation-tree level, root outward: index 0 is the
+	// links into the root device (the fan-in the partial merges keep
+	// ~flat), deeper indexes the interior and leaf levels whose traffic
+	// grows with the fleet. Nil for flat or unsharded relations; R/S
+	// above already include every level's bytes.
+	RLevels, SLevels []int
 }
 
 // TotalBytes is the headline metric of every figure: wire bytes over both

@@ -208,6 +208,35 @@ func (e *Env) prepare(ctx context.Context) error {
 // Usage returns the combined traffic snapshot of both links.
 func (e *Env) Usage() (r, s netsim.Usage) { return e.R.Usage(), e.S.Usage() }
 
+// levelUsages snapshots the per-tree-level traffic of a relation served
+// through a hierarchical aggregation tree (shard.Router.LevelUsages).
+// Probes without the seam — bare remotes — yield nil.
+func levelUsages(p Probe) []netsim.Usage {
+	if lu, ok := p.(interface{ LevelUsages() []netsim.Usage }); ok {
+		return lu.LevelUsages()
+	}
+	return nil
+}
+
+// levelWireSince diffs a relation's per-level wire bytes against the
+// run-start snapshot. Flat topologies (one level — the root links ARE
+// the leaf links) report nil: per-level totals only say something beyond
+// Stats' own byte columns when there is more than one level.
+func levelWireSince(p Probe, before []netsim.Usage) []int {
+	after := levelUsages(p)
+	if len(after) <= 1 {
+		return nil
+	}
+	out := make([]int, len(after))
+	for i, u := range after {
+		out[i] = u.WireBytes
+		if i < len(before) {
+			out[i] -= before[i].WireBytes
+		}
+	}
+	return out
+}
+
 // statsSince builds a Stats from meter snapshots taken before the run.
 // It must be called only after every worker goroutine of the run has
 // joined, so the meters are quiescent and the snapshots exact.

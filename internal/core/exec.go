@@ -44,6 +44,10 @@ type exec struct {
 	// r0 and s0 are the meter snapshots taken when the run began (after
 	// prepare), so Stats and phase events cover exactly this run.
 	r0, s0 netsim.Usage
+	// rl0 and sl0 snapshot the per-tree-level usage of each relation at
+	// run start (nil for flat/unsharded relations), so Stats.RLevels and
+	// SLevels cover exactly this run too.
+	rl0, sl0 []netsim.Usage
 	// explain, non-nil only for the adaptive algorithm, accumulates the
 	// phase-by-phase estimated-vs-metered report attached to the Result.
 	// Its phase log is appended from concurrent workers under explainMu.
@@ -109,6 +113,7 @@ func newExec(ctx context.Context, env *Env, spec Spec, alg string) (*exec, error
 	// environment, not to any one run, exactly as when the algorithms
 	// snapshotted around newExec themselves.
 	x.r0, x.s0 = env.Usage()
+	x.rl0, x.sl0 = levelUsages(env.R), levelUsages(env.S)
 	x.ctx, x.cancelRun = context.WithCancel(ctx)
 	x.window = env.Window
 	if spec.Eps > 0 {
@@ -434,6 +439,8 @@ func (x *exec) result() *Result {
 func (x *exec) finish() *Result {
 	res := x.result()
 	res.Stats = x.env.statsSince(x.r0, x.s0, &x.dec)
+	res.Stats.RLevels = levelWireSince(x.env.R, x.rl0)
+	res.Stats.SLevels = levelWireSince(x.env.S, x.sl0)
 	res.Explain = x.explain
 	return res
 }

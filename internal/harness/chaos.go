@@ -67,6 +67,10 @@ type Topology struct {
 	Shards   int `json:"shards"`
 	Replicas int `json:"replicas"`
 	Workers  int `json:"workers"`
+	// TreeFanout >= 2 stacks the shards under a hierarchical
+	// aggregation tree with this fanout per interior node; gap names
+	// stay in leaf shard units regardless of depth.
+	TreeFanout int `json:"tree_fanout"`
 	// Points per relation, spread over Clusters Gaussian clusters of
 	// spread Sigma (dataset.GaussianClusters; Seed and Seed+1).
 	Points   int     `json:"points"`
@@ -311,7 +315,8 @@ func RunScenario(sc *Scenario) (*ChaosReport, error) {
 	link.RTT = time.Duration(top.RTTMicros) * time.Microsecond
 	lcfg := shard.LocalConfig{
 		Shards: top.Shards, Replicas: top.Replicas, Workers: workers,
-		HedgePct: top.HedgePct, Link: link, Price: 1,
+		TreeFanout: top.TreeFanout,
+		HedgePct:   top.HedgePct, Link: link, Price: 1,
 		ClientOpts: []client.Option{client.WithRetry(retry)},
 		Health:     reg, Budget: budget,
 		WrapTransport: func(name string, rt netsim.RoundTripper) netsim.RoundTripper {

@@ -56,6 +56,11 @@ type Config struct {
 	// to the unsharded run; byte totals shift (one link per shard, its
 	// own INFO round trip, per-shard pruning).
 	Shards int
+	// TreeFanout, when >= 2, stacks the shard endpoints under a
+	// hierarchical aggregation tree with this fanout per interior node
+	// (see shard.NewTree). Results are identical to the flat scatter;
+	// byte totals additionally account the interior uplinks.
+	TreeFanout int
 	// Replicas, when > 1, serves each shard from this many identical
 	// replica servers behind a shard.ReplicaSet (round-robin load
 	// balancing with failover). Results are identical; summed byte totals
@@ -225,7 +230,8 @@ func serveSide(name string, objs []geom.Object, cfg Config, workers int, sopts [
 	}
 	return shard.ServeLocal(name, objs, shard.LocalConfig{
 		Shards: cfg.Shards, Replicas: cfg.Replicas, Workers: workers,
-		HedgePct: cfg.HedgePct, Link: cfg.link(), Price: 1,
+		TreeFanout: cfg.TreeFanout,
+		HedgePct:   cfg.HedgePct, Link: cfg.link(), Price: 1,
 		ServerOpts: sopts, ClientOpts: copts,
 	})
 }

@@ -25,6 +25,12 @@ type LocalConfig struct {
 	// HedgePct enables percentile-triggered hedged reads on each
 	// replica set when > 0 (ignored with a single replica).
 	HedgePct float64
+	// TreeFanout, when >= 2, stacks the shard endpoints under a
+	// hierarchical aggregation tree (NewTree) with that fanout per
+	// interior node instead of the flat scatter. Interior uplinks share
+	// the leaf Link shape and Price. 0 (or a fanout no smaller than the
+	// shard count) keeps the flat router.
+	TreeFanout int
 	// Link and Price configure every device↔server meter identically.
 	Link  netsim.LinkConfig
 	Price float64
@@ -124,7 +130,13 @@ func ServeLocal(name string, objs []geom.Object, cfg LocalConfig) (*Router, erro
 		}
 		eps[i] = rset
 	}
-	router, err := NewRouter(name, eps, WithParallelism(workers))
+	var router *Router
+	var err error
+	if cfg.TreeFanout >= 2 {
+		router, err = NewTree(name, eps, cfg.TreeFanout, cfg.Link, WithParallelism(workers))
+	} else {
+		router, err = NewRouter(name, eps, WithParallelism(workers))
+	}
 	if err != nil {
 		return fail(err)
 	}

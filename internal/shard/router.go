@@ -1,7 +1,6 @@
 package shard
 
 import (
-	"cmp"
 	"context"
 	"errors"
 	"fmt"
@@ -87,9 +86,10 @@ func Remotes(rems []*client.Remote) []Endpoint {
 // client.WithRetry / client.WithBatch and the router's scatter rides on
 // both.
 type Router struct {
-	name   string
-	shards []Endpoint
-	par    int // max concurrent sub-queries per scatter; 0 = all shards
+	name     string
+	relation string // logical relation gaps are reported under; defaults to name
+	shards   []Endpoint
+	par      int // max concurrent sub-queries per scatter; 0 = all shards
 
 	// Shard metadata for routing, fetched once (one INFO per shard link,
 	// metered like any query) on first use. Guarded by mu rather than a
@@ -97,14 +97,15 @@ type Router struct {
 	// the session's later runs. Under partial mode the cache may be
 	// partial: infoOK marks the shards whose INFO arrived, infoErr keeps
 	// each dead shard's root cause for gap reports, and infoRetryAt
-	// spaces re-probes of the dead shards so each query does not pay a
-	// fresh timeout against a still-dead shard.
+	// spaces re-probes of each dead shard individually so one flapping
+	// shard's cooldown neither costs each query a fresh timeout nor
+	// delays the INFO refresh of a different shard that revives sooner.
 	mu          sync.Mutex
 	ready       bool
 	infos       []wire.Info
 	infoOK      []bool
 	infoErr     []error
-	infoRetryAt time.Time
+	infoRetryAt []time.Time
 	merged      wire.Info
 }
 
@@ -129,6 +130,14 @@ var errAllOpen = errors.New("shard: all replicas open-circuit")
 
 // RouterOption configures a Router at construction.
 type RouterOption func(*Router)
+
+// WithRelation reports this router's gaps under relation instead of its
+// own name. Interior aggregation-tree nodes use it: a gap is meaningful
+// to the caller only as "<relation> is missing shard X", regardless of
+// which tree level discovered it.
+func WithRelation(relation string) RouterOption {
+	return func(r *Router) { r.relation = relation }
+}
 
 // WithParallelism bounds how many shard sub-queries one scatter issues
 // concurrently. 1 reproduces a strictly sequential scatter (the paper's
@@ -155,7 +164,7 @@ func NewRouter(name string, shards []Endpoint, opts ...RouterOption) (*Router, e
 				name, price, s.PricePerByte())
 		}
 	}
-	r := &Router{name: name, shards: shards}
+	r := &Router{name: name, relation: name, shards: shards}
 	for _, o := range opts {
 		o(r)
 	}
@@ -168,8 +177,22 @@ func (r *Router) Name() string { return r.name }
 // Shards exposes the shard endpoints (tests and diagnostics).
 func (r *Router) Shards() []Endpoint { return r.shards }
 
-// NumShards returns the shard count.
-func (r *Router) NumShards() int { return len(r.shards) }
+// NumShards returns the number of leaf shards behind this router. For a
+// flat router that is simply len(shards); in an aggregation tree each
+// interior child reports its own leaf count, so the root answer is the
+// fleet size regardless of topology — which keeps Completeness
+// accounting (ShardsTotal, ShardsAnswered) in leaf units at any depth.
+func (r *Router) NumShards() int {
+	n := 0
+	for _, s := range r.shards {
+		if sub, ok := s.(interface{ NumShards() int }); ok {
+			n += sub.NumShards()
+		} else {
+			n++
+		}
+	}
+	return n
+}
 
 // ShardUsages returns the accumulated traffic of every shard link, in
 // shard order.
@@ -179,6 +202,35 @@ func (r *Router) ShardUsages() []netsim.Usage {
 		out[i] = s.Usage()
 	}
 	return out
+}
+
+// LevelUsages returns the accumulated traffic of every level of the
+// routing topology, root outward: index 0 sums the links into the root
+// device (this router's direct children), index 1 the links one hop
+// below, and so on. A flat router yields one level — identical to
+// Usage(). An aggregation tree yields one entry per level: interior
+// children contribute their uplink meter (the bytes that actually
+// crossed the link into the level above) and recurse, leaves contribute
+// their full link usage. The scaling benchmarks and Explain read level 0
+// to show the root fan-in staying ~flat while leaf traffic grows with N.
+func (r *Router) LevelUsages() []netsim.Usage {
+	var levels []netsim.Usage
+	frontier := slices.Clone(r.shards)
+	for len(frontier) > 0 {
+		var sum netsim.Usage
+		var next []Endpoint
+		for _, s := range frontier {
+			if agg, ok := s.(*Aggregator); ok {
+				sum = sum.Add(agg.UplinkUsage())
+				next = append(next, agg.Router.shards...)
+				continue
+			}
+			sum = sum.Add(s.Usage())
+		}
+		levels = append(levels, sum)
+		frontier = next
+	}
+	return levels
 }
 
 // Usage returns the relation's accumulated traffic: the sum over all
@@ -267,16 +319,27 @@ func (r *Router) ensureInfo(ctx context.Context) error {
 		r.infos = make([]wire.Info, n)
 		r.infoOK = make([]bool, n)
 		r.infoErr = make([]error, n)
+		r.infoRetryAt = make([]time.Time, n)
 	}
+	// The cooldown is per shard: a shard inside its own re-probe window
+	// stays out of this fetch (its absence is this query's gap), while a
+	// sibling whose window has lapsed — or that was never dead — is
+	// probed normally. One flapping shard therefore never delays the
+	// INFO refresh of the rest of the fleet.
+	now := time.Now()
 	var missing []int
 	for i, ok := range r.infoOK {
-		if !ok {
-			missing = append(missing, i)
+		if ok {
+			continue
 		}
+		if rep != nil && !r.infoRetryAt[i].IsZero() && now.Before(r.infoRetryAt[i]) {
+			continue
+		}
+		missing = append(missing, i)
 	}
-	if rep != nil && !r.infoRetryAt.IsZero() && time.Now().Before(r.infoRetryAt) {
-		// Cooldown: serve the cached partial metadata; the dead shards'
-		// absence is a gap for this query, re-probed later.
+	if len(missing) == 0 {
+		// Every dead shard is cooling down: serve the cached partial
+		// metadata; the dead shards' absence is a gap for this query.
 		r.recordInfoGapsLocked(rep)
 		return nil
 	}
@@ -301,24 +364,29 @@ func (r *Router) ensureInfo(ctx context.Context) error {
 	if scatterErr != nil {
 		return scatterErr
 	}
-	allOK := true
 	for _, i := range missing {
 		if ok[i] {
 			r.infos[i], r.infoOK[i], r.infoErr[i] = got[i], true, nil
+			r.infoRetryAt[i] = time.Time{}
 		} else {
 			r.infoErr[i] = errs[i]
-			allOK = false
+			r.infoRetryAt[i] = time.Now().Add(infoRetryCooldown)
 		}
 	}
 	// Dead shards hold the zero Info (count 0), so merging the whole
 	// cache covers exactly the shards that answered.
 	r.merged = mergeInfos(r.infos)
+	allOK := true
+	for _, okNow := range r.infoOK {
+		if !okNow {
+			allOK = false
+			break
+		}
+	}
 	if allOK {
 		r.ready = true
-		r.infoRetryAt = time.Time{}
 		return nil
 	}
-	r.infoRetryAt = time.Now().Add(infoRetryCooldown)
 	r.recordInfoGapsLocked(rep)
 	return nil
 }
@@ -331,11 +399,17 @@ func (r *Router) recordInfoGapsLocked(rep *health.Report) {
 		if ok {
 			continue
 		}
+		if lg, isTree := r.shards[i].(leafGapper); isTree {
+			// A dead interior node stands for its whole subtree: expand
+			// the gap to the leaf shard names the caller knows.
+			lg.recordLeafGaps(rep, r.relation, r.infoErr[i])
+			continue
+		}
 		reason := "info unavailable"
 		if r.infoErr[i] != nil {
 			reason = r.infoErr[i].Error()
 		}
-		rep.Record(r.name, r.shards[i].Name(), geom.Rect{}, 0, reason)
+		rep.Record(r.relation, r.shards[i].Name(), geom.Rect{}, 0, reason)
 	}
 }
 
@@ -351,8 +425,14 @@ func (r *Router) snapshotInfos() []wire.Info {
 
 // gap records shard i's missing contribution for one sub-query, with
 // the shard's advertised bounds and cardinality when its INFO was
-// fetched before it died.
+// fetched before it died. When the child is itself an aggregation-tree
+// node, the gap expands to the leaf shard names behind it — the report
+// is always in leaf units, whatever the topology.
 func (r *Router) gap(rep *health.Report, i int, err error) {
+	if lg, isTree := r.shards[i].(leafGapper); isTree {
+		lg.recordLeafGaps(rep, r.relation, err)
+		return
+	}
 	var bounds geom.Rect
 	var count int64
 	r.mu.Lock()
@@ -364,7 +444,40 @@ func (r *Router) gap(rep *health.Report, i int, err error) {
 	if err != nil {
 		reason = err.Error()
 	}
-	rep.Record(r.name, r.shards[i].Name(), bounds, count, reason)
+	rep.Record(r.relation, r.shards[i].Name(), bounds, count, reason)
+}
+
+// leafGapper is implemented by interior tree nodes: recordLeafGaps
+// reports the unreachable node's missing contribution as one gap per
+// leaf shard in its subtree, under the caller's relation name.
+type leafGapper interface {
+	recordLeafGaps(rep *health.Report, relation string, err error)
+}
+
+// recordLeafGaps reports every leaf shard behind this router as a gap —
+// invoked when a parent routed around this whole subtree. Leaves that
+// are themselves interior nodes recurse.
+func (r *Router) recordLeafGaps(rep *health.Report, relation string, err error) {
+	reason := "unreachable"
+	if err != nil {
+		reason = err.Error()
+	}
+	r.mu.Lock()
+	infos := slices.Clone(r.infos)
+	oks := slices.Clone(r.infoOK)
+	r.mu.Unlock()
+	for i, s := range r.shards {
+		if lg, isTree := s.(leafGapper); isTree {
+			lg.recordLeafGaps(rep, relation, err)
+			continue
+		}
+		var bounds geom.Rect
+		var count int64
+		if oks != nil && oks[i] {
+			bounds, count = infos[i].Bounds, int64(infos[i].Count)
+		}
+		rep.Record(relation, s.Name(), bounds, count, reason)
+	}
 }
 
 // absorb wraps a per-shard scatter func for partial mode: a shard whose
@@ -415,37 +528,6 @@ func (r *Router) soloErr(ctx context.Context, rep *health.Report, err error) err
 	}
 	r.gap(rep, 0, err)
 	return nil
-}
-
-// mergeInfos folds per-shard metadata into the relation's: cardinalities
-// sum, bounds union (empty shards contribute nothing), PointData holds
-// iff it holds on every non-empty shard, and TreeHeight is the minimum
-// published height over non-empty shards — the deepest level guaranteed
-// to exist in every shard tree — or 0 when any shard withholds its index.
-func mergeInfos(infos []wire.Info) wire.Info {
-	var m wire.Info
-	m.PointData = true
-	first := true
-	for _, info := range infos {
-		m.Count += info.Count
-		if info.Count == 0 {
-			continue
-		}
-		if first {
-			m.Bounds = info.Bounds
-			m.TreeHeight = info.TreeHeight
-			first = false
-		} else {
-			m.Bounds = m.Bounds.Union(info.Bounds)
-			if info.TreeHeight < m.TreeHeight {
-				m.TreeHeight = info.TreeHeight
-			}
-		}
-		if !info.PointData {
-			m.PointData = false
-		}
-	}
-	return m
 }
 
 // scatter runs f for every target shard, concurrently up to the router's
@@ -549,15 +631,6 @@ func nonEmptyTargets(infos []wire.Info) []int {
 	return out
 }
 
-// sortObjects puts a gathered object list into deterministic ID order.
-// IDs are unique within a relation and each lives on exactly one shard,
-// so the merged list is duplicate-free and the order total.
-func sortObjects(objs []geom.Object) {
-	slices.SortFunc(objs, func(a, b geom.Object) int {
-		return cmp.Compare(a.ID, b.ID)
-	})
-}
-
 // Info returns the merged relation metadata (fetching and caching the
 // per-shard INFOs on first use).
 func (r *Router) Info(ctx context.Context) (wire.Info, error) {
@@ -643,7 +716,7 @@ func (r *Router) Window(ctx context.Context, w geom.Rect) ([]geom.Object, error)
 	if err != nil {
 		return nil, err
 	}
-	return mergeObjects(parts), nil
+	return MergeObjects(nil, parts), nil
 }
 
 // AvgArea returns the mean MBR area over the objects intersecting w. The
@@ -722,7 +795,7 @@ func (r *Router) Range(ctx context.Context, p geom.Point, eps float64) ([]geom.O
 	if err != nil {
 		return nil, err
 	}
-	return mergeObjects(parts), nil
+	return MergeObjects(nil, parts), nil
 }
 
 // RangeCount returns the number of objects within eps of p: the sum over
@@ -972,7 +1045,7 @@ func (r *Router) MBRMatch(ctx context.Context, rects []geom.Rect, eps float64) (
 	if err != nil {
 		return nil, err
 	}
-	return mergeObjects(parts), nil
+	return MergeObjects(nil, parts), nil
 }
 
 // UploadJoin ships the objects to every shard within ε reach of them and
@@ -1019,27 +1092,7 @@ func (r *Router) UploadJoin(ctx context.Context, objs []geom.Object, eps float64
 	if err != nil {
 		return nil, err
 	}
-	var out []geom.Pair
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	slices.SortFunc(out, func(a, b geom.Pair) int {
-		if a.RID != b.RID {
-			return cmp.Compare(a.RID, b.RID)
-		}
-		return cmp.Compare(a.SID, b.SID)
-	})
-	return out, nil
-}
-
-// mergeObjects flattens per-shard object lists into one ID-ordered list.
-func mergeObjects(parts [][]geom.Object) []geom.Object {
-	var out []geom.Object
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	sortObjects(out)
-	return out
+	return mergePairs(parts), nil
 }
 
 // --- batched probe multiplexing -------------------------------------------
@@ -1216,20 +1269,20 @@ func (r *Router) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call {
 				}
 			}
 			if objects[qi] {
-				var all []geom.Object
+				parts := make([][]geom.Object, 0, len(waits[qi]))
 				for _, w := range waits[qi] {
 					objs, err := w.c.Objects()
 					if err != nil {
 						fail(w, err)
 						continue
 					}
-					all = append(all, objs...)
+					parts = append(parts, objs)
 				}
 				if firstErr != nil {
 					calls[qi].CompleteFrame(nil, firstErr)
 					return
 				}
-				sortObjects(all)
+				all := MergeObjects(nil, parts)
 				calls[qi].CompleteFrame(wire.AppendObjects(bufpool.Get(), all), nil)
 				return
 			}

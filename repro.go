@@ -223,6 +223,16 @@ type SessionConfig struct {
 	// (one link per shard, its own INFO, per-shard pruning) and are pinned
 	// by their own golden test.
 	Shards int
+	// TreeFanout, when >= 2 (and smaller than Shards), routes each
+	// relation through a hierarchical aggregation tree instead of the
+	// flat scatter: interior Aggregator nodes front groups of TreeFanout
+	// consecutive shards, partially merging COUNT sums and ID-ordered
+	// object lists level by level, so the root link carries O(TreeFanout)
+	// replies per query regardless of the fleet size. Results are
+	// bit-identical to the flat router's; byte totals additionally
+	// account the interior uplinks (Stats.RLevels/SLevels break wire
+	// bytes out per tree level). 0 keeps the flat scatter.
+	TreeFanout int
 	// Replicas, when > 1, serves every shard (or the whole relation when
 	// unsharded) from this many identical replica servers behind a
 	// shard.ReplicaSet: probes load-balance round-robin across the
@@ -333,7 +343,8 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		// that absorbs sub-query failures into completeness gaps.
 		lcfg := shard.LocalConfig{
 			Shards: cfg.Shards, Replicas: cfg.Replicas, Workers: workers,
-			HedgePct: cfg.HedgePct, Link: link,
+			TreeFanout: cfg.TreeFanout,
+			HedgePct:   cfg.HedgePct, Link: link,
 			ServerOpts: opts, ClientOpts: copts,
 			Health: reg, Budget: cfg.QueryBudget,
 		}

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke: build the binaries, boot two spatialserve instances
-# (plus a 2×2 sharded fleet and a 2-shard × 2-replica fleet), run
+# (plus a 2×2 sharded fleet, a 4-shard-per-relation fleet stacked under
+# a depth-2 aggregation tree, and a 2-shard × 2-replica fleet), run
 # spatialjoin against them over real TCP — unsharded, batched, sharded,
-# and replicated with one replica SIGKILLed mid-join, all producing the
-# identical pair set — then SIGTERM every surviving server and assert a
+# tree-aggregated, and replicated with one replica SIGKILLed mid-join,
+# all producing the identical pair set — then SIGTERM every surviving
+# server and assert a
 # clean drain. CI runs this on every push; it is also the quickest local
 # sanity check that the deployable stack works.
 set -euo pipefail
@@ -102,6 +104,43 @@ diff -u "$workdir/pairs.plain" "$workdir/pairs.sharded" \
   || { echo "sharded join diverged from unsharded result"; exit 1; }
 echo "sharded result identical ($(wc -l < "$workdir/pairs.sharded") pairs)"
 
+echo "== boot 4-shard fleets for the aggregation tree"
+# Four shard processes per relation; with -tree-fanout 2 the device
+# stacks each relation's endpoints under a depth-2 aggregation tree
+# (two interior aggregators per relation), so interior partial merges
+# run over real TCP. Same exact pair set as every other topology.
+for i in 1 2 3 4; do
+  "$workdir/bin/spatialserve" -data "$workdir/r.spd" -shard "$i/4" \
+    -addr "127.0.0.1:$((7474 + i))" >"$workdir/rt$i.log" 2>&1 &
+  pids+=($!)
+  "$workdir/bin/spatialserve" -data "$workdir/s.spd" -shard "$i/4" \
+    -addr "127.0.0.1:$((7478 + i))" >"$workdir/st$i.log" 2>&1 &
+  pids+=($!)
+done
+for i in $(seq 1 100); do
+  up=1
+  for log in rt1 rt2 rt3 rt4 st1 st2 st3 st4; do
+    grep -q "serving" "$workdir/$log.log" || up=0
+  done
+  [ "$up" = 1 ] && break
+  sleep 0.05
+done
+for log in rt1 rt2 rt3 rt4 st1 st2 st3 st4; do
+  grep -q "serving" "$workdir/$log.log" || { echo "tree shard server $log never came up"; cat "$workdir/$log.log"; exit 1; }
+done
+
+echo "== depth-2 tree join over TCP (-tree-fanout 2) is oracle-equal"
+tree_out=$("$workdir/bin/spatialjoin" \
+  -shards-r 127.0.0.1:7475,127.0.0.1:7476,127.0.0.1:7477,127.0.0.1:7478 \
+  -shards-s 127.0.0.1:7479,127.0.0.1:7480,127.0.0.1:7481,127.0.0.1:7482 \
+  -tree-fanout 2 \
+  -alg upjoin -kind distance -eps 75 -buffer 500 -parallel 4 -timeout 60s -pairs)
+echo "$tree_out" | grep -q "tree levels" || { echo "tree join printed no per-level accounting"; exit 1; }
+echo "$tree_out" | grep -E '^  ' > "$workdir/pairs.tree"
+diff -u "$workdir/pairs.plain" "$workdir/pairs.tree" \
+  || { echo "tree join diverged from unsharded result"; exit 1; }
+echo "tree result identical ($(wc -l < "$workdir/pairs.tree") pairs)"
+
 echo "== boot 2-shard x 2-replica fleet"
 # Every shard of both relations is served by two replica processes with
 # identical data (-replica r/M is a name-only label); spatialjoin joins
@@ -171,7 +210,7 @@ pids=()
 # Every server except the SIGKILLed victim (r1b) must report a clean
 # drain — including the replicas that absorbed the victim's failed-over
 # probes.
-for log in r s r1 r2 s1 s2 r1a r2a r2b s1a s1b s2a s2b; do
+for log in r s r1 r2 s1 s2 rt1 rt2 rt3 rt4 st1 st2 st3 st4 r1a r2a r2b s1a s1b s2a s2b; do
   grep -q "drained cleanly" "$workdir/$log.log" \
     || { echo "$log did not drain cleanly"; cat "$workdir/$log.log"; exit 1; }
 done

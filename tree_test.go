@@ -1,0 +1,77 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTreeSessionMatchesFlatAndOracle pins the tentpole's end-to-end
+// guarantee at the session layer: stacking the shard fleets under a
+// hierarchical aggregation tree changes where replies merge — never the
+// answers. Every algorithm × dataset kind × spec runs at tree depths 1
+// (fanout >= shards, the degenerate flat shape), 2, and 3, and each run
+// must return exactly the local oracle's result — which the flat-router
+// suite (TestShardedMatchesOracle) already pins, so tree and flat are
+// transitively bit-identical.
+func TestTreeSessionMatchesFlatAndOracle(t *testing.T) {
+	specs := map[string]Spec{
+		"intersection": {Kind: Intersection},
+		"distance":     {Kind: Distance, Eps: 200},
+		"iceberg":      {Kind: IcebergSemi, Eps: 200, MinMatches: 2},
+	}
+	algs := map[string]Algorithm{
+		"grid":     Grid{},
+		"upJoin":   UpJoin{},
+		"srJoin":   SrJoin{},
+		"semiJoin": SemiJoin{},
+	}
+	depths := []struct {
+		name           string
+		shards, fanout int
+	}{
+		{"depth1", 4, 4}, // fanout >= shards: degenerates to the flat router
+		{"depth2", 4, 2},
+		{"depth3", 8, 2},
+	}
+	for kindName, ds := range shardedDatasets(t) {
+		robjs, sobjs := ds[0], ds[1]
+		for specName, spec := range specs {
+			want := Oracle(robjs, sobjs, spec, World)
+			for algName, alg := range algs {
+				if algName == "semiJoin" && spec.Kind == IcebergSemi {
+					continue // semiJoin has no iceberg semantics
+				}
+				for _, d := range depths {
+					name := fmt.Sprintf("%s/%s/%s/%s", kindName, specName, algName, d.name)
+					t.Run(name, func(t *testing.T) {
+						sess, err := NewSession(SessionConfig{
+							R: robjs, S: sobjs, Buffer: 300, Window: World,
+							Seed: 5, Shards: d.shards, TreeFanout: d.fanout,
+							Parallelism: 4, PublishIndexes: true,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						defer sess.Close()
+						got, err := sess.Run(alg, spec)
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertShardedResult(t, name, spec, got, want)
+						// Multi-level topologies must surface per-level byte
+						// accounting; the degenerate flat shape must not.
+						if d.shards > d.fanout {
+							if len(got.Stats.RLevels) < 2 || len(got.Stats.SLevels) < 2 {
+								t.Fatalf("%s: per-level stats missing: R %v, S %v",
+									name, got.Stats.RLevels, got.Stats.SLevels)
+							}
+						} else if got.Stats.RLevels != nil || got.Stats.SLevels != nil {
+							t.Fatalf("%s: flat run reports tree levels: R %v, S %v",
+								name, got.Stats.RLevels, got.Stats.SLevels)
+						}
+					})
+				}
+			}
+		}
+	}
+}
