@@ -27,15 +27,27 @@
 // unreachable shards into a degraded success: the result is a lower
 // bound, a completeness report is printed, and the process exits 3.
 //
+// With -connect the command is a thin client of a spatialjoind daemon
+// instead of a device: the join request (same -alg/-kind/-eps/-m/-pairs
+// flags) is submitted over the daemon's JSON-lines protocol on behalf of
+// -tenant, runs on the daemon's shared fleet under its admission and
+// scheduling policy, and the reply prints the tenant's attributed byte
+// bill. A tenant whose fleet-wide byte quota is exhausted is rejected
+// with the daemon's typed quota error and exit code 4.
+//
 // Exit codes: 0 — exact result; 1 — failure; 2 — usage error;
 // 3 — partial result (only with -allow-partial; the printed completeness
-// report lists the unreachable shards).
+// report lists the unreachable shards); 4 — tenant over byte quota
+// (only with -connect).
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -216,8 +228,14 @@ func main() {
 		breakers = flag.Bool("breakers", false, "arm circuit breakers on a+b replica groups: skip open-circuit replicas before probing, recover via background INFO probes")
 		fanout   = flag.Int("tree-fanout", 0, "stack shard endpoints under a hierarchical aggregation tree with this fanout per interior node (0 = flat scatter; needs -shards-r/-shards-s)")
 		partial  = flag.Bool("allow-partial", false, "return a lower-bound result when shards stay unreachable, with a completeness report and exit code 3")
+		connect  = flag.String("connect", "", "submit the join to a spatialjoind daemon at this address instead of acting as the device (needs -tenant)")
+		tenant   = flag.String("tenant", "", "tenant to run as on the daemon (with -connect)")
 	)
 	flag.Parse()
+	if *connect != "" {
+		runDaemonClient(*connect, *tenant, *alg, *algAlias, *kind, *eps, *m, *pairs)
+		return
+	}
 	if (*rAddr == "" && *rShards == "") || (*sAddr == "" && *sShards == "") {
 		fmt.Fprintln(os.Stderr, "spatialjoin: -r/-shards-r and -s/-shards-s are required")
 		os.Exit(2)
@@ -365,4 +383,80 @@ func fatal(err error) {
 		fmt.Fprintf(os.Stderr, "spatialjoin: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// daemonRequest / daemonReply mirror spatialjoind's JSON-lines protocol.
+type daemonRequest struct {
+	Tenant     string  `json:"tenant"`
+	Alg        string  `json:"alg"`
+	Kind       string  `json:"kind"`
+	Eps        float64 `json:"eps"`
+	MinMatches int     `json:"min_matches,omitempty"`
+	Pairs      bool    `json:"pairs,omitempty"`
+}
+
+type daemonReply struct {
+	Alg        string   `json:"alg"`
+	Pairs      int      `json:"pairs"`
+	Objects    int      `json:"objects"`
+	PairList   [][2]int `json:"pair_list"`
+	ObjectList []int    `json:"object_list"`
+	WireR      int      `json:"wire_r"`
+	WireS      int      `json:"wire_s"`
+	TotalBytes int      `json:"total_bytes"`
+	Money      float64  `json:"money"`
+	Spent      int64    `json:"spent"`
+	Quota      int64    `json:"quota"`
+	Err        string   `json:"err"`
+	ErrKind    string   `json:"err_kind"`
+}
+
+// runDaemonClient submits one join to a spatialjoind daemon and prints
+// the reply in the same shape as a local run. Quota rejections exit 4 so
+// scripts can tell "over budget" from "broken".
+func runDaemonClient(addr, tenant, alg, algAlias, kind string, eps float64, m int, pairs bool) {
+	if tenant == "" {
+		fmt.Fprintln(os.Stderr, "spatialjoin: -connect needs -tenant")
+		os.Exit(2)
+	}
+	if algAlias != "" {
+		alg = algAlias
+	}
+	conn, err := net.Dial("tcp", addr)
+	fatal(err)
+	defer conn.Close()
+	req := daemonRequest{Tenant: tenant, Alg: alg, Kind: kind, Eps: eps, MinMatches: m, Pairs: pairs}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	if !sc.Scan() {
+		fatal(fmt.Errorf("daemon at %s closed the connection without a reply", addr))
+	}
+	var rep daemonReply
+	fatal(json.Unmarshal(sc.Bytes(), &rep))
+	if rep.Err != "" {
+		fmt.Fprintf(os.Stderr, "spatialjoin: daemon: %s\n", rep.Err)
+		if rep.ErrKind == "quota" {
+			fmt.Fprintf(os.Stderr, "spatialjoin: tenant %q over byte quota (spent %d of %d)\n",
+				tenant, rep.Spent, rep.Quota)
+			os.Exit(4)
+		}
+		os.Exit(1)
+	}
+	if rep.Objects > 0 && rep.Pairs == 0 {
+		fmt.Printf("%s: %d qualifying R objects\n", rep.Alg, rep.Objects)
+		for _, id := range rep.ObjectList {
+			fmt.Printf("  %d\n", id)
+		}
+	} else {
+		fmt.Printf("%s: %d pairs\n", rep.Alg, rep.Pairs)
+		for _, p := range rep.PairList {
+			fmt.Printf("  (%d, %d)\n", p[0], p[1])
+		}
+	}
+	fmt.Printf("wire bytes: %d total (R %d / S %d)\n", rep.TotalBytes, rep.WireR, rep.WireS)
+	fmt.Printf("monetary cost: %.6f\n", rep.Money)
+	fmt.Printf("tenant %s: %d bytes spent fleet-wide\n", tenant, rep.Spent)
 }

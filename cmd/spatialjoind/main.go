@@ -1,0 +1,326 @@
+// Command spatialjoind is the multi-tenant join service daemon: it owns
+// one shared serving fleet (both relations, metered links, batching,
+// optional sharding knobs of the embedded library) and admits join
+// requests from many tenants over a line-oriented JSON protocol on TCP.
+// Tenants are declared up front with a service class — strict scheduling
+// priority, deficit-round-robin weight, fleet-wide byte quota, and a
+// concurrency cap — and every probe a tenant's join issues is scheduled
+// into the shared links' envelopes under that policy and attributed to
+// the tenant on the meters, so each tenant is billed its exact Eq. (1)
+// slice.
+//
+// Usage:
+//
+//	spatialjoind -data-r r.spd -data-s s.spd -addr 127.0.0.1:7500 \
+//	    -tenants "fast:prio=10;bulk:weight=1,quota=50000000,conc=4" \
+//	    [-buffer 800] [-parallel 4] [-batch 16] [-rtt 2ms]
+//
+// The tenant spec is a semicolon-separated list of name:key=value pairs
+// with keys prio (strict tier, higher first), weight (DRR weight within
+// a tier, ≥1), quota (fleet-wide wire-byte budget, 0 = unlimited), and
+// conc (max concurrent joins, 0 = unlimited). A bare name declares a
+// default-class tenant.
+//
+// Protocol: one JSON object per line. Request:
+//
+//	{"tenant":"fast","alg":"upjoin","kind":"distance","eps":75,"pairs":true}
+//
+// Reply (one line): result counts, the tenant's attributed byte bill,
+// and on failure an err string plus err_kind ∈ {bad-request,
+// unknown-tenant, quota, run}. "quota" rejections carry the tenant's
+// spent/quota counters; the spatialjoin client maps them to exit code 4.
+//
+// On SIGINT/SIGTERM the daemon stops accepting, cancels in-flight runs,
+// and exits 0.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// joinRequest is one tenant's join submission.
+type joinRequest struct {
+	Tenant     string  `json:"tenant"`
+	Alg        string  `json:"alg"`
+	Kind       string  `json:"kind"`
+	Eps        float64 `json:"eps"`
+	MinMatches int     `json:"min_matches,omitempty"`
+	Pairs      bool    `json:"pairs,omitempty"`
+}
+
+// joinReply is the daemon's answer. Err/ErrKind are empty on success.
+type joinReply struct {
+	Alg        string   `json:"alg,omitempty"`
+	Pairs      int      `json:"pairs"`
+	Objects    int      `json:"objects"`
+	PairList   [][2]int `json:"pair_list,omitempty"`
+	ObjectList []int    `json:"object_list,omitempty"`
+	WireR      int      `json:"wire_r"`
+	WireS      int      `json:"wire_s"`
+	TotalBytes int      `json:"total_bytes"`
+	Money      float64  `json:"money"`
+	Spent      int64    `json:"spent"`
+	Quota      int64    `json:"quota,omitempty"`
+	Err        string   `json:"err,omitempty"`
+	ErrKind    string   `json:"err_kind,omitempty"`
+}
+
+// parseTenants parses the -tenants spec: "name[:k=v[,k=v...]][;...]".
+func parseTenants(spec string) (map[repro.TenantID]repro.TenantConfig, error) {
+	out := make(map[repro.TenantID]repro.TenantConfig)
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, attrs, _ := strings.Cut(entry, ":")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("tenant entry %q has no name", entry)
+		}
+		var tc repro.TenantConfig
+		if attrs != "" {
+			for _, kv := range strings.Split(attrs, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("tenant %s: attribute %q is not key=value", name, kv)
+				}
+				k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("tenant %s: %s=%q is not a number", name, k, v)
+				}
+				switch k {
+				case "prio", "priority":
+					tc.Priority = int(n)
+				case "weight":
+					tc.Weight = int(n)
+				case "quota":
+					tc.ByteQuota = n
+				case "conc":
+					tc.MaxConcurrent = int(n)
+				default:
+					return nil, fmt.Errorf("tenant %s: unknown attribute %q (want prio, weight, quota, conc)", name, k)
+				}
+			}
+		}
+		if _, dup := out[repro.TenantID(name)]; dup {
+			return nil, fmt.Errorf("tenant %s declared twice", name)
+		}
+		out[repro.TenantID(name)] = tc
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants declared")
+	}
+	return out, nil
+}
+
+func algorithm(name string) (core.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "", "upjoin", "up":
+		return core.UpJoin{}, nil
+	case "naive":
+		return core.Naive{}, nil
+	case "grid":
+		return core.Grid{}, nil
+	case "mobijoin", "mobi":
+		return core.MobiJoin{}, nil
+	case "srjoin", "sr":
+		return core.SrJoin{}, nil
+	case "semijoin", "semi":
+		return core.SemiJoin{}, nil
+	case "auto":
+		return core.Auto{}, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func buildSpec(req joinRequest) (repro.Spec, error) {
+	switch strings.ToLower(req.Kind) {
+	case "intersection":
+		return repro.Spec{Kind: repro.Intersection}, nil
+	case "", "distance":
+		return repro.Spec{Kind: repro.Distance, Eps: req.Eps}, nil
+	case "iceberg":
+		return repro.Spec{Kind: repro.IcebergSemi, Eps: req.Eps, MinMatches: req.MinMatches}, nil
+	}
+	return repro.Spec{}, fmt.Errorf("unknown join kind %q", req.Kind)
+}
+
+// serveConn answers one client connection: one JSON request per line,
+// one JSON reply per line, joins run under ctx (daemon shutdown cancels
+// them).
+func serveConn(ctx context.Context, conn net.Conn, srv *repro.Server) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var req joinRequest
+		var rep joinReply
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			rep = joinReply{Err: err.Error(), ErrKind: "bad-request"}
+		} else {
+			rep = runJoin(ctx, srv, req)
+		}
+		if err := enc.Encode(rep); err != nil {
+			return
+		}
+	}
+}
+
+func runJoin(ctx context.Context, srv *repro.Server, req joinRequest) joinReply {
+	id := repro.TenantID(req.Tenant)
+	alg, err := algorithm(req.Alg)
+	if err != nil {
+		return joinReply{Err: err.Error(), ErrKind: "bad-request"}
+	}
+	spec, err := buildSpec(req)
+	if err != nil {
+		return joinReply{Err: err.Error(), ErrKind: "bad-request"}
+	}
+	res, err := srv.Run(ctx, id, alg, spec)
+	if err != nil {
+		rep := joinReply{Alg: alg.Name(), Err: err.Error(), ErrKind: "run", Spent: srv.Spent(id)}
+		var qe *repro.QuotaError
+		switch {
+		case errors.As(err, &qe):
+			rep.ErrKind = "quota"
+			rep.Spent, rep.Quota = qe.Spent, qe.Quota
+		case errors.Is(err, repro.ErrUnknownTenant):
+			rep.ErrKind = "unknown-tenant"
+		}
+		return rep
+	}
+	st := res.Stats
+	rep := joinReply{
+		Alg:        alg.Name(),
+		Pairs:      len(res.Pairs),
+		Objects:    len(res.Objects),
+		WireR:      st.R.WireBytes,
+		WireS:      st.S.WireBytes,
+		TotalBytes: st.TotalBytes(),
+		Money:      st.MoneyCost,
+		Spent:      srv.Spent(id),
+	}
+	if req.Pairs {
+		if len(res.Pairs) > 0 {
+			rep.PairList = make([][2]int, len(res.Pairs))
+			for i, p := range res.Pairs {
+				rep.PairList[i] = [2]int{int(p.RID), int(p.SID)}
+			}
+		}
+		for _, o := range res.Objects {
+			rep.ObjectList = append(rep.ObjectList, int(o.ID))
+		}
+	}
+	return rep
+}
+
+func main() {
+	var (
+		dataR    = flag.String("data-r", "", "dataset file for relation R (required)")
+		dataS    = flag.String("data-s", "", "dataset file for relation S (required)")
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address")
+		tenants  = flag.String("tenants", "", "tenant classes, \"name:prio=P,weight=W,quota=Q,conc=C;...\" (required)")
+		buffer   = flag.Int("buffer", 800, "device buffer in objects")
+		parallel = flag.Int("parallel", 4, "per-run parallelism and fleet worker pool size")
+		batch    = flag.Int("batch", 16, "multiplex up to this many probes per link envelope (the scheduler's injection point)")
+		rtt      = flag.Duration("rtt", 0, "simulated link RTT on the fleet's metered links (0 = none)")
+		bucket   = flag.Bool("bucket", false, "use bucket query submission")
+	)
+	flag.Parse()
+	if *dataR == "" || *dataS == "" {
+		fmt.Fprintln(os.Stderr, "spatialjoind: -data-r and -data-s are required")
+		os.Exit(2)
+	}
+	if *tenants == "" {
+		fmt.Fprintln(os.Stderr, "spatialjoind: -tenants is required")
+		os.Exit(2)
+	}
+	tcs, err := parseTenants(*tenants)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialjoind: -tenants: %v\n", err)
+		os.Exit(2)
+	}
+	r, err := dataset.LoadFile(*dataR)
+	fatal(err)
+	s, err := dataset.LoadFile(*dataS)
+	fatal(err)
+
+	link := repro.DefaultLink()
+	link.RTT = *rtt
+	srv, err := repro.NewServer(repro.ServerConfig{
+		Fleet: repro.SessionConfig{
+			R: r, S: s,
+			Buffer:      *buffer,
+			Parallelism: *parallel,
+			BatchSize:   *batch,
+			Bucket:      *bucket,
+			Link:        link,
+		},
+		Tenants: tcs,
+	})
+	fatal(err)
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	fatal(err)
+	fmt.Printf("serving %d+%d objects to %d tenants on %s (batch=%d parallel=%d)\n",
+		len(r), len(s), len(tcs), ln.Addr(), *batch, *parallel)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var wg sync.WaitGroup
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed by shutdown
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveConn(ctx, conn, srv)
+		}()
+	}
+	// Give in-flight runs a moment to observe the cancellation, then go.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+	}
+	fmt.Println("drained cleanly")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialjoind: %v\n", err)
+		os.Exit(1)
+	}
+}

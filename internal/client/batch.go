@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bufpool"
 	"repro/internal/geom"
+	"repro/internal/netsim"
 	"repro/internal/wire"
 )
 
@@ -55,6 +56,12 @@ type BatchConfig struct {
 	// MinLinger and MaxLinger bound the adaptive linger. Zero values
 	// default to 50µs and 2ms.
 	MinLinger, MaxLinger time.Duration
+	// MaxInflight bounds the dispatch goroutines one batcher may have in
+	// flight at once for size-triggered cuts. Submitters that would
+	// exceed it block in GoBatch until a dispatch completes —
+	// backpressure instead of an unbounded goroutine spawn under
+	// sustained load. Zero defaults to 4.
+	MaxInflight int
 }
 
 // WithBatch enables probe batching on the remote with the given
@@ -74,6 +81,11 @@ type Call struct {
 	resp []byte
 	err  error
 	done chan struct{}
+	// settled arbitrates between completion and abandonment: whichever of
+	// complete (the dispatcher) and frame (a waiter whose own context is
+	// done) flips it first owns the call's outcome. A late completion
+	// recycles its response instead of writing fields nobody reads.
+	settled atomic.Bool
 }
 
 // NewDetachedCall returns a Call bound to no Remote: an aggregator that
@@ -91,6 +103,14 @@ func NewDetachedCall(name string) *Call {
 func (c *Call) CompleteFrame(resp []byte, err error) { c.complete(resp, err) }
 
 func (c *Call) complete(resp []byte, err error) {
+	if !c.settled.CompareAndSwap(false, true) {
+		// The waiter already abandoned this call on its own context; the
+		// late response has no consumer, so recycle it here.
+		if resp != nil {
+			bufpool.Put(resp)
+		}
+		return
+	}
 	c.resp, c.err = resp, err
 	close(c.done)
 }
@@ -98,8 +118,26 @@ func (c *Call) complete(resp []byte, err error) {
 // frame waits for completion and returns the response frame, converting a
 // per-sub-request MsgError sub-frame into this call's error — batch-mates
 // are unaffected. The caller owns the returned frame.
+//
+// A call whose own context ends first is abandoned per that context:
+// frame returns the context's error immediately even while the shared
+// envelope round trip — detached from any single caller — is still in
+// flight, so one caller's cancellation neither waits for nor poisons its
+// batch-mates.
 func (c *Call) frame() ([]byte, error) {
-	<-c.done
+	if c.ctx == nil {
+		<-c.done
+	} else {
+		select {
+		case <-c.done:
+		case <-c.ctx.Done():
+			if c.settled.CompareAndSwap(false, true) {
+				return nil, fmt.Errorf("%s: %w", c.name, c.ctx.Err())
+			}
+			// complete won the race; consume its outcome normally.
+			<-c.done
+		}
+	}
 	if c.err != nil {
 		return nil, c.err
 	}
@@ -159,16 +197,40 @@ const (
 	cutExplicit
 )
 
+// lane is one tenant's submission queue on one link (scheduler mode
+// only). deficit and passed implement the DRR credit and the starvation
+// bound; served marks lanes that contributed to the envelope being
+// assembled, for the pass bookkeeping at the end of each pick; credited
+// marks lanes that have drawn their quantum for the current DRR round —
+// a round ends (and the flags clear) only when every credited lane is
+// spent, so envelope-cap truncations never let credit inflow outrun
+// service and distort the weighted shares.
+type lane struct {
+	queue    []*Call
+	deficit  int64
+	passed   int
+	served   bool
+	credited bool
+}
+
 // batcher is the per-link multiplexer. pending never exceeds max: the
-// enqueue path cuts a batch the moment the queue fills.
+// enqueue path cuts a batch the moment the queue fills. With a Scheduler
+// armed, pending is replaced by per-tenant lanes and each envelope is
+// assembled by pick() under the scheduling policy.
 type batcher struct {
 	rem        *Remote
 	max        int
-	minL, maxL int64        // linger bounds, ns
-	linger     atomic.Int64 // current adaptive linger, ns
+	minL, maxL int64         // linger bounds, ns
+	linger     atomic.Int64  // current adaptive linger, ns
+	sched      *Scheduler    // nil = legacy single-queue mode
+	sem        chan struct{} // bounds in-flight spawned dispatches
 
 	mu      sync.Mutex
-	pending []*Call
+	pending []*Call // legacy mode queue
+	lanes   map[netsim.TenantID]*lane
+	order   []netsim.TenantID // lane visit order (first-submission order)
+	rr      int               // DRR round-robin start index into order
+	npend   int               // total queued across lanes
 	timer   *time.Timer
 	armed   bool
 
@@ -179,7 +241,15 @@ func newBatcher(r *Remote, cfg BatchConfig) *batcher {
 	if cfg.MaxBatch <= 1 {
 		return nil
 	}
-	b := &batcher{rem: r, max: cfg.MaxBatch}
+	b := &batcher{rem: r, max: cfg.MaxBatch, sched: r.sched}
+	if b.sched != nil {
+		b.lanes = make(map[netsim.TenantID]*lane)
+	}
+	inflight := cfg.MaxInflight
+	if inflight <= 0 {
+		inflight = 4
+	}
+	b.sem = make(chan struct{}, inflight)
 	b.minL = int64(cfg.MinLinger)
 	if b.minL <= 0 {
 		b.minL = int64(50 * time.Microsecond)
@@ -224,6 +294,10 @@ func clamp64(v, lo, hi int64) int64 {
 // queue empty (core flushes each probe group before issuing the next),
 // which is what the deterministic byte-accounting goldens rely on.
 func (b *batcher) enqueue(calls []*Call) {
+	if b.sched != nil {
+		b.enqueueLanes(calls)
+		return
+	}
 	var cut [][]*Call
 	b.mu.Lock()
 	for _, c := range calls {
@@ -243,26 +317,251 @@ func (b *batcher) enqueue(calls []*Call) {
 		b.timer.Stop()
 	}
 	b.mu.Unlock()
+	b.spawn(cut)
+}
+
+// spawn dispatches size-triggered cuts on fresh goroutines, at most
+// cap(b.sem) in flight at once. A submitter that would exceed the bound
+// blocks here — backpressure on the producing session — instead of
+// stacking goroutines on one link without limit. No lock is held while
+// acquiring the semaphore, and dispatch never re-enters the batcher, so
+// a full semaphore can only delay submitters, never deadlock them.
+func (b *batcher) spawn(cut [][]*Call) {
 	for _, batch := range cut {
-		go b.dispatch(batch, cutFull)
+		b.sem <- struct{}{}
+		batch := batch
+		go func() {
+			defer func() { <-b.sem }()
+			b.dispatch(batch, cutFull)
+		}()
 	}
+}
+
+// enqueueLanes is the scheduler-mode submission path: each call joins
+// its tenant's lane (after the quota gate), and whenever the total
+// backlog reaches the size trigger an envelope is assembled by pick()
+// under the scheduling policy.
+func (b *batcher) enqueueLanes(calls []*Call) {
+	var cut [][]*Call
+	var rejected []*Call
+	var rejErrs []error
+	b.mu.Lock()
+	for _, c := range calls {
+		id := netsim.TenantID("")
+		if c.ctx != nil {
+			id = netsim.TenantOf(c.ctx)
+		}
+		if err := b.sched.admit(id); err != nil {
+			rejected = append(rejected, c)
+			rejErrs = append(rejErrs, err)
+			continue
+		}
+		ln := b.lanes[id]
+		if ln == nil {
+			ln = &lane{}
+			b.lanes[id] = ln
+			b.order = append(b.order, id)
+		}
+		ln.queue = append(ln.queue, c)
+		b.npend++
+		if b.npend >= b.max {
+			if batch := b.pick(false); len(batch) > 0 {
+				cut = append(cut, batch)
+			}
+		}
+	}
+	if b.npend > 0 {
+		if !b.armed {
+			b.armed = true
+			b.timer.Reset(time.Duration(b.linger.Load()))
+		}
+	} else if b.armed {
+		b.armed = false
+		b.timer.Stop()
+	}
+	b.mu.Unlock()
+	for i, c := range rejected {
+		bufpool.Put(c.req)
+		c.req = nil
+		c.complete(nil, fmt.Errorf("%s: %w", b.rem.name, rejErrs[i]))
+	}
+	b.spawn(cut)
 }
 
 // flush dispatches whatever is pending. Explicit flushes run the round
 // trip on the caller's goroutine (the caller is about to wait on the
-// calls anyway); timer flushes run on the timer goroutine.
+// calls anyway); timer flushes run on the timer goroutine. In scheduler
+// mode the backlog is drained in policy order, envelope by envelope,
+// with deficits waived — the linger has expired, so nothing may stay
+// parked.
 func (b *batcher) flush(reason cutReason) {
 	b.mu.Lock()
-	batch := b.pending
-	b.pending = nil
+	var batches [][]*Call
+	if b.sched != nil {
+		for b.npend > 0 {
+			batch := b.pick(true)
+			if len(batch) == 0 {
+				break
+			}
+			batches = append(batches, batch)
+		}
+	} else if len(b.pending) > 0 {
+		batches = [][]*Call{b.pending}
+		b.pending = nil
+	}
 	if b.armed {
 		b.armed = false
 		b.timer.Stop()
 	}
 	b.mu.Unlock()
-	if len(batch) > 0 {
+	for _, batch := range batches {
 		b.dispatch(batch, reason)
 	}
+}
+
+// pick assembles one envelope (up to max calls) from the lanes under the
+// scheduling policy. Caller holds b.mu. With force set (linger-expired
+// flushes), DRR deficits are waived — priority order and the starvation
+// guard still apply, but no probe stays parked for lack of credit.
+func (b *batcher) pick(force bool) []*Call {
+	batch := make([]*Call, 0, b.max)
+	// Starvation guard: lanes passed over too many consecutive envelopes
+	// contribute their head probe first, whatever their tier.
+	starve := b.sched.StarvationBound()
+	for _, id := range b.order {
+		if len(batch) >= b.max {
+			break
+		}
+		ln := b.lanes[id]
+		if len(ln.queue) > 0 && ln.passed >= starve {
+			batch = b.takeHead(ln, batch)
+		}
+	}
+	// Strict priority tiers, deficit round-robin within each: the top
+	// non-empty tier fills the envelope first; remaining slots fill down
+	// tier by tier (sharing the frame delays nobody above).
+	blocked := 0
+	for len(batch) < b.max {
+		tier, ok := b.topTier()
+		if !ok {
+			break
+		}
+		before := len(batch)
+		batch = b.drrPass(tier, force, batch)
+		if len(batch) == before {
+			// The tier made no progress: every lane of it is spent for
+			// the current round (or deficit-blocked). With a non-empty
+			// envelope, stop — lower tiers must not overtake a blocked
+			// higher tier, and the round resumes on the next pick. With
+			// an empty envelope, start the tier's next round (bounded, so
+			// a pathological probe cannot spin forever): an envelope must
+			// eventually form or the backlog would only drain on flushes.
+			if len(batch) > 0 {
+				break
+			}
+			b.resetRound(tier)
+			blocked++
+			if blocked > 4096 {
+				break
+			}
+		}
+	}
+	// Pass bookkeeping for the starvation bound.
+	for _, id := range b.order {
+		ln := b.lanes[id]
+		if ln.served {
+			ln.passed = 0
+			ln.served = false
+		} else if len(ln.queue) > 0 {
+			ln.passed++
+		} else {
+			ln.passed = 0
+		}
+	}
+	return batch
+}
+
+// topTier returns the highest priority among non-empty lanes.
+func (b *batcher) topTier() (int, bool) {
+	best, found := 0, false
+	for _, id := range b.order {
+		if len(b.lanes[id].queue) == 0 {
+			continue
+		}
+		if p := b.sched.Policy(id).Priority; !found || p > best {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+// drrPass visits each lane of the tier once in round-robin order,
+// taking probes while the lane's round credit covers their request
+// bytes (force waives the credit check). A lane draws its quantum ×
+// weight credit at most once per round — the credited flag — however
+// many passes (and picks) the round spans, so service per round is
+// exactly proportional to the weights even when envelope caps truncate
+// a pass mid-way.
+func (b *batcher) drrPass(tier int, force bool, batch []*Call) []*Call {
+	n := len(b.order)
+	for k := 0; k < n && len(batch) < b.max; k++ {
+		id := b.order[(b.rr+k)%n]
+		ln := b.lanes[id]
+		pol := b.sched.Policy(id)
+		if len(ln.queue) == 0 || pol.Priority != tier {
+			continue
+		}
+		if !ln.credited {
+			w := pol.Weight
+			if w < 1 {
+				w = 1
+			}
+			ln.deficit += int64(schedQuantum * w)
+			ln.credited = true
+		}
+		for len(ln.queue) > 0 && len(batch) < b.max {
+			cost := int64(len(ln.queue[0].req))
+			if !force && cost > ln.deficit {
+				break
+			}
+			ln.deficit -= cost
+			if force && ln.deficit < 0 {
+				// A waived take must not mortgage the lane's future
+				// rounds: the flush already paid by draining the backlog.
+				ln.deficit = 0
+			}
+			batch = b.takeHead(ln, batch)
+		}
+		if len(ln.queue) == 0 {
+			// An idle lane keeps no credit: DRR fairness is among
+			// backlogged lanes only.
+			ln.deficit = 0
+		}
+	}
+	if n > 0 {
+		b.rr = (b.rr + 1) % n
+	}
+	return batch
+}
+
+// resetRound opens the tier's next DRR round: every lane may draw its
+// quantum again.
+func (b *batcher) resetRound(tier int) {
+	for _, id := range b.order {
+		if b.sched.Policy(id).Priority == tier {
+			b.lanes[id].credited = false
+		}
+	}
+}
+
+// takeHead moves the lane's head call into the envelope.
+func (b *batcher) takeHead(ln *lane, batch []*Call) []*Call {
+	c := ln.queue[0]
+	ln.queue[0] = nil
+	ln.queue = ln.queue[1:]
+	b.npend--
+	ln.served = true
+	return append(batch, c)
 }
 
 // adapt moves the linger after a dispatch, per the scheduler policy above.
@@ -285,27 +584,39 @@ func (b *batcher) adapt(reason cutReason, n int) {
 
 // dispatch sends one batch as a single frame (bare for a batch of one —
 // a straggler costs exactly what an unbatched request costs) and
-// demultiplexes the reply to the waiting calls. The round trip runs
-// under the first call's context; callers that batch together are
-// expected to share one (they do: all probes of a join run share the
-// run context).
+// demultiplexes the reply to the waiting calls.
+//
+// The round trip is detached from any single caller: when all calls
+// share one context (the single-session pattern — all probes of a join
+// run share the run context) the trip runs under it directly, but a
+// mixed batch runs under a derived context cancelled only once EVERY
+// batched context is done. One caller's cancellation therefore never
+// fails its batch-mates; the cancelled caller itself returns promptly
+// through Call.frame's own-context watch.
 func (b *batcher) dispatch(batch []*Call, reason cutReason) {
 	b.frames.Add(1)
 	b.adapt(reason, len(batch))
-	ctx := batch[0].ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if len(batch) == 1 {
 		c := batch[0]
+		ctx := c.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
 		resp, err := b.rem.roundTrip(ctx, c.req)
 		c.req = nil
 		c.complete(resp, err)
 		return
 	}
+	ctx, stop := dispatchContext(batch)
+	defer stop()
 	subs := make([][]byte, len(batch))
 	for i, c := range batch {
 		subs[i] = c.req
+	}
+	if b.sched != nil {
+		// Multi-tenant envelope: stamp the per-tenant byte shares so the
+		// meter attributes (and the ledger bills) the frame exactly.
+		ctx = withTenantShares(ctx, batch)
 	}
 	frame := wire.AppendBatch(bufpool.Get(), subs)
 	for _, c := range batch {
@@ -339,6 +650,87 @@ func (b *batcher) dispatch(batch []*Call, reason cutReason) {
 		c.complete(append(buf, subs[i]...), nil)
 	}
 	bufpool.Put(resp)
+}
+
+// dispatchContext returns the context an envelope's round trip runs
+// under, plus a stop func the dispatcher must call when the trip is
+// over. Fast path: every call shares one context — use it directly (it
+// carries the run's values: tenant, hedge mark, deadline). Otherwise the
+// trip is detached: a fresh context cancelled only when ALL batched
+// contexts are done, so the envelope outlives any single caller's
+// cancellation but does not outlive the moment nobody wants its replies.
+func dispatchContext(batch []*Call) (context.Context, func()) {
+	first := batch[0].ctx
+	shared := true
+	for _, c := range batch[1:] {
+		if c.ctx != first {
+			shared = false
+			break
+		}
+	}
+	if shared {
+		if first == nil {
+			return context.Background(), func() {}
+		}
+		return first, func() {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	stopped := make(chan struct{})
+	go func() {
+		// Wait each caller's context in turn; order is irrelevant for
+		// "all done". A nil context is never done, so the trip can never
+		// become all-abandoned — the watcher just retires.
+		for _, c := range batch {
+			if c.ctx == nil {
+				return
+			}
+			select {
+			case <-c.ctx.Done():
+			case <-stopped:
+				return
+			}
+		}
+		cancel()
+	}()
+	var once sync.Once
+	return ctx, func() {
+		once.Do(func() {
+			close(stopped)
+			cancel()
+		})
+	}
+}
+
+// withTenantShares stamps ctx with the envelope's per-tenant request-
+// byte shares (computed before the sub-frames are recycled). Response
+// bytes are split by the same shares — a deliberate approximation: the
+// reply's per-sub-frame sizes are unknown until decoded, and request-
+// proportional attribution keeps the split deterministic and exact in
+// total. A single-tenant envelope takes the cheaper WithTenant stamp.
+func withTenantShares(ctx context.Context, batch []*Call) context.Context {
+	shares := make([]netsim.TenantShare, 0, 2)
+	for _, c := range batch {
+		id := netsim.TenantID("")
+		if c.ctx != nil {
+			id = netsim.TenantOf(c.ctx)
+		}
+		n := len(c.req)
+		found := false
+		for i := range shares {
+			if shares[i].ID == id {
+				shares[i].Bytes += n
+				found = true
+				break
+			}
+		}
+		if !found {
+			shares = append(shares, netsim.TenantShare{ID: id, Bytes: n})
+		}
+	}
+	if len(shares) == 1 {
+		return netsim.WithTenant(ctx, shares[0].ID)
+	}
+	return netsim.WithShares(ctx, shares)
 }
 
 // --- Remote surface -------------------------------------------------------

@@ -76,6 +76,28 @@ func WithRetry(p RetryPolicy) Option {
 	return func(r *Remote) { r.retry = p }
 }
 
+// WithLedger arms fleet-wide tenant accounting on the remote: the meter
+// attributes every frame to the tenant its context names and feeds the
+// shared ledger, and the round-trip entry point rejects probes of
+// tenants whose Eq. (1) spend has crossed their byte quota with a typed
+// *netsim.QuotaError. One ledger is shared by every remote of a serving
+// fleet, so quotas bound a tenant's spend across all links at once.
+func WithLedger(l *netsim.Ledger) Option {
+	return func(r *Remote) { r.ledger = l }
+}
+
+// WithScheduler arms multi-tenant probe scheduling on the remote's
+// batcher: submissions queue in per-tenant lanes and the scheduler
+// decides which lane's probes enter each envelope (strict priority
+// tiers, deficit-round-robin within a tier, starvation bound). Requires
+// batching (WithBatch, MaxBatch > 1) to have an injection point; without
+// a batcher the option only arms the scheduler's quota admission. One
+// scheduler is shared by every remote of a fleet so policies are
+// consistent across links.
+func WithScheduler(s *Scheduler) Option {
+	return func(r *Remote) { r.sched = s }
+}
+
 // Remote is the client-side proxy to one dataset server over a metered
 // transport. All methods are strictly request/response and carry a
 // context: cancellation or an expired deadline abandons the round trip
@@ -99,7 +121,9 @@ type Remote struct {
 	lat      *LatencyTracker
 	stats    *netsim.LinkStats
 	batchCfg BatchConfig
-	b        *batcher // nil when batching is disabled
+	b        *batcher       // nil when batching is disabled
+	ledger   *netsim.Ledger // nil unless WithLedger armed quotas
+	sched    *Scheduler     // nil unless WithScheduler armed lanes
 }
 
 // NewRemote wraps a transport to server name, metering all traffic with
@@ -117,6 +141,13 @@ func NewRemote(name string, rt netsim.RoundTripper, link netsim.LinkConfig, pric
 	for _, o := range opts {
 		o(r)
 	}
+	if r.ledger != nil {
+		m.SetLedger(r.ledger)
+	} else if r.sched != nil {
+		// Lanes without quotas still want per-tenant attribution so
+		// fairness is observable in the tenant columns.
+		m.EnableTenants()
+	}
 	r.b = newBatcher(r, r.batchCfg)
 	return r, nil
 }
@@ -133,6 +164,15 @@ func (r *Remote) PricePerByte() float64 { return r.m.PricePerByte() }
 
 // Usage returns the accumulated traffic snapshot.
 func (r *Remote) Usage() netsim.Usage { return r.m.Usage() }
+
+// TenantUsage returns the tenant's attributed slice of this link's
+// traffic (zero unless tenant mode is armed — see WithLedger and
+// WithScheduler). Per-tenant slices sum column by column to Usage().
+func (r *Remote) TenantUsage(id netsim.TenantID) netsim.Usage { return r.m.TenantUsage(id) }
+
+// TenantIDs returns every tenant with attributed traffic on this link,
+// sorted.
+func (r *Remote) TenantIDs() []netsim.TenantID { return r.m.TenantIDs() }
 
 // Retries returns how many re-issued attempts this remote has made (0 on
 // a failure-free run).
@@ -169,14 +209,16 @@ func retryable(err error) bool {
 
 // roundTrip sends a pooled request frame and returns the response frame,
 // re-issuing the request per the retry policy on transient transport
-// failures. The request buffer is recycled only when every attempt ran
-// to completion: an abandoned attempt (per-try timeout, cancellation,
-// transport fault) may leave the frame referenced by an in-flight server
-// worker that is still decoding it, so after any failed attempt the
-// buffer is left to the garbage collector even if a later retry
-// succeeds — recycling it would hand a buffer that is still being read
-// to the next encoder. Retries themselves are safe: both the retry and
-// the abandoned worker only read the frame. The caller owns the returned
+// failures. Ownership of the request buffer ends here: it is recycled on
+// success and on every failure whose attempts all ran to completion. An
+// abandoned attempt — one whose error carries the netsim.ErrFrameRetained
+// mark (per-try timeout, cancellation, a transport shutdown mid-service)
+// — may leave the frame referenced by an in-flight server worker that is
+// still decoding it; once any attempt was abandoned the buffer is left
+// to the garbage collector, even if a later retry succeeds or fails
+// cleanly — recycling it would hand a buffer that is still being read to
+// the next encoder. Retries themselves are safe: both the retry and the
+// abandoned worker only read the frame. The caller owns the returned
 // response frame and must release it with putFrame after decoding.
 //
 // The dataset server always encodes responses into fresh buffers, but a
@@ -184,6 +226,17 @@ func retryable(err error) bool {
 // aliasing guard makes sure the shared backing is then released exactly
 // once (as the response), never double-Put.
 func (r *Remote) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
+	if r.ledger != nil {
+		// Quota admission: a tenant over its fleet-wide byte budget is
+		// rejected before any bytes are committed to the link. The frame
+		// was never sent, so it goes straight back to the pool.
+		if id := netsim.TenantOf(ctx); id != "" {
+			if qerr := r.ledger.Check(id); qerr != nil {
+				bufpool.Put(req)
+				return nil, fmt.Errorf("%s: %w", r.name, qerr)
+			}
+		}
+	}
 	if r.retry.Budget > 0 {
 		// One deadline for the whole attempt loop: retries and backoffs
 		// spend from it rather than stacking their own timeouts.
@@ -196,6 +249,7 @@ func (r *Remote) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
 		attempts = 1
 	}
 	var last error
+	retained := false // some attempt may still reference req server-side
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
 			r.retries.Add(1)
@@ -205,11 +259,16 @@ func (r *Remote) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
 			}
 			if backoff := r.retry.Backoff << shift; backoff > 0 {
 				t := time.NewTimer(backoff)
+				interrupted := false
 				select {
 				case <-t.C:
 				case <-ctx.Done():
 					t.Stop()
-					return nil, fmt.Errorf("%s: %w", r.name, ctx.Err())
+					last = ctx.Err()
+					interrupted = true
+				}
+				if interrupted {
+					break
 				}
 			}
 		}
@@ -226,7 +285,7 @@ func (r *Remote) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
 			// Failed attempts are excluded — they surface as retries or
 			// failover, not as tail latency.
 			r.lat.Add(time.Since(t0))
-			if try == 0 && !bufpool.SameBacking(req, resp) {
+			if !retained && !bufpool.SameBacking(req, resp) {
 				bufpool.Put(req)
 			}
 			if wire.Type(resp) == wire.MsgError {
@@ -237,9 +296,18 @@ func (r *Remote) roundTrip(ctx context.Context, req []byte) ([]byte, error) {
 			return resp, nil
 		}
 		last = err
+		if errors.Is(err, netsim.ErrFrameRetained) {
+			retained = true
+		}
 		if ctx.Err() != nil || !retryable(err) {
 			break
 		}
+	}
+	if !retained {
+		// Every attempt ran to completion (the transport no longer holds
+		// the frame), so the request buffer can be recycled even though
+		// the query failed.
+		bufpool.Put(req)
 	}
 	return nil, fmt.Errorf("%s: %w", r.name, last)
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package client
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, so AllocsPerRun tests are meaningless (and
+// fail) under -race.
+const raceEnabled = true

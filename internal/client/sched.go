@@ -1,0 +1,124 @@
+package client
+
+import (
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Multi-tenant probe scheduling. A serving fleet multiplexes many
+// concurrent join sessions over shared links; the per-link batcher is
+// the one point every probe funnels through, so that is where arbitration
+// lives. Submissions queue in per-tenant lanes and the scheduler decides
+// which lane's probes enter each envelope:
+//
+//   - strict priority tiers: a lane of higher Priority always contributes
+//     its probes to the envelope before any lower tier is considered
+//     (lower tiers still fill the envelope's remaining slots — riding in
+//     the same frame delays nobody);
+//   - deficit round-robin within a tier: each visit credits a lane
+//     schedQuantum × Weight bytes of deficit, and the lane emits probes
+//     while its deficit covers their request bytes — so under backlog,
+//     byte shares within a tier converge to the weight ratio;
+//   - starvation bound: a non-empty lane passed over StarvationBound
+//     consecutive envelopes contributes its head probe to the next one
+//     regardless of tier, so even the lowest tier makes progress while
+//     high-priority traffic is saturating the link.
+//
+// One Scheduler is shared by every remote of a fleet, so policies (and
+// the quota ledger it carries) are consistent across links. The lanes
+// themselves are per-batcher — per link — which is what makes the
+// fairness per-link, matching the per-link batching it arbitrates.
+
+// schedQuantum is the DRR byte credit one visit grants a lane per unit
+// of weight. It is a few typical probe frames, so small-weight lanes
+// still emit at least one probe per round and the quantum — not the
+// probe size — sets the granularity of fairness.
+const schedQuantum = 256
+
+// defaultStarvationBound is the default number of consecutive envelopes
+// a waiting lane may be passed over before it is force-served.
+const defaultStarvationBound = 8
+
+// TenantPolicy is one tenant's scheduling class.
+type TenantPolicy struct {
+	// Priority is the strict tier: higher values are served first.
+	Priority int
+	// Weight is the deficit-round-robin weight within the tier; values
+	// below 1 are treated as 1.
+	Weight int
+}
+
+// Scheduler holds the fleet-wide scheduling policy: each tenant's
+// priority tier and intra-tier weight, the starvation bound, and
+// (optionally) the quota ledger admission consults. It carries no queue
+// state — lanes live in each link's batcher — so one Scheduler serves
+// any number of remotes concurrently.
+type Scheduler struct {
+	ledger *netsim.Ledger
+	starve int
+
+	mu  sync.RWMutex
+	pol map[netsim.TenantID]TenantPolicy
+}
+
+// NewScheduler returns a scheduler with the default starvation bound.
+// ledger may be nil (no quota admission at the lanes).
+func NewScheduler(ledger *netsim.Ledger) *Scheduler {
+	return &Scheduler{
+		ledger: ledger,
+		starve: defaultStarvationBound,
+		pol:    make(map[netsim.TenantID]TenantPolicy),
+	}
+}
+
+// Ledger returns the quota ledger admission consults (nil when quotas
+// are not armed).
+func (s *Scheduler) Ledger() *netsim.Ledger { return s.ledger }
+
+// SetStarvationBound sets how many consecutive envelopes a non-empty
+// lane may be passed over before it is force-served. Values below 1 mean
+// 1. Must be called before traffic flows (it is not synchronized with
+// the lanes).
+func (s *Scheduler) SetStarvationBound(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.starve = n
+}
+
+// StarvationBound returns the configured bound.
+func (s *Scheduler) StarvationBound() int { return s.starve }
+
+// SetPolicy sets a tenant's scheduling class. Tenants without an
+// explicit policy run at {Priority: 0, Weight: 1}.
+func (s *Scheduler) SetPolicy(id netsim.TenantID, p TenantPolicy) {
+	if p.Weight < 1 {
+		p.Weight = 1
+	}
+	s.mu.Lock()
+	s.pol[id] = p
+	s.mu.Unlock()
+}
+
+// Policy returns the tenant's scheduling class (the default class for
+// tenants never configured).
+func (s *Scheduler) Policy(id netsim.TenantID) TenantPolicy {
+	s.mu.RLock()
+	p, ok := s.pol[id]
+	s.mu.RUnlock()
+	if !ok {
+		return TenantPolicy{Priority: 0, Weight: 1}
+	}
+	return p
+}
+
+// admit is the lane-side quota gate: a tenant over its byte budget is
+// rejected before its probe ever occupies queue space, so an exhausted
+// tenant cannot poison envelopes other tenants ride in.
+func (s *Scheduler) admit(id netsim.TenantID) error {
+	if s.ledger == nil || id == "" {
+		return nil
+	}
+	return s.ledger.Check(id)
+}

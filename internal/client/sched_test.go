@@ -1,0 +1,456 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/dataset"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// --- white-box scheduler invariants ---------------------------------------
+//
+// pick() is a pure function of the lane state under b.mu, so the
+// scheduling invariants — weighted fairness, strict priority,
+// starvation bound — are tested directly against a hand-built batcher:
+// deterministic, transport-free, and immune to timing.
+
+// newLaneBatcher builds a dispatch-less batcher in scheduler mode.
+func newLaneBatcher(sched *Scheduler, max int) *batcher {
+	return &batcher{
+		max:   max,
+		sched: sched,
+		lanes: make(map[netsim.TenantID]*lane),
+	}
+}
+
+// fill appends n dummy calls of reqBytes each to the tenant's lane.
+func (b *batcher) fill(id netsim.TenantID, n, reqBytes int) {
+	ln := b.lanes[id]
+	if ln == nil {
+		ln = &lane{}
+		b.lanes[id] = ln
+		b.order = append(b.order, id)
+	}
+	ctx := netsim.WithTenant(context.Background(), id)
+	for i := 0; i < n; i++ {
+		c := &Call{name: string(id), ctx: ctx, req: make([]byte, reqBytes), done: make(chan struct{})}
+		ln.queue = append(ln.queue, c)
+		b.npend++
+	}
+}
+
+func tenantOfCall(c *Call) netsim.TenantID { return netsim.TenantOf(c.ctx) }
+
+// TestSchedulerWeightedFairness: two backlogged same-priority lanes with
+// weights 1:3 converge to byte shares 1:3 within ±10% of the total.
+func TestSchedulerWeightedFairness(t *testing.T) {
+	sched := NewScheduler(nil)
+	sched.SetPolicy("a", TenantPolicy{Priority: 0, Weight: 1})
+	sched.SetPolicy("b", TenantPolicy{Priority: 0, Weight: 3})
+	b := newLaneBatcher(sched, 8)
+
+	bytes := map[netsim.TenantID]int{}
+	total := 0
+	const reqBytes = 300 // larger than one quantum, so credit takes rounds
+	for pickN := 0; pickN < 200; pickN++ {
+		// Keep both lanes backlogged so DRR fairness (a property of
+		// backlogged lanes) is what is being measured.
+		for _, id := range []netsim.TenantID{"a", "b"} {
+			ln := b.lanes[id]
+			if ln == nil || len(ln.queue) < b.max {
+				b.fill(id, b.max, reqBytes)
+			}
+		}
+		for _, c := range b.pick(false) {
+			bytes[tenantOfCall(c)] += len(c.req)
+			total += len(c.req)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no bytes scheduled")
+	}
+	shareA := float64(bytes["a"]) / float64(total)
+	shareB := float64(bytes["b"]) / float64(total)
+	if diff := shareA - 0.25; diff < -0.10 || diff > 0.10 {
+		t.Errorf("tenant a byte share = %.3f, want 0.25 ± 0.10 (a=%d b=%d)", shareA, bytes["a"], bytes["b"])
+	}
+	if diff := shareB - 0.75; diff < -0.10 || diff > 0.10 {
+		t.Errorf("tenant b byte share = %.3f, want 0.75 ± 0.10", shareB)
+	}
+}
+
+// TestSchedulerThreeWayFairness: weights 1:2:5 among three backlogged
+// lanes, same tolerance.
+func TestSchedulerThreeWayFairness(t *testing.T) {
+	sched := NewScheduler(nil)
+	weights := map[netsim.TenantID]int{"x": 1, "y": 2, "z": 5}
+	for id, w := range weights {
+		sched.SetPolicy(id, TenantPolicy{Weight: w})
+	}
+	b := newLaneBatcher(sched, 8)
+
+	bytes := map[netsim.TenantID]int{}
+	total := 0
+	for pickN := 0; pickN < 300; pickN++ {
+		for id := range weights {
+			ln := b.lanes[id]
+			if ln == nil || len(ln.queue) < b.max {
+				b.fill(id, b.max, 200)
+			}
+		}
+		for _, c := range b.pick(false) {
+			bytes[tenantOfCall(c)] += len(c.req)
+			total += len(c.req)
+		}
+	}
+	for id, w := range weights {
+		want := float64(w) / 8.0
+		got := float64(bytes[id]) / float64(total)
+		if diff := got - want; diff < -0.10 || diff > 0.10 {
+			t.Errorf("tenant %s byte share = %.3f, want %.3f ± 0.10", id, got, want)
+		}
+	}
+}
+
+// TestSchedulerStrictPriority: with both tiers backlogged, the high tier
+// drains completely before the low tier contributes a single probe
+// (starvation guard pushed out of the way).
+func TestSchedulerStrictPriority(t *testing.T) {
+	sched := NewScheduler(nil)
+	sched.SetStarvationBound(1000)
+	sched.SetPolicy("high", TenantPolicy{Priority: 2, Weight: 1})
+	sched.SetPolicy("low", TenantPolicy{Priority: 0, Weight: 1})
+	b := newLaneBatcher(sched, 4)
+	b.fill("low", 12, 100)
+	b.fill("high", 12, 100)
+
+	var sequence []netsim.TenantID
+	for b.npend > 0 {
+		batch := b.pick(true) // force: priority order is what's under test
+		if len(batch) == 0 {
+			t.Fatal("pick made no progress on a non-empty backlog")
+		}
+		for _, c := range batch {
+			sequence = append(sequence, tenantOfCall(c))
+		}
+	}
+	if len(sequence) != 24 {
+		t.Fatalf("scheduled %d calls, want 24", len(sequence))
+	}
+	for i, id := range sequence[:12] {
+		if id != "high" {
+			t.Fatalf("slot %d went to %q before the high tier drained", i, id)
+		}
+	}
+	for i, id := range sequence[12:] {
+		if id != "low" {
+			t.Fatalf("slot %d went to %q, want low after high drained", 12+i, id)
+		}
+	}
+}
+
+// TestSchedulerPriorityFillDown: when the high tier cannot fill an
+// envelope, the remaining slots go to the lower tier in the SAME
+// envelope — sharing the frame delays nobody.
+func TestSchedulerPriorityFillDown(t *testing.T) {
+	sched := NewScheduler(nil)
+	sched.SetPolicy("high", TenantPolicy{Priority: 1})
+	sched.SetPolicy("low", TenantPolicy{Priority: 0})
+	b := newLaneBatcher(sched, 8)
+	b.fill("high", 3, 50)
+	b.fill("low", 8, 50)
+
+	batch := b.pick(true)
+	if len(batch) != 8 {
+		t.Fatalf("envelope has %d calls, want 8", len(batch))
+	}
+	for i := 0; i < 3; i++ {
+		if tenantOfCall(batch[i]) != "high" {
+			t.Errorf("slot %d = %q, want high first", i, tenantOfCall(batch[i]))
+		}
+	}
+	for i := 3; i < 8; i++ {
+		if tenantOfCall(batch[i]) != "low" {
+			t.Errorf("slot %d = %q, want low fill-down", i, tenantOfCall(batch[i]))
+		}
+	}
+}
+
+// TestSchedulerStarvationBound: a low-tier lane facing a saturating
+// high tier is passed over at most StarvationBound consecutive
+// envelopes before the guard forces its head probe through.
+func TestSchedulerStarvationBound(t *testing.T) {
+	const bound = 3
+	sched := NewScheduler(nil)
+	sched.SetStarvationBound(bound)
+	sched.SetPolicy("high", TenantPolicy{Priority: 1})
+	sched.SetPolicy("low", TenantPolicy{Priority: 0})
+	b := newLaneBatcher(sched, 4)
+	b.fill("low", 6, 100)
+
+	lowScheduled := 0
+	passedSinceServed := 0
+	for pickN := 0; pickN < 40 && lowScheduled < 2; pickN++ {
+		// The high tier re-saturates before every envelope.
+		if ln := b.lanes["high"]; ln == nil || len(ln.queue) < b.max {
+			b.fill("high", b.max, 100)
+		}
+		served := false
+		for _, c := range b.pick(true) {
+			if tenantOfCall(c) == "low" {
+				lowScheduled++
+				served = true
+			}
+		}
+		if served {
+			passedSinceServed = 0
+		} else {
+			passedSinceServed++
+			if passedSinceServed > bound {
+				t.Fatalf("low lane passed over %d consecutive envelopes, bound is %d", passedSinceServed, bound)
+			}
+		}
+	}
+	if lowScheduled < 2 {
+		t.Fatalf("low lane scheduled only %d probes under saturation", lowScheduled)
+	}
+}
+
+// TestSchedulerQuotaAdmission: an over-quota tenant's probes are
+// rejected at the lane gate with the typed error while other tenants'
+// probes proceed.
+func TestSchedulerQuotaAdmission(t *testing.T) {
+	ledger := netsim.NewLedger()
+	ledger.SetQuota("poor", 100)
+	ledger.Charge("poor", 150) // already exhausted
+	sched := NewScheduler(ledger)
+
+	if err := sched.admit("poor"); err == nil {
+		t.Fatal("admit(poor) = nil, want quota error")
+	} else {
+		var qe *netsim.QuotaError
+		if !errors.As(err, &qe) || !errors.Is(err, netsim.ErrOverQuota) {
+			t.Fatalf("admit(poor) = %v, want *QuotaError matching ErrOverQuota", err)
+		}
+		if qe.Tenant != "poor" || qe.Spent != 150 || qe.Quota != 100 {
+			t.Errorf("QuotaError = %+v, want {poor 150 100}", qe)
+		}
+	}
+	if err := sched.admit("rich"); err != nil {
+		t.Errorf("admit(rich) = %v, want nil (no quota set)", err)
+	}
+	if err := sched.admit(""); err != nil {
+		t.Errorf("admit(anonymous) = %v, want nil", err)
+	}
+}
+
+// --- end-to-end multi-tenant batching --------------------------------------
+
+func newTenantRemote(t *testing.T, sched *Scheduler, maxBatch, workers int) *Remote {
+	t.Helper()
+	objs := dataset.Uniform(300, dataset.World, 11)
+	tr := netsim.ServeParallel(server.New("T", objs), workers)
+	r, err := NewRemote("T", tr, netsim.DefaultLink(), 1,
+		WithBatch(BatchConfig{MaxBatch: maxBatch, Linger: time.Second, MaxLinger: time.Second}),
+		WithScheduler(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Ledger() != nil {
+		r.Meter().SetLedger(sched.Ledger())
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestTenantAttributionExact: probes of two tenants co-batched into
+// shared envelopes; every tenant column sums exactly to the link meter's
+// total, and the ledger's spend equals the attributed wire bytes.
+func TestTenantAttributionExact(t *testing.T) {
+	ledger := netsim.NewLedger()
+	sched := NewScheduler(ledger)
+	r := newTenantRemote(t, sched, 4, 2)
+	w := dataset.World
+
+	ctxA := netsim.WithTenant(context.Background(), "alice")
+	ctxB := netsim.WithTenant(context.Background(), "bob")
+	var calls []*Call
+	// Interleave submissions so envelopes mix tenants (4-cut over
+	// alternating lanes → every full envelope carries both).
+	for i := 0; i < 12; i++ {
+		calls = append(calls, r.GoBatch(ctxA, [][]byte{wire.AppendCount(bufpool.Get(), w)})...)
+		calls = append(calls, r.GoBatch(ctxB, [][]byte{wire.AppendWindow(bufpool.Get(), w)})...)
+	}
+	r.Flush()
+	for i, c := range calls {
+		if _, err := c.Frame(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+
+	total := r.Usage()
+	var sum netsim.Usage
+	ids := r.TenantIDs()
+	if len(ids) != 2 {
+		t.Fatalf("tenant ids = %v, want [alice bob]", ids)
+	}
+	for _, id := range ids {
+		sum = sum.Add(r.TenantUsage(id))
+	}
+	if sum != total {
+		t.Errorf("tenant columns sum %+v\n != link total %+v", sum, total)
+	}
+	var spent int64
+	for _, id := range ids {
+		spent += ledger.Spent(id)
+	}
+	if spent != int64(total.WireBytes) {
+		t.Errorf("ledger spend %d != metered wire bytes %d", spent, total.WireBytes)
+	}
+}
+
+// TestTenantQuotaRejectsMidStream: a tenant whose spend crosses its
+// quota has subsequent probes rejected with the typed error, while the
+// other tenant's probes keep completing correctly.
+func TestTenantQuotaRejectsMidStream(t *testing.T) {
+	ledger := netsim.NewLedger()
+	ledger.SetQuota("poor", 2000)
+	sched := NewScheduler(ledger)
+	r := newTenantRemote(t, sched, 4, 2)
+	w := dataset.World
+
+	ctxPoor := netsim.WithTenant(context.Background(), "poor")
+	ctxRich := netsim.WithTenant(context.Background(), "rich")
+	var rejected, completed int
+	for i := 0; i < 20; i++ {
+		cp := r.GoBatch(ctxPoor, [][]byte{wire.AppendWindow(bufpool.Get(), w)})[0]
+		cr := r.GoBatch(ctxRich, [][]byte{wire.AppendCount(bufpool.Get(), w)})[0]
+		r.Flush()
+		if _, err := cp.Frame(); err != nil {
+			if !errors.Is(err, netsim.ErrOverQuota) {
+				t.Fatalf("poor call %d failed with %v, want quota error", i, err)
+			}
+			rejected++
+		}
+		if n, err := cr.Count(); err != nil || n != 300 {
+			t.Fatalf("rich call %d: count %d, %v — must be unaffected", i, n, err)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("poor tenant was never rejected despite exceeding its quota")
+	}
+	if spent := ledger.Spent("poor"); spent < 2000 {
+		t.Errorf("poor spend %d never reached the quota boundary", spent)
+	}
+	completed = 20 - rejected
+	if completed == 0 {
+		t.Error("poor tenant completed nothing — quota should reject only after real spend")
+	}
+}
+
+// TestMixedTenantEnvelopeSharesDeterministic: splitByShares-driven
+// attribution of a shared envelope is deterministic across identical
+// runs (sequential submissions, one worker).
+func TestMixedTenantEnvelopeSharesDeterministic(t *testing.T) {
+	run := func() (netsim.Usage, netsim.Usage) {
+		sched := NewScheduler(nil)
+		r := newTenantRemote(t, sched, 4, 1)
+		w := dataset.World
+		ctxA := netsim.WithTenant(context.Background(), "a")
+		ctxB := netsim.WithTenant(context.Background(), "b")
+		var calls []*Call
+		for i := 0; i < 6; i++ {
+			calls = append(calls, r.GoBatch(ctxA, [][]byte{wire.AppendCount(bufpool.Get(), w)})...)
+			calls = append(calls, r.GoBatch(ctxB, [][]byte{wire.AppendCount(bufpool.Get(), w)})...)
+		}
+		r.Flush()
+		for _, c := range calls {
+			if _, err := c.Count(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r.TenantUsage("a"), r.TenantUsage("b")
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Errorf("attribution differs across identical runs:\n a: %+v vs %+v\n b: %+v vs %+v", a1, a2, b1, b2)
+	}
+}
+
+// TestSchedulerConcurrentSubmitters: many goroutines across several
+// tenants hammer one scheduled batcher; everything completes correctly
+// and the attribution stays exact. Run with -race.
+func TestSchedulerConcurrentSubmitters(t *testing.T) {
+	ledger := netsim.NewLedger()
+	sched := NewScheduler(ledger)
+	sched.SetPolicy("t0", TenantPolicy{Priority: 1, Weight: 2})
+	sched.SetPolicy("t1", TenantPolicy{Priority: 0, Weight: 1})
+	sched.SetPolicy("t2", TenantPolicy{Priority: 0, Weight: 3})
+	r := newTenantRemote(t, sched, 8, 4)
+	w := dataset.World
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 6; g++ {
+		id := netsim.TenantID(fmt.Sprintf("t%d", g%3))
+		wg.Add(1)
+		go func(id netsim.TenantID) {
+			defer wg.Done()
+			ctx := netsim.WithTenant(context.Background(), id)
+			for i := 0; i < 30; i++ {
+				c := r.GoBatch(ctx, [][]byte{wire.AppendCount(bufpool.Get(), w)})[0]
+				if i%7 == 0 {
+					r.Flush()
+				}
+				if n, err := c.Count(); err != nil {
+					errc <- fmt.Errorf("%s: %w", id, err)
+					return
+				} else if n != 300 {
+					errc <- fmt.Errorf("%s: count %d", id, n)
+					return
+				}
+			}
+		}(id)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(2 * time.Millisecond):
+				r.Flush() // keep stragglers moving without relying on the linger
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	total := r.Usage()
+	var sum netsim.Usage
+	for _, id := range r.TenantIDs() {
+		sum = sum.Add(r.TenantUsage(id))
+	}
+	if sum != total {
+		t.Errorf("tenant columns sum %+v != link total %+v", sum, total)
+	}
+	var spent int64
+	for _, id := range r.TenantIDs() {
+		spent += ledger.Spent(id)
+	}
+	if spent != int64(total.WireBytes) {
+		t.Errorf("ledger spend %d != metered wire %d", spent, total.WireBytes)
+	}
+}

@@ -205,6 +205,14 @@ func (e *Env) prepare(ctx context.Context) error {
 	return nil
 }
 
+// Prepare eagerly fetches dataset metadata and resolves the query
+// window, exactly as the first Run would. A multi-tenant server calls it
+// once per tenant environment before admitting concurrent runs: prepare
+// mutates the environment (cached INFOs, resolved window), so it must
+// not race with itself — Prepare gives the caller a way to sequence that
+// first fetch explicitly.
+func (e *Env) Prepare(ctx context.Context) error { return e.prepare(ctx) }
+
 // Usage returns the combined traffic snapshot of both links.
 func (e *Env) Usage() (r, s netsim.Usage) { return e.R.Usage(), e.S.Usage() }
 

@@ -137,13 +137,33 @@ func (t *ChannelTransport) RoundTrip(ctx context.Context, req []byte) ([]byte, e
 		replyChanPool.Put(reply)
 		return resp, nil
 	case <-t.closed:
-		// The request may still be in service; its late reply would land
-		// in this channel, so it cannot be reused.
-		return nil, ErrClosed
+		// The request is in service (reqs is unbuffered, so a worker holds
+		// it) and its late reply will land in this channel: a reaper waits
+		// for it so the reply frame and the channel return to their pools
+		// instead of leaking, while the error is marked retained — the
+		// worker may still be reading the request buffer.
+		go reapAbandoned(req, reply)
+		return nil, RetainFrame(ErrClosed)
 	case <-ctx.Done():
 		// Same: the in-flight request's late reply may still land here.
-		return nil, ctx.Err()
+		go reapAbandoned(req, reply)
+		return nil, RetainFrame(ctx.Err())
 	}
+}
+
+// reapAbandoned drains the late reply of an abandoned round trip,
+// recycling the reply frame and the reply channel. Workers always answer
+// exactly once (they finish the request in hand even during shutdown),
+// so the reaper is guaranteed to terminate. The request frame is NOT
+// recycled here: the abandoning caller may be retrying with the same
+// buffer, so its ownership stays with the caller (which must leave it to
+// the garbage collector, per ErrFrameRetained).
+func reapAbandoned(req []byte, reply chan []byte) {
+	resp := <-reply
+	if !bufpool.SameBacking(req, resp) {
+		bufpool.Put(resp)
+	}
+	replyChanPool.Put(reply)
 }
 
 // Close implements RoundTripper; it stops the server goroutines.

@@ -26,7 +26,9 @@ package netsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -168,6 +170,13 @@ type Meter struct {
 	queries         atomic.Int64
 	hedgedMessages  atomic.Int64
 	hedgedWireBytes atomic.Int64
+
+	// Tenant attribution (see tenant.go). tenantMode gates the whole
+	// feature: off, charging never touches the map and the hot path is
+	// exactly the single-tenant one.
+	tenantMode atomic.Bool
+	tenants    sync.Map // TenantID -> *tenantAccount
+	ledger     *Ledger
 }
 
 // NewMeter returns a Meter for the given link and per-byte price. An
@@ -228,7 +237,9 @@ func (m *Meter) Usage() Usage {
 	}
 }
 
-// Reset clears the accumulated accounting (between experiment runs).
+// Reset clears the accumulated accounting (between experiment runs),
+// including the per-tenant attribution columns. The fleet ledger, being
+// shared billing state rather than per-link accounting, is not touched.
 func (m *Meter) Reset() {
 	m.messages.Store(0)
 	m.payloadBytes.Store(0)
@@ -239,12 +250,39 @@ func (m *Meter) Reset() {
 	m.queries.Store(0)
 	m.hedgedMessages.Store(0)
 	m.hedgedWireBytes.Store(0)
+	m.tenants.Range(func(k, _ any) bool {
+		m.tenants.Delete(k)
+		return true
+	})
 }
 
 // Cost returns the monetary cost of the traffic so far: price × WireBytes.
 func (m *Meter) Cost() float64 {
 	return m.price * float64(m.wireBytes.Load())
 }
+
+// ErrFrameRetained marks (via errors.Is) transport errors after which
+// the request frame may still be referenced by an in-flight peer — a
+// round trip abandoned mid-service leaves a server worker that is still
+// decoding the buffer. Callers that recycle request frames on failure
+// must leave retained frames to the garbage collector; errors without
+// the mark guarantee the transport holds no reference, so the frame may
+// go straight back to the pool. Transports wrap the abandonment paths
+// with RetainFrame; completed failures (a dropped frame that was never
+// sent, a severed response after the server finished) stay unmarked.
+var ErrFrameRetained = errors.New("netsim: request frame may still be referenced")
+
+type retainedError struct{ err error }
+
+func (e retainedError) Error() string { return e.err.Error() }
+
+// Unwrap exposes both the underlying error and the retention mark, so
+// errors.Is sees ErrClosed/context errors and ErrFrameRetained alike.
+func (e retainedError) Unwrap() []error { return []error{e.err, ErrFrameRetained} }
+
+// RetainFrame marks err as an abandonment: the request frame backing the
+// failed round trip may still be read by the peer.
+func RetainFrame(err error) error { return retainedError{err: err} }
 
 // RoundTripper is the client's view of a server connection: send one
 // request frame, receive one response frame. Implementations must be safe
@@ -329,10 +367,14 @@ func (c *Metered) Meter() *Meter { return c.m }
 // actually arrive.
 func (c *Metered) RoundTrip(ctx context.Context, req []byte) ([]byte, error) {
 	hedged := IsHedged(ctx)
+	tenanted := c.m.tenantMode.Load()
 	start := time.Now()
 	wire := c.m.Charge(len(req), Up)
 	if hedged {
 		c.m.MarkHedged(wire)
+	}
+	if tenanted {
+		c.m.attribute(ctx, len(req), wire, Up, hedged)
 	}
 	if rtt := c.m.link.RTT; rtt > 0 {
 		if err := sleepCtx(ctx, rtt); err != nil {
@@ -346,6 +388,9 @@ func (c *Metered) RoundTrip(ctx context.Context, req []byte) ([]byte, error) {
 	wire = c.m.Charge(len(resp), Down)
 	if hedged {
 		c.m.MarkHedged(wire)
+	}
+	if tenanted {
+		c.m.attribute(ctx, len(resp), wire, Down, hedged)
 	}
 	c.stats.ObserveRTT(time.Since(start))
 	return resp, nil

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled gates timing- and allocation-sensitive assertions: the
+// race detector's instrumentation distorts both.
+const raceEnabled = true

@@ -298,11 +298,37 @@ type Session struct {
 	runTimeout time.Duration
 }
 
-// NewSession starts in-process servers for cfg.R and cfg.S (one per
-// relation, or cfg.Shards each) and wires a device environment to them.
-// An invalid link configuration is reported here, at the configuration
-// boundary.
-func NewSession(cfg SessionConfig) (*Session, error) {
+// fleet is the assembled serving side of one SessionConfig: the two
+// relation endpoints (bare remotes, or routers over shards/replicas),
+// the optional breaker registry, and the resolved link/tariff
+// parameters the cost model needs. A Session owns one privately; a
+// Server shares one among all its tenants.
+type fleet struct {
+	remR, remS     core.Probe
+	reg            *health.Registry // nil unless Breakers armed
+	link           LinkConfig
+	priceR, priceS float64
+}
+
+// close releases the fleet (breaker probers first, so no background
+// probe races a closing transport).
+func (f *fleet) close() error {
+	if f.reg != nil {
+		f.reg.Close()
+	}
+	err1 := f.remR.Close()
+	err2 := f.remS.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// buildFleet starts the in-process servers of cfg and wires the metered
+// client side to them, with extra client options (a Server's scheduler
+// and ledger) appended after the session-derived ones. An invalid link
+// configuration is reported here, at the configuration boundary.
+func buildFleet(cfg SessionConfig, extra ...client.Option) (*fleet, error) {
 	if cfg.PriceR == 0 {
 		cfg.PriceR = 1
 	}
@@ -329,6 +355,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.BatchSize > 1 {
 		copts = append(copts, client.WithBatch(client.BatchConfig{MaxBatch: cfg.BatchSize}))
 	}
+	copts = append(copts, extra...)
 	var reg *health.Registry
 	if cfg.Breakers && cfg.Replicas > 1 {
 		reg = health.NewRegistry(cfg.Breaker)
@@ -385,17 +412,39 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		}
 		remR, remS = r, s
 	}
+	return &fleet{
+		remR: remR, remS: remS, reg: reg,
+		link: link, priceR: cfg.PriceR, priceS: cfg.PriceS,
+	}, nil
+}
+
+// newEnv wires one device environment over the given relation endpoints
+// (the fleet's own, or per-tenant wrappers of them).
+func (f *fleet) newEnv(cfg SessionConfig, remR, remS core.Probe) *core.Env {
 	model := costmodel.Default()
 	model.Bucket = cfg.Bucket
-	model.Link = link
-	model.PriceR, model.PriceS = cfg.PriceR, cfg.PriceS
+	model.Link = f.link
+	model.PriceR, model.PriceS = f.priceR, f.priceS
 	env := core.NewEnv(remR, remS, client.Device{BufferObjects: cfg.Buffer}, model, cfg.Window)
 	env.Seed = cfg.Seed
 	env.Parallelism = cfg.Parallelism
 	env.BatchSize = cfg.BatchSize
 	env.AllowPartial = cfg.AllowPartial
+	return env
+}
+
+// NewSession starts in-process servers for cfg.R and cfg.S (one per
+// relation, or cfg.Shards each) and wires a device environment to them.
+// An invalid link configuration is reported here, at the configuration
+// boundary.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	f, err := buildFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	env := f.newEnv(cfg, f.remR, f.remS)
 	return &Session{
-		env: env, remR: remR, remS: remS, reg: reg,
+		env: env, remR: f.remR, remS: f.remS, reg: f.reg,
 		runTimeout: cfg.RunTimeout,
 	}, nil
 }

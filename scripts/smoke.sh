@@ -4,21 +4,26 @@
 # a depth-2 aggregation tree, and a 2-shard × 2-replica fleet), run
 # spatialjoin against them over real TCP — unsharded, batched, sharded,
 # tree-aggregated, and replicated with one replica SIGKILLed mid-join,
-# all producing the identical pair set — then SIGTERM every surviving
-# server and assert a
-# clean drain. CI runs this on every push; it is also the quickest local
-# sanity check that the deployable stack works.
+# all producing the identical pair set — then exercise the multi-tenant
+# spatialjoind daemon (oracle-equal results, priority isolation under
+# bulk load, quota rejection with exit 4, unknown-tenant rejection),
+# and finally SIGTERM every surviving server and assert a clean drain.
+# CI runs this on every push; it is also the quickest local sanity
+# check that the deployable stack works.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 declare -a pids=()
+declare -a bulk_pids=()
 victim_pid=""
+daemon_pid=""
 cleanup() {
-  for pid in "${pids[@]:-}"; do
+  for pid in "${pids[@]:-}" "${bulk_pids[@]:-}"; do
     kill -9 "$pid" 2>/dev/null || true
   done
   [ -n "$victim_pid" ] && kill -9 "$victim_pid" 2>/dev/null || true
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -194,6 +199,105 @@ grep -E '^  ' "$workdir/join.replicated" > "$workdir/pairs.replicated"
 diff -u "$workdir/pairs.plain" "$workdir/pairs.replicated" \
   || { echo "replicated join diverged after replica kill"; cat "$workdir/join.replicated"; exit 1; }
 echo "replicated result identical ($(wc -l < "$workdir/pairs.replicated") pairs, replica r1b killed)"
+
+echo "== boot multi-tenant daemon"
+# One spatialjoind over the same datasets, three service classes: "fast"
+# is the strict-priority interactive tenant, "bulk" the background load,
+# "capped" a tenant whose fleet-wide byte quota covers roughly one join
+# (~27k wire bytes on this workload), so within a few runs it must be
+# rejected with the typed quota error → exit 4.
+"$workdir/bin/spatialjoind" -data-r "$workdir/r.spd" -data-s "$workdir/s.spd" \
+  -addr 127.0.0.1:7483 -buffer 500 -batch 16 -parallel 4 -rtt 2ms \
+  -tenants "fast:prio=10;bulk:weight=1;capped:quota=30000" \
+  >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+for i in $(seq 1 100); do
+  grep -q "serving" "$workdir/daemon.log" && break
+  sleep 0.05
+done
+grep -q "serving" "$workdir/daemon.log" || { echo "daemon never came up"; cat "$workdir/daemon.log"; exit 1; }
+
+echo "== daemon join (tenant fast) is oracle-equal"
+"$workdir/bin/spatialjoin" -connect 127.0.0.1:7483 -tenant fast \
+  -alg upjoin -kind distance -eps 75 -pairs \
+  | grep -E '^  ' > "$workdir/pairs.daemon"
+diff -u "$workdir/pairs.plain" "$workdir/pairs.daemon" \
+  || { echo "daemon join diverged from device result"; exit 1; }
+echo "daemon result identical ($(wc -l < "$workdir/pairs.daemon") pairs)"
+
+echo "== high-priority latency under bulk load"
+# Wall time of five interactive joins, solo vs. with two bulk clients
+# hammering the daemon. The priority scheduler must keep the interactive
+# tenant's probes entering every link envelope first, so the loaded time
+# stays within 1.5x solo (plus a constant guard for process-spawn noise).
+probe_ms() {
+  local t0 t1
+  t0=$(date +%s%N)
+  for _ in 1 2 3 4 5; do
+    "$workdir/bin/spatialjoin" -connect 127.0.0.1:7483 -tenant fast \
+      -alg upjoin -kind distance -eps 75 >/dev/null
+  done
+  t1=$(date +%s%N)
+  echo $(( (t1 - t0) / 1000000 ))
+}
+probe_ms >/dev/null # warmup
+solo_ms=$(probe_ms)
+for _ in 1 2; do
+  ( while :; do
+      "$workdir/bin/spatialjoin" -connect 127.0.0.1:7483 -tenant bulk \
+        -alg upjoin -kind distance -eps 120 >/dev/null 2>&1 || exit 0
+    done ) &
+  bulk_pids+=($!)
+done
+sleep 0.2 # let the bulk backlog build
+loaded_ms=$(probe_ms)
+for pid in "${bulk_pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+wait "${bulk_pids[@]}" 2>/dev/null || true
+bulk_pids=()
+limit_ms=$(( solo_ms * 3 / 2 + 200 ))
+echo "interactive: solo ${solo_ms}ms, under bulk load ${loaded_ms}ms (limit ${limit_ms}ms)"
+[ "$loaded_ms" -le "$limit_ms" ] \
+  || { echo "high-priority tenant slowed beyond 1.5x under bulk load"; exit 1; }
+
+echo "== quota tenant is rejected with exit 4"
+quota_hit=0
+for i in 1 2 3 4 5; do
+  set +e
+  "$workdir/bin/spatialjoin" -connect 127.0.0.1:7483 -tenant capped \
+    -alg upjoin -kind distance -eps 75 >"$workdir/quota.out" 2>&1
+  rc=$?
+  set -e
+  if [ "$rc" -eq 4 ]; then quota_hit=1; break; fi
+  [ "$rc" -eq 0 ] || { echo "capped tenant failed with unexpected code $rc"; cat "$workdir/quota.out"; exit 1; }
+done
+[ "$quota_hit" = 1 ] || { echo "capped tenant never hit its quota"; exit 1; }
+grep -q "over byte quota" "$workdir/quota.out" \
+  || { echo "quota rejection lacked the spent/quota message"; cat "$workdir/quota.out"; exit 1; }
+echo "quota rejection on run $i (exit 4)"
+
+echo "== other tenants still serve after the quota rejection"
+"$workdir/bin/spatialjoin" -connect 127.0.0.1:7483 -tenant fast \
+  -alg upjoin -kind distance -eps 75 -pairs \
+  | grep -E '^  ' > "$workdir/pairs.postquota"
+diff -u "$workdir/pairs.plain" "$workdir/pairs.postquota" \
+  || { echo "fast tenant diverged after quota rejection"; exit 1; }
+
+echo "== unknown tenant is rejected"
+set +e
+"$workdir/bin/spatialjoin" -connect 127.0.0.1:7483 -tenant ghost \
+  -alg upjoin -kind distance -eps 75 >"$workdir/ghost.out" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || { echo "unknown tenant got exit $rc, want 1"; cat "$workdir/ghost.out"; exit 1; }
+grep -q "unknown tenant" "$workdir/ghost.out" \
+  || { echo "unknown-tenant error missing"; cat "$workdir/ghost.out"; exit 1; }
+
+echo "== daemon SIGTERM drain"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "daemon exited non-zero on SIGTERM"; cat "$workdir/daemon.log"; exit 1; }
+grep -q "drained cleanly" "$workdir/daemon.log" \
+  || { echo "daemon did not drain cleanly"; cat "$workdir/daemon.log"; exit 1; }
+daemon_pid=""
 
 echo "== SIGTERM drain"
 for pid in "${pids[@]}"; do

@@ -1,0 +1,358 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// This file is the multi-tenant join service: one shared serving fleet
+// (the same servers/shards/replicas a Session would own privately),
+// multiplexing many concurrent join sessions from different tenants
+// over its metered links. Three mechanisms arbitrate the sharing:
+//
+//   - admission control: each tenant runs at most MaxConcurrent joins
+//     at once (further Runs queue), and a tenant whose Eq. (1) spend
+//     has crossed its ByteQuota is rejected with a typed error
+//     (ErrOverQuota / *netsim.QuotaError) before any bytes move;
+//   - probe scheduling: every link's batcher queues submissions in
+//     per-tenant lanes, and a shared client.Scheduler decides which
+//     lane's probes enter each envelope — strict priority tiers,
+//     deficit-round-robin byte fairness within a tier, and a starvation
+//     bound so even the lowest tier keeps moving;
+//   - metered attribution: every frame a tenant causes is attributed to
+//     it on every link it crosses (netsim tenant columns), so per-tenant
+//     bills are exact — the tenants' slices sum to each link's total —
+//     and quotas are enforced against real metered bytes, retries and
+//     envelope shares included.
+//
+// Single-tenant Sessions never enter tenant mode and stay bit-identical
+// to the pre-multi-tenant goldens.
+
+// ErrOverQuota matches (via errors.Is) the typed *netsim.QuotaError a
+// Run returns when its tenant has exhausted its byte quota.
+var ErrOverQuota = netsim.ErrOverQuota
+
+// ErrUnknownTenant is returned by Run for tenant names the server was
+// not configured with.
+var ErrUnknownTenant = errors.New("repro: unknown tenant")
+
+// QuotaError is the typed quota-rejection error (netsim.QuotaError):
+// use errors.As to read the tenant, its spend, and its quota.
+type QuotaError = netsim.QuotaError
+
+// TenantID names one tenant of a Server.
+type TenantID = netsim.TenantID
+
+// TenantConfig is one tenant's service class.
+type TenantConfig struct {
+	// Priority is the strict scheduling tier: a tenant of higher
+	// Priority gets its probes into every link envelope before any
+	// lower-priority tenant is considered. Default 0.
+	Priority int
+	// Weight is the deficit-round-robin weight among same-priority
+	// tenants: under backlog, byte shares within a tier converge to the
+	// weight ratio. Values below 1 mean 1.
+	Weight int
+	// ByteQuota, when positive, bounds the tenant's fleet-wide Eq. (1)
+	// wire-byte spend. A Run (or an individual probe) admitted after the
+	// quota is crossed is rejected with a *QuotaError; the run that
+	// crosses the boundary completes its in-flight frames, so a tenant
+	// may finish marginally over budget but never starts new work there.
+	ByteQuota int64
+	// MaxConcurrent bounds the tenant's simultaneously executing joins;
+	// further Runs block until a slot frees (or their context ends).
+	// 0 means unlimited.
+	MaxConcurrent int
+}
+
+// ServerConfig configures NewServer.
+type ServerConfig struct {
+	// Fleet describes the shared serving fleet, exactly as a Session
+	// would be configured: datasets, link, shards, replicas, batching,
+	// retries. BatchSize defaults to 8 when unset — per-tenant lanes
+	// need a batcher as their injection point; set BatchSize to 1
+	// explicitly to serve without multiplexing (quotas and attribution
+	// still apply, scheduling degenerates to arrival order).
+	Fleet SessionConfig
+	// Tenants declares the service classes. Tenants must be declared
+	// here to run; probes of undeclared tenants are rejected.
+	Tenants map[TenantID]TenantConfig
+}
+
+// Server is a long-lived multi-tenant join service over one shared
+// fleet. Create it once, then call Run (or Session) from any number of
+// goroutines; Close shuts the fleet down.
+type Server struct {
+	cfg    ServerConfig
+	fleet  *fleet
+	ledger *netsim.Ledger
+	sched  *client.Scheduler
+
+	mu      sync.Mutex
+	tenants map[TenantID]*tenantState
+	closed  bool
+}
+
+// tenantState is one tenant's serving state: its environment over the
+// shared fleet, the concurrency gate, and the prepare latch.
+type tenantState struct {
+	cfg   TenantConfig
+	env   *core.Env
+	slots chan struct{} // nil = unlimited
+
+	prepMu   sync.Mutex
+	prepared bool
+}
+
+// NewServer assembles the shared fleet and one environment per tenant.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("repro: server needs at least one tenant")
+	}
+	if cfg.Fleet.BatchSize == 0 {
+		cfg.Fleet.BatchSize = 8
+	}
+	ledger := netsim.NewLedger()
+	sched := client.NewScheduler(ledger)
+	for id, tc := range cfg.Tenants {
+		sched.SetPolicy(id, client.TenantPolicy{Priority: tc.Priority, Weight: tc.Weight})
+		if tc.ByteQuota > 0 {
+			ledger.SetQuota(id, tc.ByteQuota)
+		}
+	}
+	f, err := buildFleet(cfg.Fleet, client.WithLedger(ledger), client.WithScheduler(sched))
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{
+		cfg: cfg, fleet: f, ledger: ledger, sched: sched,
+		tenants: make(map[TenantID]*tenantState, len(cfg.Tenants)),
+	}
+	for id, tc := range cfg.Tenants {
+		env := f.newEnv(cfg.Fleet,
+			&tenantProbe{p: f.remR, id: id},
+			&tenantProbe{p: f.remS, id: id})
+		ts := &tenantState{cfg: tc, env: env}
+		if tc.MaxConcurrent > 0 {
+			ts.slots = make(chan struct{}, tc.MaxConcurrent)
+		}
+		srv.tenants[id] = ts
+	}
+	return srv, nil
+}
+
+// Tenants returns the configured tenant names, sorted.
+func (s *Server) Tenants() []TenantID {
+	ids := make([]TenantID, 0, len(s.tenants))
+	for id := range s.tenants {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Ledger exposes the fleet's quota ledger (spend inspection, runtime
+// quota adjustment).
+func (s *Server) Ledger() *netsim.Ledger { return s.ledger }
+
+// Scheduler exposes the fleet's probe scheduler (runtime policy
+// adjustment).
+func (s *Server) Scheduler() *client.Scheduler { return s.sched }
+
+// Spent returns the tenant's accumulated fleet-wide wire-byte spend.
+func (s *Server) Spent(id TenantID) int64 { return s.ledger.Spent(id) }
+
+// Usage re-exports the per-link traffic snapshot type.
+type Usage = netsim.Usage
+
+// TenantUsage returns the tenant's attributed traffic on the two
+// relations (summed over all links of each; zero for unknown tenants).
+func (s *Server) TenantUsage(id TenantID) (r, u Usage) {
+	s.mu.Lock()
+	st, ok := s.tenants[id]
+	s.mu.Unlock()
+	if !ok {
+		return Usage{}, Usage{}
+	}
+	return st.env.Usage()
+}
+
+// tenant looks a tenant up, failing unknown names with ErrUnknownTenant.
+func (s *Server) tenant(id TenantID) (*tenantState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("repro: server closed")
+	}
+	st, ok := s.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("repro: tenant %q: %w", string(id), ErrUnknownTenant)
+	}
+	return st, nil
+}
+
+// Run executes one join on behalf of tenant id. It blocks while the
+// tenant is at MaxConcurrent, rejects with a *QuotaError once the
+// tenant's byte quota is exhausted, and otherwise behaves exactly like
+// Session.Run — every probe it issues travels the shared links under
+// the server's scheduling policy and is attributed to the tenant.
+func (s *Server) Run(ctx context.Context, id TenantID, alg Algorithm, spec Spec) (*Result, error) {
+	if alg == nil {
+		return nil, fmt.Errorf("repro: nil algorithm")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st, err := s.tenant(id)
+	if err != nil {
+		return nil, err
+	}
+	// Admission: quota first (cheap, typed), then the concurrency gate.
+	if qerr := s.ledger.Check(id); qerr != nil {
+		return nil, fmt.Errorf("repro: tenant %q: %w", string(id), qerr)
+	}
+	if st.slots != nil {
+		select {
+		case st.slots <- struct{}{}:
+			defer func() { <-st.slots }()
+		case <-ctx.Done():
+			return nil, fmt.Errorf("repro: tenant %q: %w", string(id), ctx.Err())
+		}
+	}
+	if s.cfg.Fleet.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Fleet.RunTimeout)
+		defer cancel()
+	}
+	// First run of a tenant prepares its environment exactly once;
+	// concurrent first runs serialize here (prepare mutates the env).
+	st.prepMu.Lock()
+	if !st.prepared {
+		if err := st.env.Prepare(ctx); err != nil {
+			st.prepMu.Unlock()
+			return nil, err
+		}
+		st.prepared = true
+	}
+	st.prepMu.Unlock()
+	return alg.Run(ctx, st.env, spec)
+}
+
+// Env exposes a tenant's environment for advanced use (custom
+// algorithms, meter inspection). All its probes carry the tenant's
+// identity.
+func (s *Server) Env(id TenantID) (*Env, error) {
+	st, err := s.tenant(id)
+	if err != nil {
+		return nil, err
+	}
+	return st.env, nil
+}
+
+// Close shuts the shared fleet down. In-flight runs fail as their
+// transports close.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.fleet.close()
+}
+
+// --- tenant probe ----------------------------------------------------------
+
+// tenantProbe wraps a shared-fleet endpoint with one tenant's identity:
+// every call travels under a context stamped with the tenant (so the
+// meters attribute and the ledger bills it), Usage reports the tenant's
+// attributed slice (so Stats of a run cover the tenant's own traffic,
+// not the fleet's), and Close is a no-op (the fleet outlives any one
+// tenant's environment).
+type tenantProbe struct {
+	p  core.Probe
+	id netsim.TenantID
+}
+
+func (t *tenantProbe) tag(ctx context.Context) context.Context {
+	return netsim.WithTenant(ctx, t.id)
+}
+
+func (t *tenantProbe) Name() string { return t.p.Name() }
+
+func (t *tenantProbe) Info(ctx context.Context) (wire.Info, error) {
+	return t.p.Info(t.tag(ctx))
+}
+
+func (t *tenantProbe) Count(ctx context.Context, w geom.Rect) (int, error) {
+	return t.p.Count(t.tag(ctx), w)
+}
+
+func (t *tenantProbe) Window(ctx context.Context, w geom.Rect) ([]geom.Object, error) {
+	return t.p.Window(t.tag(ctx), w)
+}
+
+func (t *tenantProbe) AvgArea(ctx context.Context, w geom.Rect) (float64, error) {
+	return t.p.AvgArea(t.tag(ctx), w)
+}
+
+func (t *tenantProbe) Range(ctx context.Context, p geom.Point, eps float64) ([]geom.Object, error) {
+	return t.p.Range(t.tag(ctx), p, eps)
+}
+
+func (t *tenantProbe) RangeCount(ctx context.Context, p geom.Point, eps float64) (int, error) {
+	return t.p.RangeCount(t.tag(ctx), p, eps)
+}
+
+func (t *tenantProbe) BucketRange(ctx context.Context, pts []geom.Point, eps float64) ([][]geom.Object, error) {
+	return t.p.BucketRange(t.tag(ctx), pts, eps)
+}
+
+func (t *tenantProbe) BucketRangeCount(ctx context.Context, pts []geom.Point, eps float64) ([]int64, error) {
+	return t.p.BucketRangeCount(t.tag(ctx), pts, eps)
+}
+
+func (t *tenantProbe) LevelMBRs(ctx context.Context, level int) ([]geom.Rect, error) {
+	return t.p.LevelMBRs(t.tag(ctx), level)
+}
+
+func (t *tenantProbe) MBRMatch(ctx context.Context, rects []geom.Rect, eps float64) ([]geom.Object, error) {
+	return t.p.MBRMatch(t.tag(ctx), rects, eps)
+}
+
+func (t *tenantProbe) UploadJoin(ctx context.Context, objs []geom.Object, eps float64) ([]geom.Pair, error) {
+	return t.p.UploadJoin(t.tag(ctx), objs, eps)
+}
+
+func (t *tenantProbe) GoBatch(ctx context.Context, reqs [][]byte) []*client.Call {
+	return t.p.GoBatch(t.tag(ctx), reqs)
+}
+
+func (t *tenantProbe) Flush() { t.p.Flush() }
+
+func (t *tenantProbe) Usage() netsim.Usage {
+	if tu, ok := t.p.(interface {
+		TenantUsage(netsim.TenantID) netsim.Usage
+	}); ok {
+		return tu.TenantUsage(t.id)
+	}
+	return t.p.Usage()
+}
+
+func (t *tenantProbe) PricePerByte() float64 { return t.p.PricePerByte() }
+
+func (t *tenantProbe) Retries() int64 { return t.p.Retries() }
+
+// Close is a no-op: the shared fleet is owned by the Server, not any
+// one tenant's environment.
+func (t *tenantProbe) Close() error { return nil }

@@ -1,0 +1,388 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func newTestServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestServerMultiTenantMatchesOracle: several tenants join concurrently
+// over one shared fleet; every tenant's result is oracle-exact, and the
+// fleet's accounting stays exhaustive — the tenants' attributed wire
+// bytes (plus the anonymous lane) sum to the links' totals, and the
+// ledger carries the same spend.
+func TestServerMultiTenantMatchesOracle(t *testing.T) {
+	r := GaussianClusters(300, 4, 250, World, 21)
+	s := GaussianClusters(300, 4, 250, World, 22)
+	spec := Spec{Kind: Distance, Eps: 120}
+	want := Oracle(r, s, spec, World)
+
+	srv := newTestServer(t, ServerConfig{
+		Fleet: SessionConfig{R: r, S: s, Buffer: 400},
+		Tenants: map[TenantID]TenantConfig{
+			"alice": {Priority: 1, Weight: 2},
+			"bob":   {Weight: 1},
+			"carol": {Weight: 3},
+		},
+	})
+
+	var wg sync.WaitGroup
+	results := make(map[TenantID]*Result)
+	errs := make(map[TenantID]error)
+	var mu sync.Mutex
+	for _, id := range srv.Tenants() {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := srv.Run(context.Background(), id, UpJoin{}, spec)
+			mu.Lock()
+			results[id], errs[id] = res, err
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("tenant %s: %v", id, err)
+		}
+	}
+	for id, res := range results {
+		if len(res.Pairs) != len(want.Pairs) {
+			t.Errorf("tenant %s: %d pairs, oracle %d", id, len(res.Pairs), len(want.Pairs))
+		}
+		// Each tenant's Stats cover its own attributed slice, not the
+		// fleet's total.
+		if res.Stats.TotalBytes() <= 0 {
+			t.Errorf("tenant %s: no attributed traffic in Stats", id)
+		}
+	}
+
+	// Exhaustiveness: the ledger's per-tenant spend must sum to the wire
+	// bytes the shared links actually metered.
+	env, err := srv.Env("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetWire := srv.fleet.remR.Usage().WireBytes + srv.fleet.remS.Usage().WireBytes
+	var ledgerSum int64
+	for _, id := range append(srv.Tenants(), TenantID("")) {
+		ledgerSum += srv.Spent(id)
+	}
+	if ledgerSum != int64(fleetWire) {
+		t.Errorf("ledger spend %d, fleet wire bytes %d", ledgerSum, fleetWire)
+	}
+	_ = env
+}
+
+// TestServerQuotaRejectsTenantOthersComplete is the acceptance scenario:
+// a tenant with a tiny byte quota is eventually rejected with the typed
+// quota error while an unlimited tenant's concurrent joins keep
+// completing oracle-exact.
+func TestServerQuotaRejectsTenantOthersComplete(t *testing.T) {
+	r := GaussianClusters(250, 3, 250, World, 31)
+	s := GaussianClusters(250, 3, 250, World, 32)
+	spec := Spec{Kind: Distance, Eps: 100}
+	want := Oracle(r, s, spec, World)
+
+	srv := newTestServer(t, ServerConfig{
+		Fleet: SessionConfig{R: r, S: s, Buffer: 400},
+		Tenants: map[TenantID]TenantConfig{
+			"rich": {},
+			"poor": {ByteQuota: 4000},
+		},
+	})
+
+	// Run both tenants concurrently until poor's quota trips.
+	var poorErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if _, err := srv.Run(context.Background(), "poor", UpJoin{}, spec); err != nil {
+				poorErr = err
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		res, err := srv.Run(context.Background(), "rich", UpJoin{}, spec)
+		if err != nil {
+			t.Fatalf("rich run %d: %v", i, err)
+		}
+		if len(res.Pairs) != len(want.Pairs) {
+			t.Fatalf("rich run %d: %d pairs, oracle %d", i, len(res.Pairs), len(want.Pairs))
+		}
+	}
+	<-done
+
+	if poorErr == nil {
+		t.Fatal("poor tenant never hit its 4000-byte quota")
+	}
+	if !errors.Is(poorErr, ErrOverQuota) {
+		t.Fatalf("poor rejection does not match ErrOverQuota: %v", poorErr)
+	}
+	var qe *QuotaError
+	if !errors.As(poorErr, &qe) {
+		t.Fatalf("poor rejection is not a typed *QuotaError: %v", poorErr)
+	}
+	if qe.Tenant != "poor" || qe.Quota != 4000 || qe.Spent < qe.Quota {
+		t.Errorf("QuotaError = %+v, want tenant poor at/over quota 4000", *qe)
+	}
+	// Further admissions stay rejected.
+	if _, err := srv.Run(context.Background(), "poor", UpJoin{}, spec); !errors.Is(err, ErrOverQuota) {
+		t.Errorf("post-exhaustion run: err = %v, want ErrOverQuota", err)
+	}
+	// And rich still serves.
+	if _, err := srv.Run(context.Background(), "rich", UpJoin{}, spec); err != nil {
+		t.Errorf("rich after poor's exhaustion: %v", err)
+	}
+}
+
+// TestServerUnknownTenant: undeclared tenants are rejected with the
+// typed sentinel before any work starts.
+func TestServerUnknownTenant(t *testing.T) {
+	r := Uniform(50, World, 41)
+	srv := newTestServer(t, ServerConfig{
+		Fleet:   SessionConfig{R: r, S: r, Buffer: 200},
+		Tenants: map[TenantID]TenantConfig{"a": {}},
+	})
+	if _, err := srv.Run(context.Background(), "mallory", UpJoin{}, Spec{Kind: Distance, Eps: 10}); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("err = %v, want ErrUnknownTenant", err)
+	}
+	if _, err := srv.Env("mallory"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("Env: err = %v, want ErrUnknownTenant", err)
+	}
+	if _, err := NewServer(ServerConfig{Fleet: SessionConfig{R: r, S: r}}); err == nil {
+		t.Fatal("NewServer with no tenants should fail")
+	}
+}
+
+// blockingAlg parks until released, so tests can hold a tenant's
+// concurrency slot at a precise point.
+type blockingAlg struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingAlg) Name() string { return "blocking" }
+
+func (b *blockingAlg) Run(ctx context.Context, env *core.Env, spec core.Spec) (*core.Result, error) {
+	b.started <- struct{}{}
+	select {
+	case <-b.release:
+		return &core.Result{}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TestServerMaxConcurrentGates: a tenant at its MaxConcurrent blocks
+// further Runs until a slot frees (or the waiter's context ends), while
+// other tenants are unaffected.
+func TestServerMaxConcurrentGates(t *testing.T) {
+	r := Uniform(60, World, 43)
+	srv := newTestServer(t, ServerConfig{
+		Fleet: SessionConfig{R: r, S: r, Buffer: 200},
+		Tenants: map[TenantID]TenantConfig{
+			"gated": {MaxConcurrent: 1},
+			"free":  {},
+		},
+	})
+	alg := &blockingAlg{started: make(chan struct{}, 1), release: make(chan struct{})}
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(context.Background(), "gated", alg, Spec{Kind: Distance, Eps: 10})
+		firstDone <- err
+	}()
+	<-alg.started // the slot is now held
+
+	// A second gated run must not start while the slot is held: its
+	// context expires in the admission queue.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := srv.Run(ctx, "gated", UpJoin{}, Spec{Kind: Distance, Eps: 10}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("gated waiter: err = %v, want DeadlineExceeded", err)
+	}
+	// Another tenant is untouched by the gate.
+	if _, err := srv.Run(context.Background(), "free", UpJoin{}, Spec{Kind: Distance, Eps: 10}); err != nil {
+		t.Fatalf("free tenant blocked by sibling's gate: %v", err)
+	}
+
+	close(alg.release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("gated run: %v", err)
+	}
+	// Slot released: the tenant admits again.
+	if _, err := srv.Run(context.Background(), "gated", UpJoin{}, Spec{Kind: Distance, Eps: 10}); err != nil {
+		t.Fatalf("post-release run: %v", err)
+	}
+}
+
+// TestServerTenantUsageAttribution: per-tenant usage on the server is
+// non-zero for active tenants, zero for idle ones, and consistent with
+// the tenant's own Stats.
+func TestServerTenantUsageAttribution(t *testing.T) {
+	r := GaussianClusters(200, 2, 250, World, 51)
+	s := GaussianClusters(200, 2, 250, World, 52)
+	srv := newTestServer(t, ServerConfig{
+		Fleet: SessionConfig{R: r, S: s, Buffer: 400},
+		Tenants: map[TenantID]TenantConfig{
+			"worker": {},
+			"idle":   {},
+		},
+	})
+	res, err := srv.Run(context.Background(), "worker", SrJoin{}, Spec{Kind: Distance, Eps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, su := srv.TenantUsage("worker")
+	if ru.WireBytes == 0 || su.WireBytes == 0 {
+		t.Fatalf("worker attribution empty: R %+v S %+v", ru, su)
+	}
+	// The run's Stats diff the tenant's own attributed columns, so the
+	// cumulative attribution covers at least the run's traffic.
+	if ru.WireBytes < res.Stats.R.WireBytes || su.WireBytes < res.Stats.S.WireBytes {
+		t.Errorf("attribution below the run's own Stats: R %d<%d S %d<%d",
+			ru.WireBytes, res.Stats.R.WireBytes, su.WireBytes, res.Stats.S.WireBytes)
+	}
+	iru, isu := srv.TenantUsage("idle")
+	if iru.WireBytes != 0 || isu.WireBytes != 0 {
+		t.Errorf("idle tenant has attributed traffic: R %+v S %+v", iru, isu)
+	}
+	if ids := srv.Tenants(); !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		t.Errorf("Tenants() not sorted: %v", ids)
+	}
+	if spent := srv.Spent("worker"); spent != int64(ru.WireBytes+su.WireBytes) {
+		t.Errorf("ledger spend %d, attributed wire %d", spent, ru.WireBytes+su.WireBytes)
+	}
+}
+
+// TestServerClosedRejects: Run and Env fail after Close, and Close is
+// idempotent.
+func TestServerClosedRejects(t *testing.T) {
+	r := Uniform(40, World, 61)
+	srv := newTestServer(t, ServerConfig{
+		Fleet:   SessionConfig{R: r, S: r, Buffer: 200},
+		Tenants: map[TenantID]TenantConfig{"a": {}},
+	})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := srv.Run(context.Background(), "a", UpJoin{}, Spec{Kind: Distance, Eps: 10}); err == nil {
+		t.Fatal("Run on closed server should fail")
+	}
+}
+
+// TestServerHighPriorityLatencyUnderLoad is the serving-quality
+// acceptance check: with eight low-priority bulk sessions saturating the
+// shared fleet, a high-priority tenant's probe p99 stays within 1.5× of
+// its unloaded baseline (plus a small constant guard against scheduler
+// jitter on loaded CI machines) — the strict-priority tiers put its
+// probes at the front of every envelope.
+func TestServerHighPriorityLatencyUnderLoad(t *testing.T) {
+	if raceEnabled {
+		t.Skip("latency assertion is meaningless under the race detector's overhead")
+	}
+	if testing.Short() {
+		t.Skip("latency measurement skipped in -short")
+	}
+	r := GaussianClusters(400, 4, 250, World, 71)
+	s := GaussianClusters(400, 4, 250, World, 72)
+	tenants := map[TenantID]TenantConfig{
+		"interactive": {Priority: 10},
+	}
+	for _, id := range bulkTenants() {
+		tenants[id] = TenantConfig{Priority: 0}
+	}
+	srv := newTestServer(t, ServerConfig{
+		Fleet: SessionConfig{
+			R: r, S: s, Buffer: 400, Parallelism: 4,
+			Link: LinkConfig{MTU: 1500, HeaderBytes: 40, RTT: 2 * time.Millisecond},
+		},
+		Tenants: tenants,
+	})
+	env, err := srv.Env("interactive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := func() time.Duration {
+		t0 := time.Now()
+		if _, err := env.R.Count(context.Background(), World); err != nil {
+			t.Fatalf("interactive probe: %v", err)
+		}
+		return time.Since(t0)
+	}
+	p99 := func(n int) time.Duration {
+		lat := make([]time.Duration, n)
+		for i := range lat {
+			lat[i] = probe()
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[(n*99+99)/100-1]
+	}
+
+	for i := 0; i < 10; i++ { // warm transports, pools, and the scheduler
+		probe()
+	}
+	solo := p99(200)
+
+	// Eight bulk tenants hammer the fleet with distance joins until told
+	// to stop.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, id := range bulkTenants() {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_, _ = srv.Run(ctx, id, UpJoin{}, Spec{Kind: Distance, Eps: 120})
+				cancel()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the bulk load build a backlog
+	loaded := p99(200)
+	close(stop)
+	wg.Wait()
+
+	// 1.5× the solo p99 plus two RTTs of guard: the strict tier means an
+	// interactive probe waits at most for frames already in flight,
+	// never behind the bulk backlog.
+	limit := solo + solo/2 + 4*time.Millisecond
+	if loaded > limit {
+		t.Errorf("interactive p99 under load = %v, want ≤ %v (solo %v)", loaded, limit, solo)
+	}
+	t.Logf("interactive p99: solo %v, loaded %v", solo, loaded)
+}
+
+func bulkTenants() []TenantID {
+	return []TenantID{"bulk0", "bulk1", "bulk2", "bulk3", "bulk4", "bulk5", "bulk6", "bulk7"}
+}
